@@ -1,0 +1,70 @@
+"""Ablation: truncate the ACF at horizon k and watch the BOP converge.
+
+The operational meaning of the Critical Time Scale: a model whose
+autocorrelations are zeroed beyond lag k yields *exactly* the same
+Bahadur-Rao BOP once k >= m*_b, and an increasingly wrong one as k
+shrinks below it.  This ablation turns the paper's definition into a
+measurable curve: |log10 BOP(k) - log10 BOP(inf)| against k.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import bahadur_rao_bop, critical_time_scale
+from repro.models import make_z
+from repro.models.base import TrafficModel, coerce_lags
+from repro.utils.units import delay_to_buffer_cells
+
+
+class _TruncatedACF(TrafficModel):
+    """Wrapper zeroing the host model's ACF beyond ``keep`` lags."""
+
+    def __init__(self, inner: TrafficModel, keep: int):
+        super().__init__(inner.frame_duration)
+        self._inner = inner
+        self._keep = keep
+
+    @property
+    def mean(self):
+        return self._inner.mean
+
+    @property
+    def variance(self):
+        return self._inner.variance
+
+    def autocorrelation(self, lags):
+        lags_int = coerce_lags(lags)
+        r = self._inner.autocorrelation(lags_int)
+        return np.where(lags_int <= self._keep, r, 0.0)
+
+    def sample_frames(self, n_frames, rng=None):
+        raise NotImplementedError("analysis-only wrapper")
+
+
+def _ablation_curve():
+    z = make_z(0.975)
+    c, n = 538.0, 30
+    b = delay_to_buffer_cells(0.010, c)
+    cts = critical_time_scale(z, c, b)
+    reference = bahadur_rao_bop(z, c, b, n).log10_bop
+    horizons = sorted({1, 2, cts // 4, cts // 2, cts, 2 * cts, 8 * cts})
+    errors = {
+        k: abs(bahadur_rao_bop(_TruncatedACF(z, k), c, b, n).log10_bop
+               - reference)
+        for k in horizons if k >= 1
+    }
+    return cts, errors
+
+
+def test_cts_truncation_ablation(benchmark):
+    cts, errors = benchmark.pedantic(
+        _ablation_curve, rounds=2, iterations=1, warmup_rounds=0
+    )
+    print(f"\nCTS ablation (Z^0.975, 10 msec buffer): m*_b = {cts}")
+    for k, err in sorted(errors.items()):
+        print(f"  keep {k:>5d} lags -> |dlog10 BOP| = {err:.6f}")
+    # Exact once the full CTS horizon is kept...
+    assert errors[cts] == pytest.approx(0.0, abs=1e-9)
+    assert errors[8 * cts] == pytest.approx(0.0, abs=1e-9)
+    # ...and materially wrong when only a quarter of it is kept.
+    assert errors[max(cts // 4, 1)] > 0.1

@@ -1,0 +1,78 @@
+"""Ablation: marginal-distribution shape vs correlation structure.
+
+Section 6.1 of the paper argues its conclusions survive heavier-tailed
+frame-size marginals: with the *same* mean, variance and ACF, the
+difference in buffer behavior between marginals is a (roughly
+constant) bandwidth offset, while the correlation structure drives the
+decay shape.  This ablation simulates DAR(1) traffic under Gaussian,
+negative binomial (Heyman & Lakshman's choice) and lognormal marginals
+at the paper's operating point and prints the measured CLR curves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import get_scale
+from repro.models import (
+    DARModel,
+    GaussianMarginal,
+    LognormalMarginal,
+    NegativeBinomialMarginal,
+)
+from repro.queueing import ATMMultiplexer, replicated_clr_curve
+from repro.utils.units import delay_to_buffer_cells
+
+MEAN, VARIANCE, RHO = 500.0, 5000.0, 0.821
+N_SOURCES, C = 30, 538.0
+DELAYS_MSEC = np.array([0.0, 1.0, 2.0, 4.0, 8.0])
+
+
+def _clr_by_marginal(scale):
+    marginals = {
+        "gaussian": GaussianMarginal(MEAN, VARIANCE),
+        "neg-binomial": NegativeBinomialMarginal(MEAN, VARIANCE),
+        "lognormal": LognormalMarginal(MEAN, VARIANCE),
+    }
+    capacity = N_SOURCES * C
+    buffers = np.array(
+        [delay_to_buffer_cells(d / 1e3, capacity) for d in DELAYS_MSEC]
+    )
+    curves = {}
+    for i, (label, marginal) in enumerate(marginals.items()):
+        model = DARModel.with_marginal(RHO, (1.0,), marginal)
+        mux = ATMMultiplexer(model, N_SOURCES, C, buffer_cells=0.0)
+        curves[label] = replicated_clr_curve(
+            mux,
+            buffers,
+            scale.n_frames,
+            scale.n_replications,
+            rng=scale.base_seed + 900 + i,
+            label=label,
+        )
+    return curves
+
+
+def test_marginal_ablation(benchmark):
+    scale = get_scale()
+    curves = benchmark.pedantic(
+        _clr_by_marginal, args=(scale,), rounds=1, iterations=1
+    )
+    print(f"\nCLR by marginal shape (DAR(1), rho = {RHO}, N = {N_SOURCES}, "
+          f"c = {C:g}, scale = {scale.name})")
+    print(f"{'buffer msec':>12}" + "".join(
+        f"{label:>15}" for label in curves))
+    for j, d in enumerate(DELAYS_MSEC):
+        row = f"{d:>12.1f}"
+        for curve in curves.values():
+            value = curve.clr[j]
+            row += f"{value:>15.3e}" if value > 0 else f"{'0':>15}"
+        print(row)
+
+    gaussian = curves["gaussian"].clr
+    for label in ("neg-binomial", "lognormal"):
+        other = curves[label].clr
+        # Same second-order structure: both lose cells in the same
+        # order of magnitude at the (well-resolved) zero-buffer point,
+        # with the heavier tails losing at least as much.
+        if gaussian[0] > 0 and other[0] > 0:
+            assert abs(np.log10(other[0]) - np.log10(gaussian[0])) < 1.0

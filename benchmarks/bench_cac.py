@@ -1,0 +1,49 @@
+"""Admission-control table: the paper's motivating application.
+
+For the Fig. 5-10 link (30 x 538 cells/frame) and the realistic QoS
+envelope, prints the number of admissible VBR video connections under
+each policy and each traffic model — demonstrating the punchline that
+the DAR(p) Markov fits and the LRD composite admit (nearly) the same
+number of connections.
+"""
+
+import pytest
+
+from repro.atm import QoSRequirement, compare_policies
+from repro.models import make_l, make_s, make_z
+
+
+def _admission_table():
+    qos = QoSRequirement(max_delay_seconds=0.020, max_clr=1e-6)
+    link = 30 * 538.0
+    models = {
+        "Z^0.975 (LRD)": make_z(0.975),
+        "DAR(1) fit": make_s(1, 0.975),
+        "DAR(3) fit": make_s(3, 0.975),
+        "L (pure LRD)": make_l(),
+    }
+    return {
+        label: compare_policies(model, link, qos)
+        for label, model in models.items()
+    }
+
+
+def test_cac_policies(benchmark):
+    table = benchmark.pedantic(
+        _admission_table, rounds=2, iterations=1, warmup_rounds=0
+    )
+    policies = ("peak-rate", "mean-rate", "bahadur-rao", "large-n")
+    print("\nadmissible connections (link = 30 x 538 cells/frame, "
+          "20 msec, CLR 1e-6)")
+    header = f"{'model':<16}" + "".join(f"{p:>14}" for p in policies)
+    print(header)
+    for label, row in table.items():
+        print(f"{label:<16}" + "".join(f"{row[p]:>14d}" for p in policies))
+
+    for row in table.values():
+        assert row["peak-rate"] <= row["bahadur-rao"] <= row["mean-rate"]
+    # The paper's punchline: Markov fit admits ~the same N as the LRD
+    # composite.
+    z = table["Z^0.975 (LRD)"]["bahadur-rao"]
+    s = table["DAR(1) fit"]["bahadur-rao"]
+    assert abs(z - s) <= 2

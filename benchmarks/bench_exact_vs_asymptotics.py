@@ -1,0 +1,77 @@
+"""Ground-truth companion to Fig. 10: exact CLR vs the asymptotics.
+
+The paper closes with an open question — the Bahadur-Rao (infinite-
+buffer) estimate tracks but overestimates the measured finite-buffer
+CLR by ~2 orders of magnitude.  For Markov-modulated sources the
+finite-buffer chain is solvable *exactly*, removing all sampling
+noise.  This bench solves a DAR(1) source (the Fig. 10 model, scaled
+to one source) across buffer sizes and prints, per point: the exact
+CLR, the B-R estimate, the large-N estimate, and the classical
+effective-bandwidth decay rate — quantifying the conservatism
+precisely.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import bahadur_rao_bop, large_n_bop
+from repro.models import DARModel
+from repro.models.markov_source import MarkovModulatedSource
+from repro.queueing.exact_markov import MarkovArrivalChain, exact_clr
+
+C = 560.0
+BUFFERS = np.array([0.0, 100.0, 200.0, 400.0, 800.0, 1600.0])
+
+
+def _comparison_table():
+    model = DARModel.dar1(0.821, 500.0, 5000.0)  # DAR(1) ~ Z^0.975
+    chain = MarkovArrivalChain.from_dar1(model, n_bins=31)
+    source = MarkovModulatedSource(chain)
+    theta_star = source.decay_rate_for_capacity(C)
+    rows = []
+    for b in BUFFERS:
+        exact = exact_clr(chain, C, float(b), n_levels=601)
+        br = bahadur_rao_bop(model, C, float(b), 1)
+        ln = large_n_bop(model, C, float(b), 1)
+        rows.append(
+            {
+                "buffer": float(b),
+                "exact": exact.log10_clr,
+                "bahadur_rao": br.log10_bop,
+                "large_n": ln.log10_bop,
+            }
+        )
+    return theta_star, rows
+
+
+def test_exact_vs_asymptotics(benchmark):
+    theta_star, rows = benchmark.pedantic(
+        _comparison_table, rounds=1, iterations=1
+    )
+    print(f"\nexact finite-buffer CLR vs asymptotics "
+          f"(DAR(1) rho=0.821, c = {C:g}, one source)")
+    print(f"{'buffer':>8}{'exact log10 CLR':>18}{'B-R':>10}"
+          f"{'large-N':>10}{'B-R gap':>10}")
+    for row in rows:
+        gap = row["bahadur_rao"] - row["exact"]
+        print(
+            f"{row['buffer']:>8.0f}{row['exact']:>18.3f}"
+            f"{row['bahadur_rao']:>10.3f}{row['large_n']:>10.3f}"
+            f"{gap:>10.2f}"
+        )
+    print(f"  effective-bandwidth decay rate theta* = {theta_star:.5f} "
+          f"per cell (asymptotic slope {theta_star / np.log(10):.5f} "
+          "decades/cell)")
+
+    # The asymptotics must upper-bound the exact CLR at every buffer...
+    for row in rows:
+        assert row["bahadur_rao"] >= row["exact"] - 0.05
+    # ...by a roughly buffer-independent margin once b > 0 (parallel
+    # curves, the Fig. 10 observation).
+    gaps = [r["bahadur_rao"] - r["exact"] for r in rows[1:]]
+    assert max(gaps) - min(gaps) < 1.5
+    # And the exact decay slope approaches theta* at large buffers.
+    slope = -(rows[-1]["exact"] - rows[-2]["exact"]) / (
+        BUFFERS[-1] - BUFFERS[-2]
+    ) * np.log(10)
+    assert slope == pytest.approx(theta_star, rel=0.25)

@@ -1,0 +1,13 @@
+"""Fig. 1 — effect of a and v on the ACF (schematic, exact here)."""
+
+import numpy as np
+
+
+def test_fig01(report):
+    result = report("fig01", rounds=3)
+    z_panel, v_panel = result.panels
+    # a moves short lags; v moves the tail.
+    z_first = np.array([s.y[0] for s in z_panel.series])
+    v_first = np.array([s.y[0] for s in v_panel.series])
+    assert np.ptp(z_first) > 0.1
+    assert np.ptp(v_first) < 1e-9

@@ -1,0 +1,15 @@
+"""Fig. 2 — sample paths of Z^0.7 vs matched DAR(1), N = 10."""
+
+import pytest
+
+
+def test_fig02(report, scale):
+    result = report("fig02", scale)
+    payload = result.payload
+    # Both paths realize the common Gaussian marginal.
+    assert payload["z_mean"] == pytest.approx(
+        payload["expected_mean"], rel=0.05
+    )
+    assert payload["dar_mean"] == pytest.approx(
+        payload["expected_mean"], rel=0.05
+    )

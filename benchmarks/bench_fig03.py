@@ -1,0 +1,21 @@
+"""Fig. 3 — analytic ACFs of V^v, Z^a, S and L."""
+
+import numpy as np
+
+
+def test_fig03(report):
+    result = report("fig03", rounds=3)
+    # (a): V^v short-term correlations nearly coincide.
+    panel_a = result.panels[0]
+    first = np.array([s.y[0] for s in panel_a.series])
+    assert np.ptp(first) < 1e-9
+    # (b): Z^a and L tails agree to ~25% out to lag 1000.
+    panel_b = result.panels[1]
+    l_series = next(s for s in panel_b.series if s.label == "L")
+    z_series = next(s for s in panel_b.series if s.label == "Z^0.975")
+    assert np.allclose(l_series.y[-5:], z_series.y[-5:], rtol=0.25)
+    # (c)/(d): DAR(p) matches the first p lags of Z^a exactly.
+    for panel in result.panels[2:]:
+        target = panel.series[0]
+        for p, fit in enumerate(panel.series[1:], start=1):
+            assert np.allclose(fit.y[:p], target.y[:p], atol=1e-9)

@@ -1,0 +1,17 @@
+"""Fig. 4 — Critical Time Scale m*_b vs buffer size (c = 526, N = 100)."""
+
+import numpy as np
+
+
+def test_fig04(report):
+    result = report("fig04", rounds=3)
+    for panel in result.panels:
+        for series in panel.series:
+            assert np.all(np.diff(series.y) >= 0), series.label
+            assert series.y[0] <= 5  # small at small buffers
+    # (b): spread of ~15 frames at B = 2 msec across Z^a.
+    panel_b = result.panels[1]
+    x = panel_b.series[0].x
+    at_2ms = int(np.argmin(np.abs(x - 2.0)))
+    values = np.array([s.y[at_2ms] for s in panel_b.series])
+    assert np.ptp(values) >= 10

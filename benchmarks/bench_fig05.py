@@ -1,0 +1,16 @@
+"""Fig. 5 — B-R BOPs of V^v and Z^a (N = 30, c = 538)."""
+
+import numpy as np
+
+
+def test_fig05(report):
+    result = report("fig05", rounds=3)
+    v_stack = np.vstack([s.y for s in result.panels[0].series])
+    z_stack = np.vstack([s.y for s in result.panels[1].series])
+    v_spread = v_stack.max(axis=0) - v_stack.min(axis=0)
+    z_spread = z_stack.max(axis=0) - z_stack.min(axis=0)
+    # Long-term correlations (V^v) move the BOP far less than
+    # short-term ones (Z^a) — the core of "myth 1".
+    beyond = result.panels[0].series[0].x >= 4.0
+    assert np.all(v_spread[beyond] < 0.5 * z_spread[beyond])
+    assert z_spread[-1] > 4.0  # orders of magnitude at 30 msec

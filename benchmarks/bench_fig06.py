@@ -1,0 +1,17 @@
+"""Fig. 6 — B-R BOPs of Z^a vs DAR(p) fits vs L ("myth 2")."""
+
+import numpy as np
+
+
+def test_fig06(report):
+    result = report("fig06", rounds=3)
+    panel_a = result.panels[0]
+    z = panel_a.series[0].y
+    dar1 = next(s for s in panel_a.series if s.label == "DAR(1)").y
+    dar3 = next(s for s in panel_a.series if s.label == "DAR(3)").y
+    l = next(s for s in panel_a.series if s.label == "L").y
+    # DAR(1) tracks Z better than L over small (realistic) buffers.
+    small = slice(0, 4)
+    assert np.all(np.abs(dar1[small] - z[small]) < np.abs(l[small] - z[small]))
+    # Higher DAR order improves the fit on average.
+    assert np.abs(dar3 - z).mean() < np.abs(dar1 - z).mean()

@@ -1,0 +1,21 @@
+"""Fig. 7 — the same comparison over unrealistically wide buffers.
+
+Shows where the myths come from: L's Weibull decay eventually wins,
+but only at buffer delays far beyond the realistic 20-30 msec budget.
+"""
+
+import numpy as np
+
+
+def test_fig07(report):
+    result = report("fig07", rounds=2)
+    crossover = result.payload["crossover_msec_a=0.975"]
+    assert crossover is not None and crossover > 8.0
+    # Z^a's decay parallels L's at very large buffers (same H).
+    panel = result.panels[0]
+    z = next(s for s in panel.series if s.label.startswith("Z"))
+    l = next(s for s in panel.series if s.label == "L")
+    large = z.x > 100.0
+    z_slope = np.diff(z.y[large]) / np.diff(np.log(z.x[large]))
+    l_slope = np.diff(l.y[large]) / np.diff(np.log(l.x[large]))
+    assert np.allclose(z_slope, l_slope, rtol=0.35)

@@ -1,0 +1,20 @@
+"""Fig. 9 — simulated CLRs of Z^a, DAR(p) fits, and L (N = 30)."""
+
+import numpy as np
+
+
+def test_fig09(report, scale):
+    result = report("fig09", scale)
+    assert len(result.panels) == 2
+    # Every curve monotone non-increasing in buffer.
+    for panel in result.panels:
+        for series in panel.series:
+            finite = np.isfinite(series.y)
+            assert np.all(np.diff(series.y[finite]) <= 1e-9), series.label
+    # Zero-buffer CLRs share the marginal-driven starting point.
+    observed = [
+        v for v in result.payload["clr_at_zero_buffer"].values() if v > 0
+    ]
+    if len(observed) >= 2:
+        limit = 1.2 if scale.total_frames >= 30_000 else 2.0
+        assert np.ptp(np.log10(observed)) < limit

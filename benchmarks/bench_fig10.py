@@ -1,0 +1,17 @@
+"""Fig. 10 — accuracy of the large-buffer asymptotics vs simulation."""
+
+import numpy as np
+
+
+def test_fig10(report, scale):
+    result = report("fig10", scale)
+    br, ln, sim = result.panels[0].series
+    # B-R is the tighter (smaller) estimate everywhere.
+    assert np.all(br.y <= ln.y)
+    # Gap of roughly one order between the two asymptotics.
+    gap = (ln.y - br.y).mean()
+    assert 0.3 < gap < 2.0
+    # Both sit above the measured CLR where loss was observed.
+    finite = np.isfinite(sim.y)
+    if finite.any():
+        assert np.all(ln.y[finite] >= sim.y[finite] - 0.5)

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Genuine timing benchmarks (multiple rounds): the rate-function
+infimum search, a full B-R curve, and the traffic samplers.  These
+are the knobs that decide whether paper-scale simulation is feasible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import bop_curve, rate_function
+from repro.models import make_s, make_z
+
+
+@pytest.fixture(scope="module")
+def z_model():
+    return make_z(0.975)
+
+
+def test_rate_function_single(benchmark, z_model):
+    result = benchmark(rate_function, z_model, 538.0, 200.0)
+    assert result.cts >= 1
+
+
+def test_bop_curve_11_points(benchmark, z_model):
+    delays = np.linspace(0.001, 0.030, 11)
+    curve = benchmark(bop_curve, z_model, 538.0, 30, delays)
+    assert np.all(np.diff(curve.log10_bop) < 0)
+
+
+def test_dar_sampling_throughput(benchmark):
+    model = make_s(1, 0.975)
+    path = benchmark(model.sample_aggregate, 20_000, 30, 7)
+    assert path.shape == (20_000,)
+
+
+def test_fbndp_sampling_throughput(benchmark, z_model):
+    fbndp = z_model.components[0]
+    path = benchmark.pedantic(
+        fbndp.sample_frames,
+        args=(5_000, 7),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert path.shape == (5_000,)
+
+
+def test_composite_aggregate_throughput(benchmark, z_model):
+    path = benchmark.pedantic(
+        z_model.sample_aggregate,
+        args=(2_000, 30, 7),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert path.shape == (2_000,)
+
+
+def test_finite_buffer_recursion_throughput(benchmark):
+    from repro.queueing import simulate_finite_buffer
+
+    rng = np.random.default_rng(0)
+    arrivals = rng.uniform(0, 1200, size=100_000)
+    result = benchmark(simulate_finite_buffer, arrivals, 600.0, 2000.0)
+    assert result.arrived_cells > 0

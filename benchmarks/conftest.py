@@ -1,0 +1,57 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table/figure of the paper and prints
+the series it produced (the rows the paper reports), so running
+
+    pytest benchmarks/ --benchmark-only
+
+both times the reproduction and emits the reproduced numbers.
+
+Simulation experiments honor ``REPRO_SCALE`` (smoke/default/paper) and
+run a single round — there the quantity of interest is the output;
+the timing is informative only.  Analytic experiments are cheap and
+run several rounds for a meaningful timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import get_scale
+from repro.experiments.registry import run_experiment
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The scale every simulation benchmark runs at ($REPRO_SCALE)."""
+    return get_scale()
+
+
+@pytest.fixture
+def report(benchmark):
+    """Run one experiment under the benchmark and report its tables.
+
+    The formatted tables are printed (visible with ``-s``) *and*
+    written to ``benchmarks/results/<name>.txt`` so the reproduced
+    rows survive pytest's output capture in any invocation.
+    """
+    from pathlib import Path
+
+    results_dir = Path(__file__).resolve().parent / "results"
+
+    def _run(name: str, scale=None, rounds: int = 1):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(name, scale),
+            rounds=rounds,
+            iterations=1,
+            warmup_rounds=0,
+        )
+        text = result.format()
+        print()
+        print(text)
+        results_dir.mkdir(exist_ok=True)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        return result
+
+    return _run

@@ -1,0 +1,49 @@
+"""Connection admission control for VBR video over an ATM link.
+
+The question that motivated the paper: how many VBR video connections
+can a link admit at a QoS target — and does it matter whether the
+traffic model captures long-range dependence?
+
+This example sizes a 155 Mbit/s (OC-3) link with the paper's video
+source (mean 500 cells/frame at 25 frames/s = 5.3 Mbit/s) and compares
+four admission policies across four traffic models.
+
+Run:  python examples/admission_control.py
+"""
+
+from repro.atm import QoSRequirement, compare_policies
+from repro.models import make_l, make_s, make_z
+from repro.utils.units import mbps_to_cells_per_frame
+
+LINK_MBPS = 155.52  # OC-3 payload rate, roughly
+link_capacity = mbps_to_cells_per_frame(LINK_MBPS)
+
+qos = QoSRequirement(max_delay_seconds=0.020, max_clr=1e-6)
+print(f"link: {LINK_MBPS} Mbit/s = {link_capacity:.0f} cells/frame")
+print(f"QoS : delay <= {qos.max_delay_seconds * 1e3:.0f} msec, "
+      f"CLR <= {qos.max_clr:g}")
+print(f"per-source mean: 500 cells/frame (= 5.3 Mbit/s); "
+      f"link fits {link_capacity / 500:.1f} sources at zero burstiness\n")
+
+models = {
+    "Z^0.975 (LRD, H=0.9)": make_z(0.975),
+    "DAR(1) Markov fit": make_s(1, 0.975),
+    "DAR(3) Markov fit": make_s(3, 0.975),
+    "L (pure exact LRD)": make_l(),
+}
+
+policies = ("peak-rate", "mean-rate", "bahadur-rao", "large-n")
+print(f"{'model':<22}" + "".join(f"{p:>13}" for p in policies))
+for label, model in models.items():
+    row = compare_policies(model, link_capacity, qos)
+    print(f"{label:<22}" + "".join(f"{row[p]:>13d}" for p in policies))
+
+print(
+    "\nreading:\n"
+    "  peak-rate    ignores multiplexing -> few connections\n"
+    "  mean-rate    ignores burstiness   -> too many (QoS violated)\n"
+    "  bahadur-rao  correlation-aware    -> the engineering answer\n"
+    "\nnote how the LRD composite and its Markov fits admit nearly the\n"
+    "same number of connections: capturing long-range dependence does\n"
+    "not change the CAC decision at realistic buffer sizes."
+)

@@ -1,0 +1,51 @@
+"""Buffer and bandwidth dimensioning against a loss target.
+
+Two inverse problems on the paper's machinery:
+
+1. At the paper's operating point (N = 30, c = 538), how much buffer
+   does each model need to reach CLR targets from 1e-4 down to 1e-9?
+2. At a fixed 10-msec delay budget, how much per-source bandwidth is
+   needed — and how large is the statistical multiplexing gain?
+
+Run:  python examples/buffer_dimensioning.py
+"""
+
+from repro.atm.dimensioning import (
+    multiplexing_gain,
+    required_buffer,
+    required_capacity,
+)
+from repro.models import make_s, make_z
+from repro.utils.units import buffer_cells_to_delay
+
+N, C = 30, 538.0
+models = {
+    "Z^0.975 (LRD)": make_z(0.975),
+    "DAR(1) fit": make_s(1, 0.975),
+    "DAR(3) fit": make_s(3, 0.975),
+}
+
+print(f"required buffer (msec of delay) at N = {N}, c = {C:g} cells/frame")
+targets = (1e-4, 1e-6, 1e-9)
+print(f"{'model':<16}" + "".join(f"{t:>12.0e}" for t in targets))
+for label, model in models.items():
+    cells = [required_buffer(model, N, C, t) for t in targets]
+    msec = [buffer_cells_to_delay(b, C) * 1e3 for b in cells]
+    print(f"{label:<16}" + "".join(f"{m:>12.2f}" for m in msec))
+
+print(
+    "\nThe LRD composite needs somewhat more buffer than its Markov\n"
+    "fits at tight targets — but the same order of magnitude, well\n"
+    "inside the realistic 20-30 msec envelope.\n"
+)
+
+print("required per-source bandwidth at a 10-msec delay budget, CLR 1e-6")
+for label, model in models.items():
+    solo = required_capacity(model, 1, 0.010, 1e-6)
+    shared = required_capacity(model, N, 0.010, 1e-6)
+    gain = multiplexing_gain(model, N, 0.010, 1e-6)
+    print(
+        f"  {label:<16} N=1: {solo:6.1f}  N={N}: {shared:6.1f} "
+        f"cells/frame  (gain {gain:.2f}x, utilization "
+        f"{model.mean / shared:.2f})"
+    )

@@ -1,0 +1,55 @@
+"""Mixing traffic classes on one link: analysis and simulation.
+
+Real links carry mixes — here, LRD broadcast-quality video alongside
+smaller videoconference sources.  The example
+
+1. computes the mix-level Bahadur-Rao overflow estimate and the mix's
+   shared Critical Time Scale,
+2. traces the admissible region (how many conference sources fit per
+   video source) under the realistic QoS envelope, with both the LRD
+   video model and its DAR(1) Markov fit,
+3. validates one operating point by simulating the mix.
+
+Run:  python examples/heterogeneous_mix.py
+"""
+
+import numpy as np
+
+from repro.core import TrafficClass, admissible_region, heterogeneous_bop
+from repro.models import AR1Model, make_s, make_z
+from repro.queueing.heterogeneous import HeterogeneousMultiplexer
+
+video = make_z(0.975)  # 500 cells/frame LRD video
+conference = AR1Model(0.6, 100.0, 400.0)  # smaller SRD sources
+
+capacity = 30 * 538.0  # the paper's link
+buffer_cells = 4000.0  # ~10 msec at this capacity
+
+# --- 1. one operating point ---------------------------------------------------
+mix = (TrafficClass(video, 20), TrafficClass(conference, 40))
+estimate = heterogeneous_bop(mix, capacity, buffer_cells)
+load = 20 * 500.0 + 40 * 100.0
+print(f"mix: 20 video + 40 conference, load {load:.0f}/{capacity:.0f} "
+      f"cells/frame (utilization {load / capacity:.2f})")
+print(f"  log10 BOP = {estimate.log10_bop:.2f}, shared CTS = "
+      f"{estimate.cts} frames\n")
+
+# --- 2. admissible region ------------------------------------------------------
+print("admissible region (CLR <= 1e-6): conference slots per video count")
+for label, vid in (("LRD video", video), ("DAR(1) fit", make_s(1, 0.975))):
+    region = admissible_region(
+        vid, conference, capacity, buffer_cells, 1e-6, max_a=28
+    )
+    sampled = {n_a: n_b for n_a, n_b in region if n_a % 4 == 0}
+    row = "  ".join(f"{a}->{b}" for a, b in sorted(sampled.items()))
+    print(f"  {label:<12} {row}")
+print("(the Markov fit traces nearly the same boundary: the paper's\n"
+      " conclusion survives heterogeneous multiplexing)\n")
+
+# --- 3. validate by simulation ---------------------------------------------------
+mux = HeterogeneousMultiplexer(mix, capacity, buffer_cells)
+losses = [mux.simulate_clr(8_000, rng=60 + k).clr for k in range(3)]
+measured = float(np.mean(losses))
+shown = f"{measured:.2e}" if measured > 0 else "< resolution"
+print(f"simulated mix CLR at this point: {shown} "
+      f"(B-R bound: 10^{estimate.log10_bop:.2f})")

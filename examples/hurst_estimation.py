@@ -1,0 +1,37 @@
+"""Detecting long-range dependence in generated traffic.
+
+Generates sample paths from four models with known Hurst parameters
+and runs the three classical estimators (aggregated variance, R/S,
+periodogram) on each — the Beran-et-al-style analysis that started the
+LRD-in-video debate the paper responds to.
+
+Run:  python examples/hurst_estimation.py
+"""
+
+from repro.analysis import diagnose_lrd
+from repro.models import FGNModel, make_s, make_z
+
+N_FRAMES = 120_000
+
+sources = {
+    "fGn H=0.9 (exact LRD)": (FGNModel(0.9, 500.0, 5000.0), 0.9),
+    "Z^0.975 (composite LRD)": (make_z(0.975), 0.9),
+    "DAR(1) fit of Z^0.975": (make_s(1, 0.975), 0.5),
+    "fGn H=0.5 (white)": (FGNModel(0.5, 500.0, 5000.0), 0.5),
+}
+
+for label, (model, true_h) in sources.items():
+    path = model.sample_frames(N_FRAMES, rng=20250706)
+    report = diagnose_lrd(path)
+    verdict = "LRD" if report.is_lrd else "SRD"
+    print(f"{label}  (true H = {true_h})")
+    print(report.summary())
+    print(f"  -> classified {verdict}\n")
+
+print(
+    "Note the bias pattern: R/S under-estimates high H; the composite\n"
+    "Z^a reads slightly below its asymptotic H = 0.9 because its\n"
+    "short lags are dominated by the geometric DAR component — exactly\n"
+    "the 'which time scale are you measuring?' issue the paper's\n"
+    "Critical Time Scale formalizes."
+)

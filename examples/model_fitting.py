@@ -1,0 +1,73 @@
+"""Fitting parsimonious Markov models to an LRD 'trace'.
+
+Treats a long sample path of Z^0.975 as if it were a measured VBR
+video trace (the role real videoconference traces play in Heyman &
+Lakshman / Elwalid et al.), then:
+
+1. estimates its marginal moments and sample ACF,
+2. fits DAR(p) models for p = 1, 2, 3 from the *estimated* statistics,
+3. compares the fitted models' loss predictions against the source
+   model's — the full engineering workflow the paper validates.
+
+Run:  python examples/model_fitting.py
+"""
+
+import numpy as np
+
+from repro.analysis import sample_acf
+from repro.core import bahadur_rao_bop
+from repro.models import DARModel, make_z
+from repro.models.dar_fitting import solve_dar_parameters
+from repro.utils.units import delay_to_buffer_cells
+
+# --- the "measured trace" -------------------------------------------------
+source = make_z(0.975)
+trace = source.sample_frames(200_000, rng=7)
+mean, variance = float(trace.mean()), float(trace.var())
+acf = sample_acf(trace, 10)
+print("trace statistics (200k frames of Z^0.975)")
+print(f"  mean     = {mean:8.1f}  (model: {source.mean:g})")
+print(f"  variance = {variance:8.1f}  (model: {source.variance:g})")
+print(f"  r(1..3)  = {np.round(acf[:3], 3).tolist()} "
+      f"(model: {np.round(source.acf(3), 3).tolist()})")
+
+# --- DAR(p) fits from estimated statistics ---------------------------------
+fits = {}
+for p in (1, 2, 3):
+    rho, weights = solve_dar_parameters(acf[:p])
+    fits[p] = DARModel(rho, weights, mean, variance)
+    w = ", ".join(f"{x:.2f}" for x in weights)
+    print(f"  DAR({p}) fit: rho = {rho:.3f}, weights = [{w}]")
+
+# --- loss predictions -------------------------------------------------------
+# Two variants per fit: marginal estimated from the trace ("measured")
+# and the true marginal ("oracle").  The split shows where prediction
+# error actually comes from.
+oracle_fits = {
+    p: DARModel(m.rho, m.weights, source.mean, source.variance)
+    for p, m in fits.items()
+}
+
+n_sources, c = 30, 538.0
+print(f"\nlog10 BOP at N = {n_sources}, c = {c:g} (Bahadur-Rao)")
+delays_msec = (2.0, 8.0, 20.0)
+header = f"{'model':<24}" + "".join(f"{d:>10.0f}ms" for d in delays_msec)
+print(header)
+rows = {"source (truth)": source}
+rows.update({f"DAR({p}) measured marg.": m for p, m in fits.items()})
+rows.update({f"DAR({p}) oracle marg.": m for p, m in oracle_fits.items()})
+for label, model in rows.items():
+    values = []
+    for d in delays_msec:
+        b = delay_to_buffer_cells(d / 1e3, c)
+        values.append(bahadur_rao_bop(model, c, b, n_sources).log10_bop)
+    print(f"{label:<24}" + "".join(f"{v:>12.2f}" for v in values))
+
+print(
+    "\nreading: with the marginal pinned (oracle rows), a 3-parameter\n"
+    "Markov chain tracks the LRD source's loss curve closely — the\n"
+    "paper's claim.  The 'measured marginal' rows show the real-world\n"
+    "caveat: on an LRD trace the *first-order* statistics (mean,\n"
+    "variance) converge slowly, and their estimation error moves the\n"
+    "loss prediction far more than ignoring the correlation tail does."
+)

@@ -1,0 +1,52 @@
+"""Choosing GCRA traffic descriptors for a VBR video contract.
+
+Admission control tells the network how many connections fit; usage
+parameter control (the GCRA policer) then holds each connection to the
+(PCR, SCR, MBS) it declared.  This example sweeps the declared
+sustainable cell rate for the paper's video source and shows the
+tagging (violation) fraction — the trade every VBR customer faces
+between paying for headroom and getting cells tagged.
+
+Run:  python examples/policing.py
+"""
+
+import numpy as np
+
+from repro.atm.gcra import GCRA, police_frame_process
+from repro.models import make_z
+from repro.utils.units import cells_per_frame_to_mbps
+
+FRAME_DURATION = 0.04
+source = make_z(0.975)
+frames = np.clip(source.sample_frames(2_000, rng=5), 0, None)
+mean_rate = frames.mean() / FRAME_DURATION  # cells/sec
+
+print(f"source: mean {frames.mean():.0f} cells/frame "
+      f"({cells_per_frame_to_mbps(frames.mean()):.2f} Mbit/s), "
+      f"peak observed {frames.max():.0f} cells/frame")
+print(f"policing horizon: {len(frames)} frames "
+      f"({len(frames) * FRAME_DURATION:.0f} s)\n")
+
+pcr = 4.0 * mean_rate  # generous peak-rate declaration
+print(f"{'SCR/mean':>9} {'SCR Mbit/s':>11} {'MBS':>6} {'tagged':>9}")
+for scr_factor in (1.0, 1.05, 1.1, 1.2, 1.4):
+    for mbs in (100, 500, 2000):
+        policer = GCRA.sustainable_rate(
+            scr_factor * mean_rate, pcr, mbs
+        )
+        result = police_frame_process(frames, FRAME_DURATION, policer)
+        scr_mbps = cells_per_frame_to_mbps(
+            scr_factor * mean_rate * FRAME_DURATION
+        )
+        print(f"{scr_factor:>9.2f} {scr_mbps:>11.2f} {mbs:>6} "
+              f"{result.tagged_fraction:>9.2%}")
+    print()
+
+print(
+    "reading: declaring SCR at the mean rate gets a large fraction of\n"
+    "cells tagged no matter the burst tolerance — LRD traffic dwells\n"
+    "above its mean for long stretches.  A modest 10-20% headroom\n"
+    "plus a reasonable MBS brings violations near zero: the same\n"
+    "short-time-scale burstiness that drives the multiplexer loss\n"
+    "(not the long-range correlations) sets the policing contract."
+)

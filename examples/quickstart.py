@@ -1,0 +1,63 @@
+"""Quickstart: from a video model to loss predictions in ~40 lines.
+
+Builds the paper's LRD video model Z^0.975, fits its DAR(1) Markov
+model, and compares the two through every layer of the library:
+second-order statistics, Critical Time Scale, Bahadur-Rao loss
+estimates, and a short multiplexer simulation.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+
+# 1. Traffic models: the LRD composite and two Markov fits.
+z = repro.make_z(0.975)  # FBNDP + DAR(1), Hurst = 0.9
+s1 = repro.fit_dar(z, order=1)  # DAR(1): matches mean/var/r(1)
+s3 = repro.fit_dar(z, order=3)  # DAR(3): matches r(1..3) too
+print("models")
+print(f"  Z^0.975: {z}")
+print(f"  DAR(1) : {s1}")
+print(f"  DAR(3) : {s3}")
+
+# 2. The operating point of the paper's Figs. 5-10.
+from repro.utils.units import delay_to_buffer_cells
+
+n_sources, c = 30, 538.0  # cells/frame per source
+delay = 0.010  # 10 msec of buffering
+b = delay_to_buffer_cells(delay, c)  # buffer per source, in cells
+
+MODELS = (("Z^0.975", z), ("DAR(1)", s1), ("DAR(3)", s3))
+
+# 3. Critical Time Scale: how many frame correlations matter here?
+print("\ncritical time scale at a 10-msec buffer")
+for label, model in MODELS:
+    cts = repro.critical_time_scale(model, c, b)
+    print(f"  {label}: m*_b = {cts} frames "
+          f"(correlations beyond lag {cts} cannot affect the loss)")
+
+# 4. Bahadur-Rao loss estimates: each extra matched lag pulls the
+#    Markov model toward the LRD composite.
+print("\nBahadur-Rao buffer overflow probabilities")
+for label, model in MODELS:
+    est = repro.bahadur_rao_bop(model, c, b, n_sources)
+    print(f"  {label}: log10 BOP = {est.log10_bop:+.2f}")
+
+# 5. Verify by simulation (short run; see REPRO_SCALE for depth).
+print("\nsimulated cell loss rate (short run, B = 10 msec)")
+for label, model in MODELS:
+    mux = repro.ATMMultiplexer(
+        model, n_sources, c, max_delay_seconds=delay
+    )
+    summary = repro.replicated_clr(mux, n_frames=4000, n_replications=2,
+                                   rng=42)
+    shown = f"{summary.clr:.2e}" if summary.observed_loss else "< resolution"
+    print(f"  {label}: CLR = {shown}")
+
+print(
+    "\nconclusion: a handful of matched short-term correlations is what\n"
+    "drives the loss at realistic buffers; the LRD tail is irrelevant\n"
+    "there — the paper's point.  (Where the models still differ, more\n"
+    "matched lags close the gap: compare DAR(1) vs DAR(3).)"
+)

@@ -1,0 +1,160 @@
+"""repro — reproduction of Ryu & Elwalid (SIGCOMM '96).
+
+"The Importance of Long-Range Dependence of VBR Video Traffic in ATM
+Traffic Engineering: Myths and Realities."
+
+The package answers the paper's question end to end:
+
+* :mod:`repro.models`    — the VBR video models (DAR(p), FBNDP, the
+  composites V^v and Z^a, fGn, F-ARIMA, M/G/inf);
+* :mod:`repro.core`      — large-deviations analysis: the Bahadur-Rao
+  BOP, the Critical Time Scale, the Weibull LRD closed form;
+* :mod:`repro.queueing`  — the ATM multiplexer simulator (fluid
+  frame-level and cell-level) with a replication harness;
+* :mod:`repro.analysis`  — ACF and Hurst estimation for sample paths;
+* :mod:`repro.atm`       — QoS contracts, admission control and
+  dimensioning built on the above;
+* :mod:`repro.experiments` — one module per table/figure of the paper.
+
+Quickstart::
+
+    import repro
+
+    z = repro.make_z(0.975)                   # LRD video model, H = 0.9
+    s = repro.fit_dar(z, order=1)             # its DAR(1) Markov fit
+    for model in (z, s):
+        est = repro.bahadur_rao_bop(model, c=538.0, b=134.5, n_sources=30)
+        print(model, est.bop, est.cts)
+"""
+
+from repro import analysis, atm, constants, core, io, models, plotting, queueing
+from repro.core import (
+    BOPCurve,
+    BOPEstimate,
+    bahadur_rao_bop,
+    bop_curve,
+    critical_time_scale,
+    cts_curve,
+    effective_bandwidth_at_cts,
+    find_capacity,
+    large_n_bop,
+    large_n_bop_curve,
+    max_admissible_sources,
+    rate_function,
+    theoretical_cts_slope,
+    weibull_bop,
+    weibull_bop_from_model,
+)
+from repro.exceptions import (
+    ConvergenceError,
+    FittingError,
+    ParameterError,
+    ReproError,
+    SimulationError,
+    StabilityError,
+)
+from repro.models import (
+    AR1Model,
+    DARModel,
+    FARIMAModel,
+    FBNDPModel,
+    FGNModel,
+    GaussianMarginal,
+    HeavyTailedDuration,
+    LognormalMarginal,
+    MGInfModel,
+    MPEGModel,
+    MarkovModulatedSource,
+    NegativeBinomialMarginal,
+    SuperposedModel,
+    TrafficModel,
+    fit_dar,
+    fit_l_alpha,
+    make_l,
+    make_s,
+    make_v,
+    make_z,
+    table1_parameters,
+)
+from repro.queueing import (
+    ATMMultiplexer,
+    DelayStatistics,
+    MarkovArrivalChain,
+    exact_clr,
+    replicated_clr,
+    replicated_clr_curve,
+    simulate_finite_buffer,
+    simulate_infinite_buffer,
+)
+from repro.io import Trace, load_trace, save_trace, synthesize_trace
+from repro.atm import QoSRequirement, admissible_connections, compare_policies
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ATMMultiplexer",
+    "AR1Model",
+    "BOPCurve",
+    "BOPEstimate",
+    "ConvergenceError",
+    "DARModel",
+    "DelayStatistics",
+    "FARIMAModel",
+    "FBNDPModel",
+    "FGNModel",
+    "FittingError",
+    "GaussianMarginal",
+    "HeavyTailedDuration",
+    "LognormalMarginal",
+    "MGInfModel",
+    "MPEGModel",
+    "MarkovArrivalChain",
+    "MarkovModulatedSource",
+    "NegativeBinomialMarginal",
+    "ParameterError",
+    "QoSRequirement",
+    "ReproError",
+    "SimulationError",
+    "StabilityError",
+    "SuperposedModel",
+    "Trace",
+    "TrafficModel",
+    "admissible_connections",
+    "analysis",
+    "atm",
+    "exact_clr",
+    "io",
+    "load_trace",
+    "plotting",
+    "save_trace",
+    "synthesize_trace",
+    "bahadur_rao_bop",
+    "bop_curve",
+    "compare_policies",
+    "constants",
+    "core",
+    "critical_time_scale",
+    "cts_curve",
+    "effective_bandwidth_at_cts",
+    "find_capacity",
+    "fit_dar",
+    "fit_l_alpha",
+    "large_n_bop",
+    "large_n_bop_curve",
+    "make_l",
+    "make_s",
+    "make_v",
+    "make_z",
+    "max_admissible_sources",
+    "models",
+    "queueing",
+    "rate_function",
+    "replicated_clr",
+    "replicated_clr_curve",
+    "simulate_finite_buffer",
+    "simulate_infinite_buffer",
+    "table1_parameters",
+    "theoretical_cts_slope",
+    "weibull_bop",
+    "weibull_bop_from_model",
+]

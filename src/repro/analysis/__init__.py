@@ -1,0 +1,31 @@
+"""Sample-path analysis: ACF estimation, Hurst estimators, LRD tests."""
+
+from repro.analysis.acf import sample_acf, sample_variance_time
+from repro.analysis.hurst import (
+    HurstEstimate,
+    aggregated_variance_hurst,
+    periodogram_hurst,
+    rs_hurst,
+)
+from repro.analysis.lrd import LRDReport, diagnose_lrd
+from repro.analysis.spectrum import (
+    cts_cutoff_frequency,
+    low_frequency_mass,
+    model_power_spectrum,
+    power_spectrum_from_acf,
+)
+
+__all__ = [
+    "HurstEstimate",
+    "LRDReport",
+    "aggregated_variance_hurst",
+    "cts_cutoff_frequency",
+    "diagnose_lrd",
+    "low_frequency_mass",
+    "model_power_spectrum",
+    "periodogram_hurst",
+    "power_spectrum_from_acf",
+    "rs_hurst",
+    "sample_acf",
+    "sample_variance_time",
+]

@@ -1,0 +1,95 @@
+"""Frequency-domain view of the Critical Time Scale (Section 6.2).
+
+The paper notes that the CTS "is closely related with the cutoff
+frequency omega_c" of Li & Hwang's spectral theory of queues: queue
+behavior responds to the input's power spectrum only *above* some
+cutoff; low-frequency (long-time-scale) content is filtered out by a
+small buffer.  The CTS gives the time-domain version — correlations
+beyond lag m*_b are irrelevant — so the corresponding cutoff is
+
+    ``f_c = 1 / (m*_b * T_s)``   [Hz]
+
+and the spectral mass *below* f_c is exactly the part of the traffic's
+second-order structure (where LRD lives: S(f) ~ f^{1-2H} as f -> 0)
+that a realistic buffer never sees.
+
+Functions here compute discrete power spectra from model ACFs, the
+CTS-implied cutoff, and the ignored low-frequency mass — turning the
+paper's Section 6.2 remark into measurable quantities.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.rate_function import DEFAULT_M_MAX, rate_function
+from repro.models.base import TrafficModel
+from repro.utils.validation import check_integer, check_positive
+
+
+def power_spectrum_from_acf(
+    acf: np.ndarray, variance: float, frame_duration: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Discrete power spectrum from autocorrelations r(1..K).
+
+    Returns ``(frequencies_hz, spectrum)`` on the rfft grid of a
+    window of length 2K: ``S(f) = sigma^2 T_s (1 + 2 sum_k r(k)
+    cos(2 pi f k T_s))`` evaluated via FFT.  The spectrum of a
+    truncated ACF can ring slightly negative near nulls; values are
+    floored at zero.
+    """
+    check_positive(variance, "variance")
+    check_positive(frame_duration, "frame_duration")
+    r = np.asarray(acf, dtype=float)
+    if r.ndim != 1 or r.size == 0:
+        raise ValueError("acf must be a non-empty 1-D array")
+    window = np.concatenate(([1.0], r, r[-2::-1] if r.size > 1 else []))
+    spectrum = np.fft.rfft(window).real * variance * frame_duration
+    n = window.shape[0]
+    freqs = np.fft.rfftfreq(n, d=frame_duration)
+    return freqs, np.clip(spectrum, 0.0, None)
+
+
+def model_power_spectrum(
+    model: TrafficModel, n_lags: int = 4096
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Power spectrum of a traffic model from its analytic ACF."""
+    n_lags = check_integer(n_lags, "n_lags", minimum=2)
+    return power_spectrum_from_acf(
+        model.acf(n_lags), model.variance, model.frame_duration
+    )
+
+
+def cts_cutoff_frequency(
+    model: TrafficModel, c: float, b: float, *, m_max: int = DEFAULT_M_MAX
+) -> float:
+    """The cutoff frequency implied by the CTS at operating point (c, b).
+
+    ``f_c = 1 / (m*_b T_s)`` Hz: spectral content at frequencies below
+    f_c corresponds to correlations at lags beyond the CTS, which do
+    not influence the loss rate.  Larger buffers lower the cutoff
+    (slower time scales start to matter) — the frequency-domain
+    restatement of m*_b being non-decreasing in b.
+    """
+    cts = rate_function(model, c, b, m_max=m_max).cts
+    return 1.0 / (cts * model.frame_duration)
+
+
+def low_frequency_mass(
+    model: TrafficModel, cutoff_hz: float, n_lags: int = 4096
+) -> float:
+    """Fraction of total spectral mass below ``cutoff_hz``.
+
+    For an LRD model this fraction grows without bound as the window
+    lengthens (the f^{1-2H} divergence); evaluated on a finite ACF
+    window it quantifies how much of the *observable* correlation
+    structure a given buffer ignores.
+    """
+    check_positive(cutoff_hz, "cutoff_hz")
+    freqs, spectrum = model_power_spectrum(model, n_lags)
+    total = float(spectrum.sum())
+    if total <= 0:
+        raise ValueError("degenerate spectrum (zero total mass)")
+    return float(spectrum[freqs < cutoff_hz].sum()) / total

@@ -1,0 +1,29 @@
+"""ATM traffic engineering: QoS contracts, admission control, dimensioning."""
+
+from repro.atm.cac import (
+    admissible_connections,
+    compare_policies,
+    mean_rate_sources,
+    peak_rate_sources,
+)
+from repro.atm.dimensioning import (
+    multiplexing_gain,
+    required_buffer,
+    required_capacity,
+)
+from repro.atm.gcra import GCRA, GCRAResult, police_frame_process
+from repro.atm.qos import QoSRequirement
+
+__all__ = [
+    "GCRA",
+    "GCRAResult",
+    "QoSRequirement",
+    "police_frame_process",
+    "admissible_connections",
+    "compare_policies",
+    "mean_rate_sources",
+    "multiplexing_gain",
+    "peak_rate_sources",
+    "required_buffer",
+    "required_capacity",
+]

@@ -1,0 +1,110 @@
+"""Buffer and bandwidth dimensioning against a BOP target.
+
+The inverse problems of ATM engineering: given traffic and a QoS
+target, how much buffer (at fixed capacity) or how much capacity (at a
+fixed delay budget) is needed?  Both invert the Bahadur-Rao estimate
+by bisection on its log10, which is monotone in the sized resource.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.bahadur_rao import bahadur_rao_bop
+from repro.core.operating_point import find_capacity
+from repro.core.rate_function import VarianceTimeTable
+from repro.exceptions import ConvergenceError
+from repro.models.base import TrafficModel
+from repro.utils.validation import check_in_range, check_integer, check_positive
+
+
+def required_buffer(
+    model: TrafficModel,
+    n_sources: int,
+    c_per_source: float,
+    target_bop: float,
+    *,
+    b_hi: Optional[float] = None,
+    tol: float = 1e-3,
+) -> float:
+    """Smallest per-source buffer b with ``Psi(c, b, N) <= target_bop``.
+
+    Returns b in cells/source (total buffer = N b).  Raises
+    :class:`ConvergenceError` if even ``b_hi`` cannot reach the
+    target (capacity too tight for this QoS).
+    """
+    n_sources = check_integer(n_sources, "n_sources", minimum=1)
+    check_in_range(target_bop, "target_bop", 0.0, 1.0)
+    check_positive(c_per_source, "c_per_source")
+    table = VarianceTimeTable(model)
+    target_log = math.log10(target_bop)
+
+    def log10_bop(b: float) -> float:
+        return bahadur_rao_bop(
+            model, c_per_source, b, n_sources, table=table
+        ).log10_bop
+
+    if log10_bop(0.0) <= target_log:
+        return 0.0
+    if b_hi is None:
+        # Grow geometrically from one frame's worth of slack.
+        b_hi = max(c_per_source - model.mean, 1.0)
+        for _ in range(60):
+            if log10_bop(b_hi) <= target_log:
+                break
+            b_hi *= 2.0
+        else:
+            raise ConvergenceError(
+                f"target BOP {target_bop:g} unreachable within b = {b_hi:g}",
+                last_value=b_hi,
+            )
+    elif log10_bop(b_hi) > target_log:
+        raise ConvergenceError(
+            f"target BOP {target_bop:g} unreachable within b_hi = {b_hi:g}",
+            last_value=b_hi,
+        )
+    lo, hi = 0.0, b_hi
+    while (hi - lo) > tol * max(hi, 1.0):
+        mid = 0.5 * (lo + hi)
+        if log10_bop(mid) > target_log:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def required_capacity(
+    model: TrafficModel,
+    n_sources: int,
+    max_delay_seconds: float,
+    target_bop: float,
+    **kwargs,
+) -> float:
+    """Smallest per-source bandwidth meeting the QoS at a delay budget.
+
+    Thin, explicitly-named wrapper over
+    :func:`repro.core.operating_point.find_capacity`.
+    """
+    return find_capacity(
+        model, n_sources, max_delay_seconds, target_bop, **kwargs
+    )
+
+
+def multiplexing_gain(
+    model: TrafficModel,
+    n_sources: int,
+    max_delay_seconds: float,
+    target_bop: float,
+) -> float:
+    """Statistical multiplexing gain at an operating point.
+
+    Ratio of the per-source bandwidth needed at N = 1 to the
+    per-source bandwidth needed at N sources — how much capacity
+    sharing buys under the QoS target.
+    """
+    solo = required_capacity(model, 1, max_delay_seconds, target_bop)
+    shared = required_capacity(
+        model, n_sources, max_delay_seconds, target_bop
+    )
+    return solo / shared

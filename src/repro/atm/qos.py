@@ -1,0 +1,43 @@
+"""QoS requirements for real-time VBR video over ATM.
+
+Section 1 of the paper fixes the realistic operating envelope: total
+end-to-end delay around 200 msec across several nodes implies a
+per-node queueing-delay budget of 20-30 msec, and cell loss rates at
+or below 1e-6.  A :class:`QoSRequirement` captures one such contract
+and converts its delay budget into buffer sizes for a given link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import REALISTIC_MAX_CLR, REALISTIC_MAX_DELAY
+from repro.utils.units import delay_to_buffer_cells
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class QoSRequirement:
+    """A per-node QoS contract: maximum queueing delay and loss rate."""
+
+    max_delay_seconds: float = REALISTIC_MAX_DELAY
+    max_clr: float = REALISTIC_MAX_CLR
+
+    def __post_init__(self) -> None:
+        check_positive(self.max_delay_seconds, "max_delay_seconds")
+        check_in_range(self.max_clr, "max_clr", 0.0, 1.0)
+
+    def buffer_cells(
+        self, capacity_cells_per_frame: float, frame_duration: float
+    ) -> float:
+        """Largest buffer honoring the delay bound at this capacity."""
+        return delay_to_buffer_cells(
+            self.max_delay_seconds, capacity_cells_per_frame, frame_duration
+        )
+
+    def is_realistic(self) -> bool:
+        """Whether this contract lies in the paper's realistic envelope."""
+        return (
+            self.max_delay_seconds <= REALISTIC_MAX_DELAY
+            and self.max_clr <= REALISTIC_MAX_CLR * 10
+        )

@@ -1,0 +1,90 @@
+"""Physical and paper-wide constants.
+
+The numerical values in this module come from two places:
+
+* the ATM standard (cell geometry), and
+* Section 5.1 of Ryu & Elwalid (SIGCOMM '96), which fixes the common
+  parameters of every video model used in the evaluation.
+
+Everything downstream (model factories, experiment configs) imports
+these names rather than re-typing magic numbers.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# ATM cell geometry (ITU-T I.361)
+# --------------------------------------------------------------------------
+
+#: Total size of an ATM cell in bytes (5-byte header + 48-byte payload).
+ATM_CELL_BYTES = 53
+
+#: Payload bytes carried by one ATM cell.
+ATM_CELL_PAYLOAD_BYTES = 48
+
+#: Bits per ATM cell.
+ATM_CELL_BITS = ATM_CELL_BYTES * 8
+
+# --------------------------------------------------------------------------
+# Paper-wide video source parameters (Section 5.1)
+# --------------------------------------------------------------------------
+
+#: Video frame rate used throughout the paper (frames/sec).
+FRAME_RATE = 25.0
+
+#: Frame duration T_s in seconds (1 / FRAME_RATE = 0.04 s).
+FRAME_DURATION = 1.0 / FRAME_RATE
+
+#: Mean frame size mu of every model (cells/frame).
+MEAN_FRAME_CELLS = 500.0
+
+#: Frame-size variance sigma^2 of every model (cells/frame)^2.
+VAR_FRAME_CELLS = 5000.0
+
+#: Number of superposed ON/OFF processes for the FBNDP component of
+#: Z^a and V^v (Section 5.1, item 2).
+M_COMPOSITE = 15
+
+#: Number of superposed ON/OFF processes for the pure-FBNDP model L.
+M_PURE_LRD = 30
+
+#: alpha of the FBNDP component of Z^a (H = 0.9).
+ALPHA_Z = 0.8
+
+#: alpha of the FBNDP component of V^v (H = 0.95).
+ALPHA_V = 0.9
+
+#: alpha of the pure-LRD model L, fitted to the ACF tail of Z^a
+#: (H = 0.86).
+ALPHA_L = 0.72
+
+#: DAR(1) lag-1 correlation of the reference model V^1.
+A_V_REFERENCE = 0.8
+
+#: The four short-term-correlation settings of Z^a (Section 5.1 item 4).
+Z_A_VALUES = (0.7, 0.9, 0.975, 0.99)
+
+#: The three variance-ratio settings of V^v (Section 5.1 item 3).
+V_V_VALUES = (0.67, 1.0, 1.5)
+
+# --------------------------------------------------------------------------
+# Paper evaluation operating points
+# --------------------------------------------------------------------------
+
+#: Number of multiplexed sources in Figs. 5-10.
+N_SOURCES_BOP = 30
+
+#: Per-source bandwidth c (cells/frame) in Figs. 5-10.
+C_PER_SOURCE_BOP = 538.0
+
+#: Number of multiplexed sources in Fig. 4 (CTS plots).
+N_SOURCES_CTS = 100
+
+#: Per-source bandwidth c (cells/frame) in Fig. 4.
+C_PER_SOURCE_CTS = 526.0
+
+#: The paper's "realistic" per-node buffering delay ceiling (seconds).
+REALISTIC_MAX_DELAY = 0.030
+
+#: The paper's "realistic" cell-loss-rate ceiling.
+REALISTIC_MAX_CLR = 1e-6

@@ -1,0 +1,99 @@
+"""Large-deviations analysis: rate function, CTS, BOP asymptotics.
+
+This package is the paper's primary contribution: the Bahadur-Rao
+machinery (Section 4.2), the Critical Time Scale, the Weibull
+closed form for exact-LRD sources (Eq. 6), and the operating-point
+solvers built on them.
+"""
+
+from repro.core.bahadur_rao import (
+    BOPCurve,
+    BOPEstimate,
+    bahadur_rao_bop,
+    bop_curve,
+)
+from repro.core.cts import (
+    critical_time_scale,
+    cts_curve,
+    empirical_cts_slope,
+    theoretical_cts_slope,
+)
+from repro.core.effective_bandwidth import (
+    asymptotic_effective_bandwidth,
+    effective_bandwidth_at_cts,
+    gaussian_effective_bandwidth,
+)
+from repro.core.heterogeneous import (
+    MixEstimate,
+    TrafficClass,
+    admissible_region,
+    heterogeneous_bop,
+)
+from repro.core.large_n import large_n_bop, large_n_bop_curve
+from repro.core.norros import (
+    FBMTraffic,
+    norros_overflow_bound,
+    norros_required_buffer,
+    norros_required_capacity,
+)
+from repro.core.operating_point import find_capacity, max_admissible_sources
+from repro.core.rate_function import (
+    DEFAULT_M_MAX,
+    RateFunctionResult,
+    VarianceTimeTable,
+    rate_function,
+    rate_function_curve,
+)
+from repro.core.variance_time import (
+    asymptotic_index_of_dispersion,
+    exact_lrd_variance_time,
+    geometric_variance_time,
+    variance_time_from_acf,
+)
+from repro.core.weibull import (
+    lrd_critical_time_scale,
+    lrd_rate_coefficient,
+    lrd_rate_function,
+    weibull_bop,
+    weibull_bop_from_model,
+)
+
+__all__ = [
+    "BOPCurve",
+    "BOPEstimate",
+    "DEFAULT_M_MAX",
+    "FBMTraffic",
+    "MixEstimate",
+    "RateFunctionResult",
+    "TrafficClass",
+    "VarianceTimeTable",
+    "admissible_region",
+    "heterogeneous_bop",
+    "asymptotic_effective_bandwidth",
+    "asymptotic_index_of_dispersion",
+    "bahadur_rao_bop",
+    "bop_curve",
+    "critical_time_scale",
+    "cts_curve",
+    "effective_bandwidth_at_cts",
+    "empirical_cts_slope",
+    "exact_lrd_variance_time",
+    "find_capacity",
+    "gaussian_effective_bandwidth",
+    "geometric_variance_time",
+    "large_n_bop",
+    "large_n_bop_curve",
+    "lrd_critical_time_scale",
+    "lrd_rate_coefficient",
+    "lrd_rate_function",
+    "max_admissible_sources",
+    "norros_overflow_bound",
+    "norros_required_buffer",
+    "norros_required_capacity",
+    "rate_function",
+    "rate_function_curve",
+    "theoretical_cts_slope",
+    "variance_time_from_acf",
+    "weibull_bop",
+    "weibull_bop_from_model",
+]

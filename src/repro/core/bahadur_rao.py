@@ -1,0 +1,126 @@
+"""Bahadur-Rao asymptotic of the buffer overflow probability (Eq. 7).
+
+For N homogeneous Gaussian sources with per-source bandwidth c and
+per-source buffer b, the BOP estimate is
+
+    ``Psi(c, b, N) ≈ exp(-N I(c, b) + g1(c, b, N))``
+
+with ``g1 = -1/2 log(4 pi N I(c, b))`` — the refinement term that the
+Courcoubetis-Weber *large-N asymptotic* (:mod:`repro.core.large_n`)
+drops.  The paper's Fig. 10 compares the two against simulation: both
+are parallel to the measured CLR, with Bahadur-Rao roughly one order
+of magnitude tighter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.rate_function import (
+    DEFAULT_M_MAX,
+    VarianceTimeTable,
+    rate_function,
+)
+from repro.models.base import TrafficModel
+from repro.utils.units import delay_to_buffer_cells
+from repro.utils.validation import check_integer
+
+
+@dataclass(frozen=True)
+class BOPEstimate:
+    """One BOP evaluation: probability plus its diagnostic pieces."""
+
+    bop: float
+    log10_bop: float
+    rate: float
+    cts: int
+    n_sources: int
+
+    @property
+    def exponent(self) -> float:
+        """The leading term -N I(c, b)."""
+        return -self.n_sources * self.rate
+
+
+@dataclass(frozen=True)
+class BOPCurve:
+    """A BOP sweep over buffer sizes (one model, fixed c and N)."""
+
+    label: str
+    b_per_source: np.ndarray
+    delay_seconds: np.ndarray
+    bop: np.ndarray
+    log10_bop: np.ndarray
+    cts: np.ndarray
+
+
+def bahadur_rao_bop(
+    model: TrafficModel,
+    c: float,
+    b: float,
+    n_sources: int,
+    *,
+    m_max: int = DEFAULT_M_MAX,
+    table: Optional[VarianceTimeTable] = None,
+) -> BOPEstimate:
+    """Evaluate Psi(c, b, N) for one buffer size.
+
+    The returned probability is clipped to 1 (for very small N·I the
+    raw asymptotic exceeds one, where it carries no information).
+    """
+    n_sources = check_integer(n_sources, "n_sources", minimum=1)
+    result = rate_function(model, c, b, m_max=m_max, table=table)
+    exponent = -n_sources * result.rate
+    correction = -0.5 * math.log(4.0 * math.pi * n_sources * result.rate)
+    log_bop = exponent + correction
+    log10_bop = log_bop / math.log(10.0)
+    return BOPEstimate(
+        bop=min(1.0, math.exp(min(log_bop, 0.0))),
+        log10_bop=log10_bop,
+        rate=result.rate,
+        cts=result.cts,
+        n_sources=n_sources,
+    )
+
+
+def bop_curve(
+    model: TrafficModel,
+    c: float,
+    n_sources: int,
+    delays_seconds: Sequence[float],
+    *,
+    label: str = "",
+    m_max: int = DEFAULT_M_MAX,
+) -> BOPCurve:
+    """Sweep the B-R BOP over maximum-delay buffer sizes (Figs. 5-7).
+
+    ``delays_seconds`` are total-buffer delays; the per-source buffer
+    is ``b = delay * c / T_s`` (the N's cancel between B = Nb and
+    C = Nc).
+    """
+    delays = np.asarray(delays_seconds, dtype=float)
+    table = VarianceTimeTable(model)
+    b_values = np.array(
+        [
+            delay_to_buffer_cells(float(d), c, model.frame_duration)
+            for d in delays
+        ]
+    )
+    estimates = [
+        bahadur_rao_bop(
+            model, c, float(b), n_sources, m_max=m_max, table=table
+        )
+        for b in b_values
+    ]
+    return BOPCurve(
+        label=label or repr(model),
+        b_per_source=b_values,
+        delay_seconds=delays,
+        bop=np.array([e.bop for e in estimates]),
+        log10_bop=np.array([e.log10_bop for e in estimates]),
+        cts=np.array([e.cts for e in estimates], dtype=np.int64),
+    )

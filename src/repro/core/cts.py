@@ -1,0 +1,95 @@
+"""Critical Time Scale (CTS) — the paper's central concept.
+
+For fixed per-source bandwidth c and buffer b, the CTS
+
+    ``m*_b = arginf_{m >= 1} [b + m(c - mu)]^2 / (2 V(m))``
+
+is the number of frame autocorrelations that determine the buffer
+overflow probability: r(k) for k > m*_b does not enter the
+Bahadur-Rao estimate at all.  Section 4.2 establishes — and this
+module exposes as testable functions — that
+
+* m*_b is **finite** for any model, SRD or LRD;
+* m*_0 = 1 (at zero buffer, correlations are irrelevant);
+* m*_b is **non-decreasing** in b;
+* asymptotically m*_b ≈ K b with
+  ``K = 1/(c - mu)`` for Gaussian AR(1) and
+  ``K = H / ((1 - H)(c - mu))`` for Gaussian exact-LRD sources
+  (paper appendix).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.rate_function import (
+    DEFAULT_M_MAX,
+    VarianceTimeTable,
+    rate_function,
+)
+from repro.models.base import TrafficModel
+from repro.utils.validation import check_in_range
+
+
+def critical_time_scale(
+    model: TrafficModel,
+    c: float,
+    b: float,
+    *,
+    m_max: int = DEFAULT_M_MAX,
+    table: Optional[VarianceTimeTable] = None,
+) -> int:
+    """The CTS m*_b of ``model`` at per-source bandwidth c and buffer b."""
+    return rate_function(model, c, b, m_max=m_max, table=table).cts
+
+
+def cts_curve(
+    model: TrafficModel,
+    c: float,
+    b_values: Sequence[float],
+    *,
+    m_max: int = DEFAULT_M_MAX,
+) -> np.ndarray:
+    """m*_b for each buffer size in ``b_values`` (shared V(m) table)."""
+    table = VarianceTimeTable(model)
+    return np.array(
+        [
+            critical_time_scale(model, c, float(b), m_max=m_max, table=table)
+            for b in np.asarray(b_values, dtype=float)
+        ],
+        dtype=np.int64,
+    )
+
+
+def theoretical_cts_slope(c: float, mu: float, hurst: float = 0.5) -> float:
+    """The asymptotic slope K of m*_b ≈ K b (Section 4.2 / appendix).
+
+    ``K = H / ((1 - H)(c - mu))``; with H = 0.5 this reduces to the
+    Gaussian AR(1)/SRD result ``K = 1/(c - mu)``.
+    """
+    check_in_range(hurst, "hurst", 0.0, 1.0)
+    if c <= mu:
+        raise ValueError(f"c = {c} must exceed mu = {mu}")
+    return hurst / ((1.0 - hurst) * (c - mu))
+
+
+def empirical_cts_slope(
+    model: TrafficModel,
+    c: float,
+    b_values: Sequence[float],
+    *,
+    m_max: int = DEFAULT_M_MAX,
+) -> float:
+    """Least-squares slope of m*_b versus b over the given buffer range.
+
+    Use buffer values large enough to be in the linear regime; compare
+    against :func:`theoretical_cts_slope`.
+    """
+    b_arr = np.asarray(b_values, dtype=float)
+    if b_arr.size < 2:
+        raise ValueError("need at least two buffer sizes to fit a slope")
+    cts = cts_curve(model, c, b_arr, m_max=m_max).astype(float)
+    slope, _intercept = np.polyfit(b_arr, cts, 1)
+    return float(slope)

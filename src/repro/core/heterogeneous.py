@@ -1,0 +1,165 @@
+"""Bahadur-Rao analysis for heterogeneous traffic mixes.
+
+The paper evaluates homogeneous multiplexers (N identical sources),
+but real CAC admits *mixes* — some videoconference sources, some
+broadcast-video, etc.  The many-sources large-deviations framework
+extends directly: for classes ``i`` with counts ``n_i``, per-class
+Gaussian frame processes (mu_i, V_i(m)) and total capacity C and
+buffer B, the overflow exponent is
+
+    ``I_total(C, B) = inf_{m >= 1}
+        [B + m (C - sum_i n_i mu_i)]^2 / (2 sum_i n_i V_i(m))``
+
+(the independent class variances add at every horizon), with the same
+Bahadur-Rao prefactor applied to the total exponent.  The minimizing
+m is the mix's Critical Time Scale — a single time scale shared by
+all classes at a given operating point.
+
+Also provided: greedy admissible-region exploration (how many class-B
+sources fit for each count of class-A sources) — the classical CAC
+boundary plot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, StabilityError
+from repro.models.base import TrafficModel
+from repro.utils.validation import check_in_range, check_integer, check_positive
+
+#: Hard cap on the infimum search horizon (frames).
+DEFAULT_M_MAX = 1 << 21
+
+
+@dataclass(frozen=True)
+class TrafficClass:
+    """One class in a heterogeneous mix."""
+
+    model: TrafficModel
+    count: int
+
+    def __post_init__(self) -> None:
+        check_integer(self.count, "count", minimum=0)
+
+
+@dataclass(frozen=True)
+class MixEstimate:
+    """Bahadur-Rao analysis of one heterogeneous operating point."""
+
+    bop: float
+    log10_bop: float
+    rate: float
+    cts: int
+
+
+def _mix_moments(classes: Sequence[TrafficClass]) -> Tuple[float, float]:
+    mean = sum(tc.count * tc.model.mean for tc in classes)
+    variance = sum(tc.count * tc.model.variance for tc in classes)
+    return float(mean), float(variance)
+
+
+def heterogeneous_bop(
+    classes: Sequence[TrafficClass],
+    capacity: float,
+    buffer_cells: float,
+    *,
+    m_max: int = DEFAULT_M_MAX,
+) -> MixEstimate:
+    """B-R overflow estimate for a mix sharing capacity C and buffer B.
+
+    ``capacity`` and ``buffer_cells`` are totals (cells/frame, cells).
+    Degenerate mixes (zero sources) are rejected; the offered load must
+    be strictly below capacity.
+    """
+    check_positive(capacity, "capacity")
+    check_positive(buffer_cells, "buffer_cells", strict=False)
+    active = [tc for tc in classes if tc.count > 0]
+    if not active:
+        raise StabilityError("mix has no sources")
+    total_mean, _ = _mix_moments(active)
+    if total_mean >= capacity:
+        raise StabilityError(
+            f"offered load {total_mean:.6g} must be below capacity "
+            f"{capacity:.6g}"
+        )
+
+    slack = capacity - total_mean
+    horizon = 256
+    while True:
+        horizon = min(horizon, m_max)
+        m = np.arange(1, horizon + 1, dtype=float)
+        total_v = np.zeros(horizon)
+        for tc in active:
+            total_v += tc.count * tc.model.variance_time(
+                np.arange(1, horizon + 1)
+            )
+        objective = (buffer_cells + m * slack) ** 2 / (2.0 * total_v)
+        idx = int(np.argmin(objective))
+        if idx + 1 <= horizon // 2 or horizon == 1:
+            rate = float(objective[idx])
+            break
+        if horizon >= m_max:
+            raise ConvergenceError(
+                f"mix rate-function minimizer not interior within {m_max}",
+                last_value=idx + 1,
+            )
+        horizon *= 2
+
+    log_bop = -rate - 0.5 * math.log(4.0 * math.pi * rate)
+    return MixEstimate(
+        bop=min(1.0, math.exp(min(log_bop, 0.0))),
+        log10_bop=log_bop / math.log(10.0),
+        rate=rate,
+        cts=idx + 1,
+    )
+
+
+def admissible_region(
+    model_a: TrafficModel,
+    model_b: TrafficModel,
+    capacity: float,
+    buffer_cells: float,
+    target_bop: float,
+    *,
+    max_a: Optional[int] = None,
+) -> List[Tuple[int, int]]:
+    """The CAC boundary: max class-B count for each class-A count.
+
+    Returns ``[(n_a, max n_b), ...]`` for n_a = 0, 1, ... up to the
+    largest class-A count that is admissible alone.  Entries with no
+    feasible class-B slots report ``n_b = 0`` when n_a itself is
+    admissible; n_a values beyond standalone admissibility are not
+    listed.
+    """
+    check_in_range(target_bop, "target_bop", 0.0, 1.0)
+    target_log = math.log10(target_bop)
+
+    def admissible(n_a: int, n_b: int) -> bool:
+        classes = (
+            TrafficClass(model_a, n_a),
+            TrafficClass(model_b, n_b),
+        )
+        total_mean, _ = _mix_moments([c for c in classes if c.count])
+        if n_a + n_b == 0 or total_mean >= capacity:
+            return False
+        estimate = heterogeneous_bop(classes, capacity, buffer_cells)
+        return estimate.log10_bop <= target_log
+
+    if max_a is None:
+        max_a = int(capacity / model_a.mean) + 1
+
+    region: List[Tuple[int, int]] = []
+    # n_b boundary is non-increasing in n_a: walk it downward.
+    n_b = int(capacity / model_b.mean) + 1
+    for n_a in range(0, max_a + 1):
+        while n_b > 0 and not admissible(n_a, n_b):
+            n_b -= 1
+        if n_b == 0 and n_a > 0 and not admissible(n_a, 0):
+            break
+        region.append((n_a, n_b))
+    return region

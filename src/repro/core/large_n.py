@@ -1,0 +1,81 @@
+"""Courcoubetis-Weber large-N asymptotic of the BOP.
+
+Identical to the Bahadur-Rao estimate with the prefactor dropped:
+
+    ``Psi_largeN(c, b, N) ≈ exp(-N I(c, b))``.
+
+Kept as a separate module because the paper's Fig. 10 measures exactly
+the gap between the two (the B-R refinement buys about one order of
+magnitude at N = 30).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.bahadur_rao import BOPCurve, BOPEstimate
+from repro.core.rate_function import (
+    DEFAULT_M_MAX,
+    VarianceTimeTable,
+    rate_function,
+)
+from repro.models.base import TrafficModel
+from repro.utils.units import delay_to_buffer_cells
+from repro.utils.validation import check_integer
+
+
+def large_n_bop(
+    model: TrafficModel,
+    c: float,
+    b: float,
+    n_sources: int,
+    *,
+    m_max: int = DEFAULT_M_MAX,
+    table: Optional[VarianceTimeTable] = None,
+) -> BOPEstimate:
+    """Evaluate exp(-N I(c, b)) for one buffer size."""
+    n_sources = check_integer(n_sources, "n_sources", minimum=1)
+    result = rate_function(model, c, b, m_max=m_max, table=table)
+    log_bop = -n_sources * result.rate
+    return BOPEstimate(
+        bop=math.exp(min(log_bop, 0.0)),
+        log10_bop=log_bop / math.log(10.0),
+        rate=result.rate,
+        cts=result.cts,
+        n_sources=n_sources,
+    )
+
+
+def large_n_bop_curve(
+    model: TrafficModel,
+    c: float,
+    n_sources: int,
+    delays_seconds: Sequence[float],
+    *,
+    label: str = "",
+    m_max: int = DEFAULT_M_MAX,
+) -> BOPCurve:
+    """Sweep the large-N BOP over maximum-delay buffer sizes."""
+    delays = np.asarray(delays_seconds, dtype=float)
+    table = VarianceTimeTable(model)
+    b_values = np.array(
+        [
+            delay_to_buffer_cells(float(d), c, model.frame_duration)
+            for d in delays
+        ]
+    )
+    estimates = [
+        large_n_bop(model, c, float(b), n_sources, m_max=m_max, table=table)
+        for b in b_values
+    ]
+    return BOPCurve(
+        label=label or repr(model),
+        b_per_source=b_values,
+        delay_seconds=delays,
+        bop=np.array([e.bop for e in estimates]),
+        log10_bop=np.array([e.log10_bop for e in estimates]),
+        cts=np.array([e.cts for e in estimates], dtype=np.int64),
+    )

@@ -1,0 +1,155 @@
+"""Norros' fractional-Brownian-motion storage model (Section 4.1).
+
+"The first result on queueing analysis of self-similar traffic seems
+to appear in Norros [17]" — the continuous-time counterpart of the
+paper's discrete-frame analysis.  Traffic is modeled as
+
+    ``A(t) = m t + sqrt(a m) Z(t)``
+
+with ``Z`` a standard fBm of Hurst parameter H: mean rate ``m``
+(cells/sec) and variance coefficient ``a`` (sec; Var A(t) =
+a m t^{2H}).  For a buffer drained at C cells/sec, the stationary
+storage ``V = sup_t (A(t) - C t)`` satisfies the celebrated Weibull
+lower bound
+
+    ``P(V > x) >= exp( - (C - m)^{2H} x^{2 - 2H}
+                        / (2 kappa(H)^2 a m) )``
+
+(with ``kappa(H) = H^H (1 - H)^{1-H}``), obtained — exactly as in the
+paper's appendix — by optimizing the one-dimensional Gaussian bound
+over the time to overflow.  Inverting the bound gives Norros'
+dimensioning formulas: the buffer needed at a given capacity, and his
+closed-form bandwidth allocation
+
+    ``C = m + (kappa(H) sqrt(-2 ln(eps) a m) / x^{1-H})^{1/H}``
+
+for target overflow probability eps at buffer x — the continuous
+cousin of :func:`repro.atm.dimensioning.required_capacity`, and the
+formula whose pessimism at small buffers the paper's CTS analysis
+explains.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import StabilityError
+from repro.utils.mathx import kappa
+from repro.utils.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class FBMTraffic:
+    """A fractional-Brownian traffic descriptor (Norros' parameters)."""
+
+    mean_rate: float  # m, cells/sec
+    variance_coefficient: float  # a, seconds
+    hurst: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.mean_rate, "mean_rate")
+        check_positive(self.variance_coefficient, "variance_coefficient")
+        check_in_range(self.hurst, "hurst", 0.0, 1.0)
+
+    @classmethod
+    def from_frame_model(cls, model) -> "FBMTraffic":
+        """Approximate a frame-level exact-LRD model by fBm traffic.
+
+        Matches the mean rate and the large-m variance growth:
+        ``V(m) ~ sigma^2 g m^{2H}`` in frames corresponds to
+        ``a m = sigma^2 g / T_s^{2H}`` in continuous time.
+        """
+        if not model.is_lrd:
+            raise ValueError(
+                "fBm approximation targets exact-LRD models (H > 0.5)"
+            )
+        g = float(getattr(model, "lrd_weight", 1.0))
+        ts = model.frame_duration
+        mean_rate = model.mean / ts
+        variance_rate = model.variance * g / ts ** (2.0 * model.hurst)
+        return cls(
+            mean_rate=mean_rate,
+            variance_coefficient=variance_rate / mean_rate,
+            hurst=model.hurst,
+        )
+
+    def variance_at(self, t: float) -> float:
+        """Var A(t) = a m t^{2H}."""
+        check_positive(t, "t")
+        return (
+            self.variance_coefficient
+            * self.mean_rate
+            * t ** (2.0 * self.hurst)
+        )
+
+
+def norros_overflow_bound(
+    traffic: FBMTraffic, capacity: float, buffer_cells: float
+) -> float:
+    """The Weibull lower bound on ``P(V > x)``.
+
+    Returns ``exp(-(C-m)^{2H} x^{2-2H} / (2 kappa(H)^2 a m))``;
+    equals 1 at x = 0.
+    """
+    check_positive(buffer_cells, "buffer_cells", strict=False)
+    m, a, h = (
+        traffic.mean_rate,
+        traffic.variance_coefficient,
+        traffic.hurst,
+    )
+    if capacity <= m:
+        raise StabilityError(
+            f"capacity {capacity:.6g} must exceed the mean rate {m:.6g}"
+        )
+    if buffer_cells == 0.0:
+        return 1.0
+    exponent = (
+        (capacity - m) ** (2.0 * h)
+        * buffer_cells ** (2.0 - 2.0 * h)
+        / (2.0 * kappa(h) ** 2 * a * m)
+    )
+    return math.exp(-exponent)
+
+
+def norros_required_buffer(
+    traffic: FBMTraffic, capacity: float, epsilon: float
+) -> float:
+    """Buffer making the Norros bound equal ``epsilon`` at capacity C."""
+    check_in_range(epsilon, "epsilon", 0.0, 1.0)
+    m, a, h = (
+        traffic.mean_rate,
+        traffic.variance_coefficient,
+        traffic.hurst,
+    )
+    if capacity <= m:
+        raise StabilityError(
+            f"capacity {capacity:.6g} must exceed the mean rate {m:.6g}"
+        )
+    numerator = -2.0 * math.log(epsilon) * kappa(h) ** 2 * a * m
+    return (numerator / (capacity - m) ** (2.0 * h)) ** (
+        1.0 / (2.0 - 2.0 * h)
+    )
+
+
+def norros_required_capacity(
+    traffic: FBMTraffic, buffer_cells: float, epsilon: float
+) -> float:
+    """Norros' closed-form bandwidth allocation.
+
+    ``C = m + (kappa(H) sqrt(-2 ln(eps) a m) / x^{1-H})^{1/H}`` — the
+    capacity at which the Weibull bound equals eps for buffer x.
+    """
+    check_positive(buffer_cells, "buffer_cells")
+    check_in_range(epsilon, "epsilon", 0.0, 1.0)
+    m, a, h = (
+        traffic.mean_rate,
+        traffic.variance_coefficient,
+        traffic.hurst,
+    )
+    burst_term = (
+        kappa(h)
+        * math.sqrt(-2.0 * math.log(epsilon) * a * m)
+        / buffer_cells ** (1.0 - h)
+    ) ** (1.0 / h)
+    return m + burst_term

@@ -1,0 +1,140 @@
+"""Operating-point solvers: capacity sizing and admissible connections.
+
+Inverts the Bahadur-Rao BOP estimate in the two directions ATM traffic
+engineering needs:
+
+* :func:`find_capacity` — the smallest per-source bandwidth c that
+  meets a target overflow probability at a given buffer (delay);
+* :func:`max_admissible_sources` — the largest number N of sources a
+  link of capacity C can carry at a target QoS — the connection-
+  admission-control question that motivates the paper (the difference
+  between models at CLR 1e-6 "becomes negligible when the loss rate is
+  translated to the number of admissible connections").
+
+Both exploit monotonicity (BOP increases with load) and bisect.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.bahadur_rao import bahadur_rao_bop
+from repro.core.rate_function import DEFAULT_M_MAX, VarianceTimeTable
+from repro.exceptions import ConvergenceError, ParameterError
+from repro.models.base import TrafficModel
+from repro.utils.units import delay_to_buffer_cells
+from repro.utils.validation import check_in_range, check_integer, check_positive
+
+
+def find_capacity(
+    model: TrafficModel,
+    n_sources: int,
+    delay_seconds: float,
+    target_bop: float,
+    *,
+    c_hi: Optional[float] = None,
+    tol: float = 1e-4,
+    m_max: int = DEFAULT_M_MAX,
+) -> float:
+    """Minimum per-source bandwidth c meeting ``BOP <= target_bop``.
+
+    The buffer tracks the delay budget: ``b = delay * c / T_s``, so the
+    buffer grows as capacity is raised (fixed maximum delay, the
+    realistic dimensioning of Section 1).
+
+    Returns c in cells/frame, accurate to ``tol`` (relative).
+    """
+    n_sources = check_integer(n_sources, "n_sources", minimum=1)
+    check_positive(delay_seconds, "delay_seconds", strict=False)
+    check_in_range(target_bop, "target_bop", 0.0, 1.0)
+    mu = model.mean
+    if c_hi is None:
+        # mu + 12 sigma comfortably exceeds any plausible requirement for
+        # Gaussian sources at N >= 1.
+        c_hi = mu + 12.0 * model.std
+    if c_hi <= mu:
+        raise ParameterError(f"c_hi = {c_hi} must exceed the mean {mu}")
+
+    table = VarianceTimeTable(model)
+
+    def log10_bop(c: float) -> float:
+        b = delay_to_buffer_cells(delay_seconds, c, model.frame_duration)
+        return bahadur_rao_bop(
+            model, c, b, n_sources, m_max=m_max, table=table
+        ).log10_bop
+
+    target_log = math.log10(target_bop)
+    if log10_bop(c_hi) > target_log:
+        raise ConvergenceError(
+            f"target BOP {target_bop:g} unreachable below c_hi = {c_hi:g}",
+            last_value=c_hi,
+        )
+    lo = mu * (1.0 + 1e-9)
+    hi = c_hi
+    while (hi - lo) > tol * hi:
+        mid = 0.5 * (lo + hi)
+        if log10_bop(mid) > target_log:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def max_admissible_sources(
+    model: TrafficModel,
+    link_capacity: float,
+    delay_seconds: float,
+    target_bop: float,
+    *,
+    m_max: int = DEFAULT_M_MAX,
+) -> int:
+    """Largest N with ``Psi(C/N, B/N, N) <= target_bop`` (CAC decision).
+
+    ``link_capacity`` is the total C in cells/frame; the total buffer
+    follows the delay budget (B = delay * C / T_s) and is shared
+    equally (b = B/N).  BOP is increasing in N (per-source slack
+    shrinks), so binary search applies.
+
+    Returns 0 if even one source misses the target.
+    """
+    check_positive(link_capacity, "link_capacity")
+    check_positive(delay_seconds, "delay_seconds", strict=False)
+    check_in_range(target_bop, "target_bop", 0.0, 1.0)
+    mu = model.mean
+    n_max = int(math.floor(link_capacity / mu))
+    if link_capacity / max(n_max, 1) <= mu:
+        n_max = max(n_max - 1, 0)
+    if n_max == 0:
+        return 0
+
+    target_log = math.log10(target_bop)
+    total_buffer = delay_to_buffer_cells(
+        delay_seconds, link_capacity, model.frame_duration
+    )
+    table = VarianceTimeTable(model)
+
+    def admissible(n: int) -> bool:
+        estimate = bahadur_rao_bop(
+            model,
+            link_capacity / n,
+            total_buffer / n,
+            n,
+            m_max=m_max,
+            table=table,
+        )
+        return estimate.log10_bop <= target_log
+
+    if not admissible(1):
+        return 0
+    lo, hi = 1, n_max
+    if admissible(n_max):
+        return n_max
+    # Invariant: admissible(lo), not admissible(hi).
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if admissible(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,169 @@
+"""The Bahadur-Rao rate function I(c, b) and its minimizer (Eq. 8).
+
+For a stationary Gaussian source with mean ``mu`` and variance-time
+function ``V(m)``, the per-source decay rate of the buffer-overflow
+probability is
+
+    ``I(c, b) = inf_{m >= 1} [b + m (c - mu)]^2 / (2 V(m))``
+
+where ``b`` and ``c`` are per-source buffer and bandwidth.  The
+minimizing ``m`` is the paper's **Critical Time Scale** m*_b: only the
+first m*_b frame autocorrelations influence the overflow probability
+(they enter only through V(m*_b)).
+
+The infimum is attained at finite m whenever ``c > mu`` because
+``f(m) = [b + m(c-mu)]^2`` grows like m^2 while ``V(m)`` grows at most
+like m^{2H} with H < 1 (Section 4.2).  The search therefore doubles an
+integer horizon until the minimizer is interior, reusing a cached
+variance-time table across calls so that sweeps over many buffer sizes
+pay the ACF accumulation once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConvergenceError, StabilityError
+from repro.models.base import TrafficModel
+from repro.utils.validation import check_integer, check_positive
+
+#: Default cap on the search horizon (frames).  The paper's widest
+#: buffer sweeps (Fig. 7) need m* of order 10^4; this leaves two
+#: orders of margin.
+DEFAULT_M_MAX = 1 << 21
+
+
+@dataclass(frozen=True)
+class RateFunctionResult:
+    """Outcome of one rate-function minimization.
+
+    Attributes
+    ----------
+    rate:
+        The infimum I(c, b).
+    cts:
+        The minimizing m (the Critical Time Scale m*_b).
+    horizon:
+        The search horizon at which the minimizer was accepted.
+    """
+
+    rate: float
+    cts: int
+    horizon: int
+
+
+class VarianceTimeTable:
+    """Lazily-grown table of V(1..M) for one model.
+
+    Sweeps over buffer sizes and bandwidths share one table so the
+    underlying ACF cumulative sums are computed once per final horizon.
+    """
+
+    def __init__(self, model: TrafficModel, initial: int = 256):
+        self._model = model
+        self._values = model.variance_time(
+            np.arange(1, check_integer(initial, "initial", minimum=1) + 1)
+        )
+
+    @property
+    def model(self) -> TrafficModel:
+        return self._model
+
+    def ensure(self, horizon: int) -> np.ndarray:
+        """Return V(1..horizon), growing the table if needed."""
+        if horizon > self._values.shape[0]:
+            grow_to = max(horizon, 2 * self._values.shape[0])
+            self._values = self._model.variance_time(
+                np.arange(1, grow_to + 1)
+            )
+        return self._values[:horizon]
+
+
+def rate_function(
+    model: TrafficModel,
+    c: float,
+    b: float,
+    *,
+    m_max: int = DEFAULT_M_MAX,
+    table: Optional[VarianceTimeTable] = None,
+) -> RateFunctionResult:
+    """Minimize Eq. (8) for per-source bandwidth ``c`` and buffer ``b``.
+
+    Parameters
+    ----------
+    model:
+        The (Gaussian-marginal) traffic model supplying mu and V(m).
+    c:
+        Bandwidth per source, cells/frame; must exceed the mean
+        (otherwise the queue is unstable and the rate is zero).
+    b:
+        Buffer per source, cells; b = 0 is allowed (bufferless
+        multiplexing) and always yields m* = 1.
+    m_max:
+        Hard cap on the horizon; exceeded caps raise
+        :class:`~repro.exceptions.ConvergenceError`.
+    table:
+        Optional shared :class:`VarianceTimeTable` for sweeps.
+
+    Raises
+    ------
+    StabilityError
+        If ``c <= mean`` — the large-deviations regime requires
+        positive service slack.
+    """
+    check_positive(b, "b", strict=False)
+    mu = model.mean
+    if c <= mu:
+        raise StabilityError(
+            f"per-source bandwidth c = {c:.6g} must exceed the mean frame "
+            f"size mu = {mu:.6g} (utilization < 1)"
+        )
+    if table is None:
+        table = VarianceTimeTable(model)
+    elif table.model is not model:
+        raise ValueError("table was built for a different model")
+
+    slack = c - mu
+    horizon = 256
+    while True:
+        horizon = min(horizon, m_max)
+        v = table.ensure(horizon)
+        m = np.arange(1, horizon + 1, dtype=float)
+        objective = (b + m * slack) ** 2 / (2.0 * v)
+        idx = int(np.argmin(objective))
+        interior = idx + 1 <= horizon // 2 or horizon == 1
+        if interior:
+            return RateFunctionResult(
+                rate=float(objective[idx]), cts=idx + 1, horizon=horizon
+            )
+        if horizon >= m_max:
+            raise ConvergenceError(
+                f"rate-function minimizer not interior within m_max = {m_max} "
+                f"(argmin at m = {idx + 1}); raise m_max",
+                last_value=RateFunctionResult(
+                    rate=float(objective[idx]), cts=idx + 1, horizon=horizon
+                ),
+            )
+        horizon *= 2
+
+
+def rate_function_curve(
+    model: TrafficModel,
+    c: float,
+    b_values: np.ndarray,
+    *,
+    m_max: int = DEFAULT_M_MAX,
+) -> list:
+    """Vector version of :func:`rate_function` sharing one V(m) table.
+
+    Returns a list of :class:`RateFunctionResult` aligned with
+    ``b_values``.
+    """
+    table = VarianceTimeTable(model)
+    return [
+        rate_function(model, c, float(b), m_max=m_max, table=table)
+        for b in np.asarray(b_values, dtype=float)
+    ]

@@ -1,0 +1,115 @@
+"""Variance-time function V(m) — Eq. (10) of the paper.
+
+``V(m) = Var(sum_{i=1}^m Y_i) = sigma^2 [m + 2 sum_{i=1}^{m-1} (m-i) r(i)]``
+
+is the single second-order quantity the Bahadur-Rao rate function
+consumes: all of the autocorrelation structure of a source enters the
+buffer-overflow analysis only through V(m).  This module provides
+
+* the generic computation from a vector of autocorrelations (used by
+  :meth:`repro.models.base.TrafficModel.variance_time`),
+* closed forms for the two families with known analytic V(m):
+  geometric ACF (AR(1)/DAR(1)) and exact-LRD ACF, and
+* the large-m asymptotics quoted in Section 4.2 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.utils.mathx import geometric_weighted_tail_sum
+from repro.utils.validation import check_in_range, check_positive
+
+ArrayLike = Union[int, float, np.ndarray]
+
+
+def variance_time_from_acf(
+    acf: np.ndarray, variance: float, m: ArrayLike
+) -> np.ndarray:
+    """V(m) for (possibly many) m from the ACF vector ``[r(1), r(2), ...]``.
+
+    Uses the identity ``sum_{i<m} (m-i) r(i) = m * S1(m-1) - S2(m-1)``
+    with ``S1(j) = sum_{i<=j} r(i)`` and ``S2(j) = sum_{i<=j} i r(i)``,
+    so a single pair of cumulative sums serves every requested ``m``.
+
+    Parameters
+    ----------
+    acf:
+        Autocorrelations at lags 1..K (lag 0 excluded); must have
+        length >= max(m) - 1.
+    variance:
+        Marginal variance sigma^2.
+    m:
+        Aggregation level(s), integer >= 1.
+    """
+    check_positive(variance, "variance")
+    m_arr = np.atleast_1d(np.asarray(m, dtype=np.int64))
+    if m_arr.size == 0:
+        return np.empty(0)
+    if np.any(m_arr < 1):
+        raise ValueError("m must be >= 1")
+    max_m = int(m_arr.max())
+    r = np.asarray(acf, dtype=float)
+    if r.shape[0] < max_m - 1:
+        raise ValueError(
+            f"need at least {max_m - 1} autocorrelations, got {r.shape[0]}"
+        )
+    if max_m == 1:
+        return variance * m_arr.astype(float)
+    lags = np.arange(1, max_m)
+    s1 = np.concatenate(([0.0], np.cumsum(r[: max_m - 1])))
+    s2 = np.concatenate(([0.0], np.cumsum(lags * r[: max_m - 1])))
+    cross = m_arr * s1[m_arr - 1] - s2[m_arr - 1]
+    return variance * (m_arr + 2.0 * cross)
+
+
+def geometric_variance_time(
+    variance: float, lag1: float, m: ArrayLike
+) -> np.ndarray:
+    """Closed-form V(m) for a geometric ACF ``r(k) = a^k`` (AR(1)/DAR(1)).
+
+    ``V(m) = sigma^2 [m + 2 a (m(1-a) - (1-a^m)) / (1-a)^2]``.
+    """
+    check_positive(variance, "variance")
+    check_in_range(lag1, "lag1", -1.0, 1.0)
+    m_arr = np.atleast_1d(np.asarray(m, dtype=float))
+    return variance * (m_arr + 2.0 * geometric_weighted_tail_sum(lag1, m_arr))
+
+
+def exact_lrd_variance_time(
+    variance: float, g: float, hurst: float, m: ArrayLike
+) -> np.ndarray:
+    """Closed-form V(m) for an exact-LRD ACF ``r(k) = (g/2) nabla^2(k^{2H})``.
+
+    The second central difference telescopes exactly:
+    ``sum_{i=1}^{m-1} (m-i) nabla^2(i^{2H}) = m^{2H} - m``, giving
+
+    ``V(m) = sigma^2 [(1-g) m + g m^{2H}]``
+
+    for every integer m >= 1 (not just asymptotically).  With g = 1
+    this is the fractional-Gaussian-noise variance-time
+    ``sigma^2 m^{2H}``; for the FBNDP frame process
+    ``g = T_s^alpha / (T_s^alpha + T_0^alpha)``.
+    """
+    check_positive(variance, "variance")
+    check_in_range(g, "g", 0.0, 1.0, inclusive_low=True, inclusive_high=True)
+    check_in_range(hurst, "hurst", 0.0, 1.0)
+    m_arr = np.atleast_1d(np.asarray(m, dtype=float))
+    if np.any(m_arr < 1):
+        raise ValueError("m must be >= 1")
+    return variance * ((1.0 - g) * m_arr + g * m_arr ** (2.0 * hurst))
+
+
+def asymptotic_index_of_dispersion(acf: np.ndarray, variance: float) -> float:
+    """``lim_m V(m)/m = sigma^2 (1 + 2 sum_k r(k))`` for SRD sources.
+
+    The returned value is the partial sum using the supplied ACF vector;
+    for an LRD source the sum diverges, which is precisely why the
+    classical effective-bandwidth formalism breaks (Section 4.1) — use
+    :func:`exact_lrd_variance_time` there instead.
+    """
+    check_positive(variance, "variance")
+    r = np.asarray(acf, dtype=float)
+    return float(variance * (1.0 + 2.0 * r.sum()))

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error deliberately raised by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+masking genuine programming errors (``TypeError`` etc. still surface).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A model or solver parameter is outside its valid domain."""
+
+
+class FittingError(ReproError):
+    """A model-fitting procedure could not produce a valid model.
+
+    Raised, for example, when the Yule-Walker solve for a DAR(p) fit
+    yields negative mixture weights (the target autocorrelations are
+    not representable by a DAR(p) process).
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative search failed to converge within its budget.
+
+    Carries the last iterate in :attr:`last_value` when available so
+    callers can diagnose how far the search got.
+    """
+
+    def __init__(self, message: str, last_value: object = None):
+        super().__init__(message)
+        self.last_value = last_value
+
+
+class StabilityError(ReproError):
+    """The queueing system is unstable (offered load >= capacity).
+
+    Large-deviations rate functions and infinite-buffer simulations
+    require mean rate strictly below the service rate.
+    """
+
+
+class SimulationError(ReproError):
+    """A simulation was configured inconsistently or produced no data."""

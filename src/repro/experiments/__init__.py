@@ -1,0 +1,25 @@
+"""Per-table/figure experiment modules (paper Section 5).
+
+Each module exposes ``run(scale=None) -> ExperimentResult``; the
+registry maps ids like ``"fig04"`` to them.  Use the CLI::
+
+    python -m repro.experiments.runner all --scale smoke
+"""
+
+from repro.experiments.config import (
+    SCALE_ENV_VAR,
+    SCALES,
+    SimulationScale,
+    get_scale,
+)
+from repro.experiments.result import ExperimentResult, Panel, Series
+
+__all__ = [
+    "ExperimentResult",
+    "Panel",
+    "SCALES",
+    "SCALE_ENV_VAR",
+    "Series",
+    "SimulationScale",
+    "get_scale",
+]

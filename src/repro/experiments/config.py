@@ -1,0 +1,74 @@
+"""Scale configuration for the simulation experiments.
+
+The paper runs 60 replications of 500,000 frames per model — hours of
+compute.  Every simulation experiment here takes a
+:class:`SimulationScale`; the default is resolved from the
+``REPRO_SCALE`` environment variable:
+
+* ``smoke``   — seconds; enough to exercise every code path.
+* ``default`` — minutes; CLR floor around 1e-4, curve shapes resolved.
+* ``paper``   — the published depth (60 x 500k frames).
+
+Analytic experiments (Table 1, Figs. 1, 3-7) ignore the scale — they
+are exact and fast at any setting.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import ParameterError
+from repro.utils.validation import check_integer
+
+#: Environment variable consulted by :func:`get_scale`.
+SCALE_ENV_VAR = "REPRO_SCALE"
+
+
+@dataclass(frozen=True)
+class SimulationScale:
+    """Depth of a simulation experiment."""
+
+    name: str
+    n_frames: int
+    n_replications: int
+    base_seed: int = 19960826  # SIGCOMM '96, Stanford
+
+    def __post_init__(self) -> None:
+        check_integer(self.n_frames, "n_frames", minimum=1)
+        check_integer(self.n_replications, "n_replications", minimum=1)
+
+    @property
+    def total_frames(self) -> int:
+        return self.n_frames * self.n_replications
+
+    @property
+    def clr_floor(self) -> float:
+        """Roughly the smallest CLR resolvable (a handful of lost cells).
+
+        With ~15,000 cells/frame offered, observing ~10 lost cells
+        needs CLR >= 10 / (total_frames * 15000).
+        """
+        return 10.0 / (self.total_frames * 15000.0)
+
+
+SCALES = {
+    "smoke": SimulationScale("smoke", n_frames=2_000, n_replications=2),
+    "default": SimulationScale("default", n_frames=12_000, n_replications=3),
+    "paper": SimulationScale("paper", n_frames=500_000, n_replications=60),
+}
+
+
+def get_scale(name: Optional[str] = None) -> SimulationScale:
+    """Resolve a scale by name, falling back to ``$REPRO_SCALE``/default."""
+    if name is None:
+        name = os.environ.get(SCALE_ENV_VAR, "default")
+    if isinstance(name, SimulationScale):
+        return name
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+        ) from None

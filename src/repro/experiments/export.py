@@ -1,0 +1,72 @@
+"""CSV export of experiment results.
+
+Writes one CSV per panel (columns: x then one column per series) so
+reproduced figures can be re-plotted with any external tool.  Used by
+the runner's ``--csv DIR`` flag.
+"""
+
+from __future__ import annotations
+
+import csv
+import re
+from pathlib import Path
+from typing import List, Union
+
+from repro.experiments.result import ExperimentResult, Panel
+
+PathLike = Union[str, Path]
+
+
+def _slug(text: str) -> str:
+    """Filesystem-safe lowercase slug."""
+    slug = re.sub(r"[^A-Za-z0-9]+", "-", text).strip("-").lower()
+    return slug or "panel"
+
+
+def write_panel_csv(panel: Panel, path: PathLike) -> None:
+    """Write one panel as CSV.
+
+    Panels with a shared x grid become one wide table; otherwise each
+    series contributes an (x, y) column pair.
+    """
+    path = Path(path)
+    shared = panel.common_x()
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        if shared is not None:
+            writer.writerow(
+                [panel.x_label] + [s.label for s in panel.series]
+            )
+            for i, x in enumerate(shared):
+                writer.writerow(
+                    [repr(float(x))]
+                    + [repr(float(s.y[i])) for s in panel.series]
+                )
+        else:
+            header: List[str] = []
+            for s in panel.series:
+                header += [f"{s.label}:{panel.x_label}", f"{s.label}:y"]
+            writer.writerow(header)
+            length = max(s.x.shape[0] for s in panel.series)
+            for i in range(length):
+                row: List[str] = []
+                for s in panel.series:
+                    if i < s.x.shape[0]:
+                        row += [repr(float(s.x[i])), repr(float(s.y[i]))]
+                    else:
+                        row += ["", ""]
+                writer.writerow(row)
+
+
+def export_result(result: ExperimentResult, directory: PathLike) -> List[Path]:
+    """Write every panel of a result; returns the paths written."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for panel in result.panels:
+        path = directory / (
+            f"{_slug(result.experiment_id)}_{_slug(panel.name)}.csv"
+        )
+        write_panel_csv(panel, path)
+        written.append(path)
+    return written

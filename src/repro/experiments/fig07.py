@@ -1,0 +1,76 @@
+"""Fig. 7 — the same comparison over *unrealistically* wide buffers.
+
+Where the two claims come from: over buffer sizes up to ~1 second of
+delay (30-50x the realistic budget), the Weibull-decaying L eventually
+beats the geometrically-decaying DAR(p) at predicting Z^a, and the Z^a
+decay slope bends to parallel L's from around B = 40 msec.  The
+payload records the crossover buffer size where L's BOP curve first
+tracks Z^a more closely than DAR(1)'s does — it falls far outside the
+20-30 msec envelope.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import C_PER_SOURCE_BOP, N_SOURCES_BOP
+from repro.core import bop_curve
+from repro.experiments.result import ExperimentResult, Panel, Series
+from repro.models import make_l, make_s, make_z
+
+#: Log-spaced delays from sub-msec to one full second.
+DELAYS_MSEC = np.unique(np.round(np.geomspace(1.0, 1000.0, 25), 3))
+
+
+def _curves(a: float, include_l: bool):
+    c, n = C_PER_SOURCE_BOP, N_SOURCES_BOP
+    out = {f"Z^{a:g}": bop_curve(make_z(a), c, n, DELAYS_MSEC / 1e3)}
+    for p in (1, 2, 3):
+        out[f"DAR({p})"] = bop_curve(make_s(p, a), c, n, DELAYS_MSEC / 1e3)
+    if include_l:
+        out["L"] = bop_curve(make_l(), c, n, DELAYS_MSEC / 1e3)
+    return out
+
+
+def _crossover_msec(curves: dict, a: float) -> Optional[float]:
+    """First delay where L predicts Z^a more closely than DAR(1)."""
+    if "L" not in curves:
+        return None
+    target = curves[f"Z^{a:g}"].log10_bop
+    err_l = np.abs(curves["L"].log10_bop - target)
+    err_dar = np.abs(curves["DAR(1)"].log10_bop - target)
+    better = np.nonzero(err_l < err_dar)[0]
+    return float(DELAYS_MSEC[better[0]]) if better.size else None
+
+
+def run(scale: Optional[object] = None) -> ExperimentResult:
+    """Analytic wide-range comparison (scale ignored)."""
+    panels = []
+    payload = {}
+    for a, include_l, name in (
+        (0.975, True, "(a) Z^0.975, DAR(p), L"),
+        (0.7, True, "(b) Z^0.7, DAR(p), L"),
+    ):
+        curves = _curves(a, include_l)
+        panels.append(
+            Panel(
+                name=name,
+                x_label="total buffer (msec)",
+                y_label="log10 BOP",
+                series=tuple(
+                    Series(label, DELAYS_MSEC, curve.log10_bop)
+                    for label, curve in curves.items()
+                ),
+                notes="L overtakes DAR(p) only far beyond 30 msec",
+            )
+        )
+        payload[f"crossover_msec_a={a:g}"] = _crossover_msec(curves, a)
+    return ExperimentResult(
+        experiment_id="fig07",
+        title="Z^a vs DAR(p) vs L over a wide buffer range "
+        f"(N = {N_SOURCES_BOP}, c = {C_PER_SOURCE_BOP:g})",
+        panels=tuple(panels),
+        payload=payload,
+    )

@@ -1,0 +1,49 @@
+"""Registry mapping experiment ids to their ``run`` callables."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.exceptions import ParameterError
+from repro.experiments import (
+    fig01,
+    fig02,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    table1,
+)
+from repro.experiments.result import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "fig01": fig01.run,
+    "fig02": fig02.run,
+    "fig03": fig03.run,
+    "fig04": fig04.run,
+    "fig05": fig05.run,
+    "fig06": fig06.run,
+    "fig07": fig07.run,
+    "fig08": fig08.run,
+    "fig09": fig09.run,
+    "fig10": fig10.run,
+}
+
+#: Experiments that run the multiplexer simulator (scale-sensitive).
+SIMULATION_EXPERIMENTS = ("fig02", "fig08", "fig09", "fig10")
+
+
+def run_experiment(name: str, scale: Optional[object] = None) -> ExperimentResult:
+    """Run one registered experiment by id (e.g. ``"fig04"``)."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(scale)

@@ -1,0 +1,124 @@
+"""Result containers for paper experiments.
+
+Every experiment module (one per table/figure) returns an
+:class:`ExperimentResult`: a set of named panels, each holding labeled
+(x, y) series — the exact rows/curves the paper plots — plus free-form
+notes recording the qualitative claim the figure supports.  The
+``format()`` method renders aligned text tables so benchmarks and the
+CLI runner can print reproducible output without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labeled curve: y(x)."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "x", np.asarray(self.x, dtype=float))
+        object.__setattr__(self, "y", np.asarray(self.y, dtype=float))
+        if self.x.shape != self.y.shape:
+            raise ValueError(
+                f"series {self.label!r}: x{self.x.shape} vs y{self.y.shape}"
+            )
+
+
+@dataclass(frozen=True)
+class Panel:
+    """One figure panel: several series sharing axes."""
+
+    name: str
+    x_label: str
+    y_label: str
+    series: Tuple[Series, ...]
+    notes: str = ""
+
+    def common_x(self) -> Optional[np.ndarray]:
+        """The shared x grid if every series uses the same one."""
+        first = self.series[0].x
+        for s in self.series[1:]:
+            if s.x.shape != first.shape or not np.allclose(s.x, first):
+                return None
+        return first
+
+    def format(self, max_rows: int = 60) -> str:
+        """Aligned text table: x column then one y column per series.
+
+        Long tables (sample paths) are elided in the middle; the data
+        itself stays fully available on the Series objects.
+        """
+        lines = [f"-- {self.name} --"]
+        shared = self.common_x()
+        if shared is not None:
+            header = [self.x_label] + [s.label for s in self.series]
+            widths = [max(12, len(h) + 2) for h in header]
+            lines.append(
+                "".join(h.rjust(w) for h, w in zip(header, widths))
+            )
+            n = shared.shape[0]
+            if n <= max_rows:
+                rows = range(n)
+            else:
+                head = max_rows * 3 // 4
+                rows = list(range(head)) + [None] + list(
+                    range(n - (max_rows - head), n)
+                )
+            for i in rows:
+                if i is None:
+                    lines.append(
+                        f"  ... ({n - max_rows} rows elided) ..."
+                    )
+                    continue
+                cells = [f"{shared[i]:.6g}"] + [
+                    f"{s.y[i]:.6g}" for s in self.series
+                ]
+                lines.append(
+                    "".join(c.rjust(w) for c, w in zip(cells, widths))
+                )
+        else:
+            for s in self.series:
+                lines.append(f"  [{s.label}]")
+                lines.append(f"    {self.x_label}: {np.round(s.x, 6).tolist()}")
+                lines.append(f"    {self.y_label}: {np.round(s.y, 6).tolist()}")
+        if self.notes:
+            lines.append(f"  note: {self.notes}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything one paper table/figure reproduction produced."""
+
+    experiment_id: str
+    title: str
+    panels: Tuple[Panel, ...]
+    notes: str = ""
+    payload: Optional[dict] = None
+
+    def panel(self, name: str) -> Panel:
+        """Look up a panel by name."""
+        for p in self.panels:
+            if p.name == name:
+                return p
+        raise KeyError(
+            f"no panel {name!r}; have {[p.name for p in self.panels]}"
+        )
+
+    def format(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for p in self.panels:
+            lines.append(p.format())
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)

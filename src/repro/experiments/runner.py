@@ -1,0 +1,82 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments.runner table1 fig04 fig05
+    python -m repro.experiments.runner --scale smoke all
+
+Prints each experiment's formatted tables to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.config import SCALES, get_scale
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce tables/figures of Ryu & Elwalid (SIGCOMM '96)",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="simulation depth (default: $REPRO_SCALE or 'default')",
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render each panel as an ASCII chart after its table",
+    )
+    parser.add_argument(
+        "--logx",
+        action="store_true",
+        help="use a log x-axis for --plot",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each panel as CSV into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = sorted(EXPERIMENTS)
+    scale = get_scale(args.scale)
+
+    for name in names:
+        started = time.time()
+        result = run_experiment(name, scale)
+        print(result.format())
+        if args.plot:
+            from repro.plotting import plot_panel
+
+            for panel in result.panels:
+                print()
+                print(plot_panel(panel, logx=args.logx))
+        if args.csv:
+            from repro.experiments.export import export_result
+
+            for path in export_result(result, args.csv):
+                print(f"[wrote {path}]")
+        print(f"[{name} completed in {time.time() - started:.1f}s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Trace input/output."""
+
+from repro.io.traces import Trace, load_trace, save_trace, synthesize_trace
+
+__all__ = ["Trace", "load_trace", "save_trace", "synthesize_trace"]

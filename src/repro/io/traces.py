@@ -1,0 +1,153 @@
+"""Reading and writing VBR frame-size traces.
+
+The paper's context is the analysis of measured VBR video traces
+(Beran et al.'s videoconference sequences, the Star Wars trace of
+Garrett & Willinger).  This module defines the on-disk formats the
+library understands so users can run the same machinery on their own
+measurements:
+
+* ``.npz`` — frames plus metadata (frame duration, name), lossless;
+* ``.csv`` — one frame size per line, optional ``# key: value``
+  header comments for metadata; interoperable with the classic
+  public trace archives.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.constants import FRAME_DURATION
+from repro.exceptions import ParameterError
+from repro.utils.validation import check_positive
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A measured (or synthetic) frame-size sequence."""
+
+    frames: np.ndarray
+    frame_duration: float = FRAME_DURATION
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        frames = np.asarray(self.frames, dtype=float)
+        if frames.ndim != 1 or frames.size == 0:
+            raise ParameterError("frames must be a non-empty 1-D array")
+        if np.any(frames < 0) or not np.all(np.isfinite(frames)):
+            raise ParameterError("frame sizes must be finite and >= 0")
+        check_positive(self.frame_duration, "frame_duration")
+        object.__setattr__(self, "frames", frames)
+
+    @property
+    def n_frames(self) -> int:
+        return int(self.frames.shape[0])
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.n_frames * self.frame_duration
+
+    @property
+    def mean(self) -> float:
+        return float(self.frames.mean())
+
+    @property
+    def variance(self) -> float:
+        return float(self.frames.var())
+
+    def summary(self) -> str:
+        return (
+            f"Trace({self.name or 'unnamed'}: {self.n_frames} frames, "
+            f"{self.duration_seconds:.1f} s, mean {self.mean:.1f} "
+            f"cells/frame, std {np.sqrt(self.variance):.1f})"
+        )
+
+
+def save_trace(path: PathLike, trace: Trace) -> None:
+    """Write a trace; the format follows the file extension."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        np.savez_compressed(
+            path,
+            frames=trace.frames,
+            frame_duration=np.array(trace.frame_duration),
+            name=np.array(trace.name),
+        )
+    elif path.suffix == ".csv":
+        with open(path, "w", newline="") as handle:
+            handle.write(f"# frame_duration: {trace.frame_duration!r}\n")
+            if trace.name:
+                handle.write(f"# name: {trace.name}\n")
+            writer = csv.writer(handle)
+            for value in trace.frames:
+                writer.writerow([repr(float(value))])
+    else:
+        raise ParameterError(
+            f"unsupported trace format {path.suffix!r}; use .npz or .csv"
+        )
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Read a trace written by :func:`save_trace` (or compatible)."""
+    path = Path(path)
+    if not path.exists():
+        raise ParameterError(f"no such trace file: {path}")
+    if path.suffix == ".npz":
+        with np.load(path, allow_pickle=False) as data:
+            return Trace(
+                frames=data["frames"],
+                frame_duration=float(data["frame_duration"]),
+                name=str(data["name"]) if "name" in data else "",
+            )
+    if path.suffix == ".csv":
+        metadata: Dict[str, str] = {}
+        values = []
+        with open(path, newline="") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    if ":" in line:
+                        key, _, value = line[1:].partition(":")
+                        metadata[key.strip()] = value.strip()
+                    continue
+                values.append(float(line.split(",")[0]))
+        return Trace(
+            frames=np.array(values),
+            frame_duration=float(metadata.get("frame_duration", FRAME_DURATION)),
+            name=metadata.get("name", ""),
+        )
+    raise ParameterError(
+        f"unsupported trace format {path.suffix!r}; use .npz or .csv"
+    )
+
+
+def synthesize_trace(
+    model,
+    n_frames: int,
+    rng=None,
+    *,
+    name: str = "",
+    clip_negative: bool = True,
+) -> Trace:
+    """Generate a trace from any :class:`~repro.models.TrafficModel`.
+
+    Gaussian-marginal models occasionally emit (slightly) negative
+    frame sizes; ``clip_negative`` floors them at zero, matching what
+    a real encoder could produce.
+    """
+    frames = model.sample_frames(n_frames, rng)
+    if clip_negative:
+        frames = np.clip(frames, 0.0, None)
+    return Trace(
+        frames=frames,
+        frame_duration=model.frame_duration,
+        name=name or f"synthetic:{type(model).__name__}",
+    )

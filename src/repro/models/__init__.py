@@ -1,0 +1,74 @@
+"""VBR video traffic models (paper Sections 2, 3 and 5.1).
+
+Exports the model classes and the Table 1 factory functions.
+"""
+
+from repro.models.ar1 import AR1Model
+from repro.models.base import TrafficModel
+from repro.models.dar import DARModel
+from repro.models.dar_fitting import fit_dar, fitted_acf_error, solve_dar_parameters
+from repro.models.farima import FARIMAModel
+from repro.models.fbndp import (
+    FBNDPModel,
+    fractal_onoff_occupancy,
+    knee_from_onset_time,
+    onset_time_from_physical,
+)
+from repro.models.fgn import FGNModel
+from repro.models.gaussian import sample_stationary_gaussian, spectral_check
+from repro.models.heavy_tail import HeavyTailedDuration
+from repro.models.marginals import (
+    GaussianMarginal,
+    LognormalMarginal,
+    Marginal,
+    NegativeBinomialMarginal,
+)
+from repro.models.markov_source import MarkovModulatedSource
+from repro.models.mginf import MGInfModel
+from repro.models.mpeg import CLASSIC_GOP, MPEGModel
+from repro.models.paper import (
+    fit_l_alpha,
+    make_l,
+    make_s,
+    make_v,
+    make_z,
+    reference_lag1,
+    solve_v_lag1,
+    table1_parameters,
+)
+from repro.models.superposition import SuperposedModel
+
+__all__ = [
+    "AR1Model",
+    "CLASSIC_GOP",
+    "DARModel",
+    "FARIMAModel",
+    "FBNDPModel",
+    "FGNModel",
+    "GaussianMarginal",
+    "HeavyTailedDuration",
+    "LognormalMarginal",
+    "MGInfModel",
+    "MPEGModel",
+    "Marginal",
+    "MarkovModulatedSource",
+    "NegativeBinomialMarginal",
+    "SuperposedModel",
+    "TrafficModel",
+    "fit_dar",
+    "fit_l_alpha",
+    "fitted_acf_error",
+    "fractal_onoff_occupancy",
+    "knee_from_onset_time",
+    "make_l",
+    "make_s",
+    "make_v",
+    "make_z",
+    "onset_time_from_physical",
+    "reference_lag1",
+    "sample_stationary_gaussian",
+    "solve_dar_parameters",
+    "solve_v_lag1",
+    "spectral_check",
+    "table1_parameters",
+]

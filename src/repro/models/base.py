@@ -1,0 +1,179 @@
+"""Abstract base class for frame-level VBR traffic models.
+
+A *traffic model* in this library describes the stationary sequence
+``X = {X_n}`` of video frame sizes (in ATM cells) emitted by one
+source, exactly as in Section 2 of the paper: a wide-sense stationary
+process with mean ``mu``, variance ``sigma^2``, autocorrelation
+function ``r(k)``, and frame duration ``T_s``.
+
+The interface deliberately separates the three things the paper's
+analysis needs:
+
+* **second-order statistics** — :meth:`autocorrelation` and
+  :meth:`variance_time` feed the large-deviations machinery
+  (:mod:`repro.core`);
+* **sample paths** — :meth:`sample_frames` (one source) and
+  :meth:`sample_aggregate` (the superposition of N i.i.d. sources)
+  feed the multiplexer simulator (:mod:`repro.queueing`);
+* **LRD metadata** — :attr:`hurst` and :attr:`is_lrd` drive the
+  closed-form Weibull/CTS results that only apply to exact-LRD models.
+
+``sample_aggregate`` has a generic implementation (sum of independent
+single-source paths) that concrete models override when the family is
+closed under superposition (Gaussian processes, FBNDP).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.constants import FRAME_DURATION
+from repro.utils.rng import RngLike, spawn_generators
+from repro.utils.validation import check_integer, check_positive
+
+LagsLike = Union[int, Sequence[int], np.ndarray]
+
+
+class TrafficModel(abc.ABC):
+    """A stationary frame-size process for one VBR video source."""
+
+    def __init__(self, frame_duration: float = FRAME_DURATION):
+        self._frame_duration = check_positive(frame_duration, "frame_duration")
+
+    # -- first- and second-order statistics ---------------------------------
+
+    @property
+    def frame_duration(self) -> float:
+        """Frame duration T_s in seconds."""
+        return self._frame_duration
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Mean frame size mu (cells/frame)."""
+
+    @property
+    @abc.abstractmethod
+    def variance(self) -> float:
+        """Frame-size variance sigma^2 (cells/frame)^2."""
+
+    @property
+    def std(self) -> float:
+        """Frame-size standard deviation (cells/frame)."""
+        return float(np.sqrt(self.variance))
+
+    @abc.abstractmethod
+    def autocorrelation(self, lags: LagsLike) -> np.ndarray:
+        """Autocorrelation r(k) evaluated at the given non-negative lags.
+
+        Always returns an array (even for scalar input); ``r(0) = 1``.
+        """
+
+    def acf(self, max_lag: int) -> np.ndarray:
+        """Autocorrelations ``[r(1), ..., r(max_lag)]`` as a vector.
+
+        Convenience wrapper around :meth:`autocorrelation` in the layout
+        expected by the variance-time and fitting code (lag 0 excluded).
+        """
+        max_lag = check_integer(max_lag, "max_lag", minimum=0)
+        if max_lag == 0:
+            return np.empty(0)
+        return self.autocorrelation(np.arange(1, max_lag + 1))
+
+    def variance_time(self, m: LagsLike) -> np.ndarray:
+        """Variance-time function ``V(m) = Var(X_1 + ... + X_m)``.
+
+        This is Eq. (10) of the paper:
+        ``V(m) = sigma^2 [m + 2 sum_{i=1}^{m-1} (m - i) r(i)]``.
+        The generic implementation computes the cumulative sums of the
+        ACF once for the largest requested ``m``; models with closed
+        forms (DAR(1), AR(1), exact LRD) override it.
+        """
+        from repro.core.variance_time import variance_time_from_acf
+
+        m_arr = np.atleast_1d(np.asarray(m, dtype=np.int64))
+        if m_arr.size == 0:
+            return np.empty(0)
+        if np.any(m_arr < 1):
+            raise ValueError("variance_time requires m >= 1")
+        max_m = int(m_arr.max())
+        acf = self.acf(max_m - 1) if max_m > 1 else np.empty(0)
+        return variance_time_from_acf(acf, self.variance, m_arr)
+
+    # -- LRD metadata --------------------------------------------------------
+
+    @property
+    def hurst(self) -> float:
+        """Hurst parameter H; 0.5 for short-range dependent models."""
+        return 0.5
+
+    @property
+    def is_lrd(self) -> bool:
+        """Whether the model is long-range dependent (H > 0.5)."""
+        return self.hurst > 0.5
+
+    # -- sampling ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def sample_frames(self, n_frames: int, rng: RngLike = None) -> np.ndarray:
+        """Draw a stationary sample path of ``n_frames`` frame sizes."""
+
+    def sample_aggregate(
+        self, n_frames: int, n_sources: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Sample the superposition of ``n_sources`` i.i.d. copies.
+
+        Returns the frame-by-frame total arrivals (cells/frame) offered
+        to a multiplexer.  The generic implementation sums independent
+        single-source paths from spawned generators.
+        """
+        n_frames = check_integer(n_frames, "n_frames", minimum=1)
+        n_sources = check_integer(n_sources, "n_sources", minimum=1)
+        generators = spawn_generators(rng, n_sources)
+        total = np.zeros(n_frames)
+        for source_rng in generators:
+            total += self.sample_frames(n_frames, source_rng)
+        return total
+
+    # -- misc ----------------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Summary of the model's key statistics (for reports and repr)."""
+        return {
+            "class": type(self).__name__,
+            "mean": self.mean,
+            "variance": self.variance,
+            "hurst": self.hurst,
+            "is_lrd": self.is_lrd,
+            "frame_duration": self.frame_duration,
+        }
+
+    def __repr__(self) -> str:
+        stats = self.describe()
+        return (
+            f"{stats['class']}(mean={stats['mean']:.6g}, "
+            f"variance={stats['variance']:.6g}, hurst={stats['hurst']:.4g})"
+        )
+
+
+def coerce_lags(lags: LagsLike) -> np.ndarray:
+    """Normalize a lag specification into a validated int array (>= 0)."""
+    lags_arr = np.atleast_1d(np.asarray(lags))
+    if lags_arr.size and not np.issubdtype(lags_arr.dtype, np.number):
+        raise ValueError(f"lags must be numeric, got dtype {lags_arr.dtype}")
+    lags_int = lags_arr.astype(np.int64)
+    if lags_arr.size and np.any(lags_int != lags_arr):
+        raise ValueError("lags must be integers")
+    if lags_arr.size and np.any(lags_int < 0):
+        raise ValueError("lags must be >= 0")
+    return lags_int
+
+
+def stationary_gaussian_check(mean: float, variance: float) -> None:
+    """Validate a Gaussian marginal specification (shared by models)."""
+    check_positive(variance, "variance")
+    # Frame sizes are cell counts; a negative mean is certainly a bug.
+    check_positive(mean, "mean", strict=False)

@@ -1,0 +1,119 @@
+"""Fitting a DAR(p) model to the first p autocorrelations of a target.
+
+This implements the construction behind the paper's model ``S``
+(Section 3 and Table 1): given a target process — in the paper, the
+LRD composite ``Z^a`` — build the DAR(p) whose first p
+autocorrelations match the target's *exactly*.
+
+The DAR(p) ACF recursion ``r(k) = rho sum_i a_i r(|k-i|)`` is linear
+in the products ``b_i = rho a_i`` once the first p target
+autocorrelations are fixed, so the fit is a p x p Yule-Walker solve:
+
+    ``R b = r``  with  ``R[k, i] = r*(|k - i|)`` (r*(0) = 1),
+
+then ``rho = sum_i b_i`` and ``a_i = b_i / rho``.  Not every
+correlation sequence is reachable: DAR mixtures require ``a_i >= 0``
+and ``0 <= rho < 1``; violations raise :class:`FittingError` (with an
+opt-out projection for exploratory use).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import FittingError
+from repro.models.base import TrafficModel
+from repro.models.dar import DARModel
+from repro.utils.validation import check_integer
+
+#: Tolerance below which a small negative fitted weight is treated as zero.
+_WEIGHT_TOLERANCE = 1e-10
+
+
+def solve_dar_parameters(
+    target_acf: Sequence[float], *, strict: bool = True
+) -> Tuple[float, np.ndarray]:
+    """Solve (rho, weights) so the DAR(p) matches ``target_acf`` = r(1..p).
+
+    Parameters
+    ----------
+    target_acf:
+        The first p autocorrelations of the target process.
+    strict:
+        When true (default), reject fits with negative weights or
+        rho outside [0, 1).  When false, clip negative weights to zero,
+        renormalize, and return the projected (approximate) fit.
+
+    Returns
+    -------
+    (rho, weights):
+        Repeat probability and lag-selection probabilities a_1..a_p.
+    """
+    r = np.asarray(target_acf, dtype=float)
+    if r.ndim != 1 or r.size == 0:
+        raise FittingError("target_acf must be a non-empty 1-D sequence")
+    p = r.shape[0]
+    extended = np.concatenate(([1.0], r))  # extended[k] = r(k), k = 0..p
+    lags = np.arange(1, p + 1)
+    matrix = extended[np.abs(lags[:, None] - lags[None, :])]
+    try:
+        b = np.linalg.solve(matrix, r)
+    except np.linalg.LinAlgError as exc:
+        raise FittingError(
+            f"Yule-Walker system is singular for target ACF {r.tolist()}"
+        ) from exc
+    rho = float(b.sum())
+    if not 0.0 <= rho < 1.0:
+        raise FittingError(
+            f"fitted rho = {rho:.6g} outside [0, 1); the target ACF "
+            f"{r.tolist()} is not representable by a DAR({p}) process"
+        )
+    if rho == 0.0:
+        return 0.0, np.full(p, 1.0 / p)
+    weights = b / rho
+    negative = weights < -_WEIGHT_TOLERANCE
+    if np.any(negative):
+        if strict:
+            raise FittingError(
+                f"fitted DAR({p}) weights {weights.tolist()} contain negative "
+                "entries; the target ACF is not a DAR mixture "
+                "(pass strict=False to project onto the feasible set)"
+            )
+        weights = np.clip(weights, 0.0, None)
+    weights = np.clip(weights, 0.0, None)
+    weights /= weights.sum()
+    return rho, weights
+
+
+def fit_dar(
+    target: TrafficModel, order: int, *, strict: bool = True
+) -> DARModel:
+    """Build the DAR(p) model ``S`` matched to ``target`` (paper Section 3).
+
+    Matches the target's mean, variance and first ``order``
+    autocorrelations; the frame duration is inherited.
+    """
+    order = check_integer(order, "order", minimum=1)
+    target_acf = target.acf(order)
+    rho, weights = solve_dar_parameters(target_acf, strict=strict)
+    return DARModel(
+        rho,
+        weights,
+        target.mean,
+        target.variance,
+        frame_duration=target.frame_duration,
+    )
+
+
+def fitted_acf_error(
+    target: TrafficModel, fitted: DARModel, max_lag: int
+) -> np.ndarray:
+    """Per-lag ACF error ``r_fit(k) - r_target(k)`` for k = 1..max_lag.
+
+    Diagnostic for how quickly a DAR(p) fit diverges from an LRD target
+    beyond the matched lags (the paper's Figs. 3(c) and 3(d)).
+    """
+    max_lag = check_integer(max_lag, "max_lag", minimum=1)
+    return fitted.acf(max_lag) - target.acf(max_lag)

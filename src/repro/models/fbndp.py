@@ -1,0 +1,414 @@
+"""Fractal-Binomial-Noise-Driven Poisson process (FBNDP).
+
+This is the exact-LRD traffic substrate of the paper (Section 3.2,
+after Ryu & Lowen): ``M`` i.i.d. fractal ON/OFF renewal processes —
+whose ON and OFF durations share the heavy-tailed law of
+:mod:`repro.models.heavy_tail` — are superposed into a fractal
+binomial rate process (FBN); that rate, scaled by ``R`` cells/sec,
+drives a Poisson point process.  Counting arrivals over video frames
+of length ``T_s`` yields the frame-size process ``L_n`` with
+
+* mean            ``mu = lambda T_s``  (lambda = R M / 2),
+* variance        ``sigma^2 = [1 + (T_s/T_0)^alpha] lambda T_s``,
+* autocorrelation ``r(k) = g * 1/2 nabla^2(k^{alpha+1})`` where
+  ``g = T_s^alpha / (T_s^alpha + T_0^alpha)``,
+
+i.e. an *exact* LRD process with Hurst parameter ``H = (alpha+1)/2``
+and fractal onset time ``T_0``.
+
+Two facts this implementation leans on:
+
+1. **Superposition closure** — the sum of N i.i.d. FBNDP sources with
+   parameters (alpha, A, M, R) is itself an FBNDP with (alpha, A, NM,
+   R), so the aggregate offered to a multiplexer is simulated directly
+   with NM ON/OFF processes and a single Poisson draw per frame
+   (sums of independent Poissons are Poisson).
+2. **Stationary start** — each ON/OFF process starts in its stationary
+   regime: equiprobable ON/OFF phase and an equilibrium
+   (residual-life) first duration.  Without this, the heavy-tailed
+   cycle lengths would contaminate estimates with a very long
+   transient.
+"""
+
+from __future__ import annotations
+
+import math
+import numpy as np
+
+from repro.constants import FRAME_DURATION
+from repro.core.variance_time import exact_lrd_variance_time
+from repro.exceptions import ParameterError
+from repro.models.base import TrafficModel, coerce_lags
+from repro.models.heavy_tail import HeavyTailedDuration
+from repro.utils.mathx import second_central_difference
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_in_range, check_integer, check_positive
+
+
+def onset_time_coefficient(alpha: float) -> float:
+    """The constant ``c_alpha`` in the fractal-onset-time formula.
+
+    ``T_0 = { c_alpha * R^{-1} * A^{alpha-1} }^{1/alpha}`` with
+    ``c_alpha = alpha (alpha+1) (2-alpha)^{-1} [(1-alpha) e^{2-alpha} + 1]``
+    (Section 3.2 of the paper).
+    """
+    check_in_range(alpha, "alpha", 0.0, 1.0)
+    return (
+        alpha
+        * (alpha + 1.0)
+        / (2.0 - alpha)
+        * ((1.0 - alpha) * math.exp(2.0 - alpha) + 1.0)
+    )
+
+
+def onset_time_from_physical(alpha: float, knee: float, rate_on: float) -> float:
+    """Fractal onset time T_0 from the physical parameters (alpha, A, R)."""
+    check_positive(knee, "knee")
+    check_positive(rate_on, "rate_on")
+    c_alpha = onset_time_coefficient(alpha)
+    return (c_alpha / rate_on * knee ** (alpha - 1.0)) ** (1.0 / alpha)
+
+
+def knee_from_onset_time(alpha: float, onset_time: float, rate_on: float) -> float:
+    """Invert :func:`onset_time_from_physical` for the knee A.
+
+    ``A = (T_0^alpha * R / c_alpha)^{1/(alpha-1)}`` — note the negative
+    exponent 1/(alpha-1): a *smaller* onset time requires a *larger*
+    knee at fixed R.
+    """
+    check_positive(onset_time, "onset_time")
+    check_positive(rate_on, "rate_on")
+    c_alpha = onset_time_coefficient(alpha)
+    return (onset_time**alpha * rate_on / c_alpha) ** (1.0 / (alpha - 1.0))
+
+
+def fractal_onoff_occupancy(
+    durations: HeavyTailedDuration,
+    n_frames: int,
+    frame_duration: float,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """ON-time (seconds) per frame for one stationary fractal ON/OFF process.
+
+    Generates the renewal sequence until it covers the horizon and
+    integrates the ON indicator over each frame interval via the
+    cumulative-occupancy function evaluated at frame boundaries —
+    O((renewals + frames) log) with no per-renewal Python work.
+    """
+    n_frames = check_integer(n_frames, "n_frames", minimum=1)
+    check_positive(frame_duration, "frame_duration")
+    generator = as_generator(rng)
+    horizon = n_frames * frame_duration
+
+    # Stationary initial conditions: equiprobable phase, residual first leg.
+    initially_on = bool(generator.random() < 0.5)
+    legs = [durations.sample_equilibrium(1, generator)]
+    covered = float(legs[0][0])
+    mean_leg = durations.mean
+    while covered < horizon:
+        batch_size = int((horizon - covered) / mean_leg * 1.2) + 64
+        batch = durations.sample(batch_size, generator)
+        legs.append(batch)
+        covered += float(batch.sum())
+    epochs = np.concatenate(legs).cumsum()
+    epochs = epochs[: int(np.searchsorted(epochs, horizon)) + 1]
+
+    boundaries = np.concatenate(([0.0], epochs))
+    if initially_on:
+        starts = boundaries[0::2]
+        ends = boundaries[1::2]
+    else:
+        starts = boundaries[1::2]
+        ends = boundaries[2::2]
+    starts = starts[: ends.shape[0]]
+    np.clip(ends, None, horizon, out=ends)
+    keep = starts < horizon
+    starts, ends = starts[keep], ends[keep]
+
+    # Cumulative ON time U(t) at frame boundaries t_j = j * T_s:
+    # count fully-started intervals, subtract the overrun of the last one.
+    cumlen = np.concatenate(([0.0], np.cumsum(ends - starts)))
+    frame_bounds = np.arange(n_frames + 1) * frame_duration
+    idx = np.searchsorted(starts, frame_bounds, side="right")
+    cumulative = cumlen[idx]
+    has_open = idx > 0
+    overrun = np.zeros_like(cumulative)
+    overrun[has_open] = np.maximum(
+        0.0, ends[idx[has_open] - 1] - frame_bounds[has_open]
+    )
+    cumulative -= overrun
+    return np.diff(cumulative)
+
+
+#: Memory budget (array elements) for one batched chunk of ON/OFF
+#: processes in :func:`superposed_onoff_occupancy`.
+_CHUNK_ELEMENT_BUDGET = 16_000_000
+
+#: Safety margin on the expected renewal count per process; rows whose
+#: renewals still fall short of the horizon are resampled individually.
+_RENEWAL_MARGIN = 1.35
+
+
+def superposed_onoff_occupancy(
+    durations: HeavyTailedDuration,
+    n_processes: int,
+    n_frames: int,
+    frame_duration: float,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Total ON-time per frame across many i.i.d. fractal ON/OFF processes.
+
+    Batched equivalent of summing :func:`fractal_onoff_occupancy` over
+    ``n_processes`` — the hot path of every FBNDP aggregate sample.
+    It rests on the identity
+
+        ``sum_i overlap([s_i, e_i), [0, t)) =
+          sum_i (t - s_i)^+  -  sum_i (t - e_i)^+``,
+
+    which pools the ON intervals of *all* processes into one sorted
+    starts array and one sorted ends array, evaluates the cumulative
+    occupancy U(t) at every frame boundary with two searchsorteds, and
+    differences — no per-process binning loop, no interval clipping.
+
+    Processes whose pre-sized renewal batch fails to cover the horizon
+    (heavy-tailed sums fluctuate) are resampled individually with
+    :func:`fractal_onoff_occupancy`; the replacement is a fresh
+    unconditional draw from the correct law, so no bias is introduced.
+    """
+    n_processes = check_integer(n_processes, "n_processes", minimum=1)
+    n_frames = check_integer(n_frames, "n_frames", minimum=1)
+    check_positive(frame_duration, "frame_duration")
+    generator = as_generator(rng)
+    horizon = n_frames * frame_duration
+
+    est_renewals = int(horizon / durations.mean * _RENEWAL_MARGIN) + 32
+    chunk_rows = max(1, _CHUNK_ELEMENT_BUDGET // est_renewals)
+
+    # Per-frame-bin tallies of interval starts/ends below the horizon:
+    # counts and coordinate sums.  U(t_j) then needs only cumulative
+    # sums of these bins — no global sort of the pooled intervals.
+    start_count = np.zeros(n_frames)
+    start_sum = np.zeros(n_frames)
+    end_count = np.zeros(n_frames)
+    end_sum = np.zeros(n_frames)
+    occupancy_extra = np.zeros(n_frames)
+
+    done = 0
+    while done < n_processes:
+        rows = min(chunk_rows, n_processes - done)
+        done += rows
+        # Stationary start: equilibrium first leg, fair ON/OFF phase;
+        # boundaries[i] = [0, e_1, e_2, ...] are the renewal epochs.
+        boundaries = np.empty((rows, est_renewals + 1))
+        boundaries[:, 0] = 0.0
+        legs = durations.ppf(generator.random((rows, est_renewals)))
+        legs[:, 0] = durations.sample_equilibrium(rows, generator)
+        np.cumsum(legs, axis=1, out=boundaries[:, 1:])
+        initially_on = generator.random(rows) < 0.5
+
+        covered = boundaries[:, -1] >= horizon
+        for _ in range(int(np.count_nonzero(~covered))):
+            # Resample this process from scratch (fresh unconditional
+            # draw; see docstring) and bank its occupancy directly.
+            occupancy_extra += fractal_onoff_occupancy(
+                durations, n_frames, frame_duration, generator
+            )
+
+        # ON intervals are [b_j, b_{j+1}) for alternating j, offset by
+        # the initial phase.
+        parity = np.arange(est_renewals) % 2 == 0
+        select = np.logical_xor.outer(~initially_on, parity)
+        select &= covered[:, None]
+        starts = boundaries[:, :-1][select]
+        ends = boundaries[:, 1:][select]
+
+        for values, counts, sums in (
+            (starts, start_count, start_sum),
+            (ends, end_count, end_sum),
+        ):
+            inside = values < horizon
+            values = values[inside]
+            bins = np.minimum(
+                (values / frame_duration).astype(np.int64), n_frames - 1
+            )
+            counts += np.bincount(bins, minlength=n_frames)
+            sums += np.bincount(bins, weights=values, minlength=n_frames)
+
+    # U(t_j) = sum_i (t_j - s_i)^+ - sum_i (t_j - e_i)^+ evaluated at
+    # every frame boundary t_j = j * T_s via the bin cumulatives.
+    bounds = np.arange(n_frames + 1) * frame_duration
+    n_starts = np.concatenate(([0.0], np.cumsum(start_count)))
+    s_starts = np.concatenate(([0.0], np.cumsum(start_sum)))
+    n_ends = np.concatenate(([0.0], np.cumsum(end_count)))
+    s_ends = np.concatenate(([0.0], np.cumsum(end_sum)))
+    u_at_bounds = (bounds * n_starts - s_starts) - (bounds * n_ends - s_ends)
+    occupancy = np.diff(u_at_bounds) + occupancy_extra
+    # The identity is exact; the evaluation subtracts large cumulants,
+    # so frames with (near-)zero true occupancy can come out at -1e-8.
+    return np.clip(occupancy, 0.0, n_processes * frame_duration)
+
+
+class FBNDPModel(TrafficModel):
+    """FBNDP frame-size process — the paper's exact-LRD video model.
+
+    Construct either from physical parameters via the constructor /
+    :meth:`from_physical`, or from target frame statistics via
+    :meth:`from_statistics` (the route the paper's Table 1 takes:
+    given mean, variance, alpha and M, solve for R, T_0 and A).
+
+    Parameters
+    ----------
+    alpha:
+        Fractal exponent in (0, 1); Hurst parameter H = (alpha+1)/2.
+    knee:
+        Stitch point A (seconds) of the ON/OFF duration law.
+    n_onoff:
+        Number M of superposed ON/OFF processes.  Larger M makes the
+        frame-size marginal closer to Gaussian (CLT).
+    rate_on:
+        Arrival rate R (cells/sec) of one ON/OFF process while ON.
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        knee: float,
+        n_onoff: int,
+        rate_on: float,
+        frame_duration: float = FRAME_DURATION,
+    ):
+        super().__init__(frame_duration)
+        self.alpha = check_in_range(alpha, "alpha", 0.0, 1.0)
+        self.knee = check_positive(knee, "knee")
+        self.n_onoff = check_integer(n_onoff, "n_onoff", minimum=1)
+        self.rate_on = check_positive(rate_on, "rate_on")
+        self.durations = HeavyTailedDuration.from_alpha(alpha, knee)
+
+    # -- alternate constructors ------------------------------------------------
+
+    @classmethod
+    def from_physical(
+        cls,
+        alpha: float,
+        knee: float,
+        n_onoff: int,
+        rate_on: float,
+        frame_duration: float = FRAME_DURATION,
+    ) -> "FBNDPModel":
+        """Alias of the constructor, for symmetry with from_statistics."""
+        return cls(alpha, knee, n_onoff, rate_on, frame_duration)
+
+    @classmethod
+    def from_statistics(
+        cls,
+        mean: float,
+        variance: float,
+        alpha: float,
+        n_onoff: int,
+        frame_duration: float = FRAME_DURATION,
+    ) -> "FBNDPModel":
+        """Solve (R, T_0, A) for target frame mean/variance (Table 1 route).
+
+        Inversions: ``lambda = mean / T_s``, ``R = 2 lambda / M``,
+        ``(T_s/T_0)^alpha = variance/mean - 1`` and A from the onset-time
+        formula.  Requires ``variance > mean`` — the Poisson noise floor
+        makes smaller variances unreachable.
+        """
+        check_positive(mean, "mean")
+        check_positive(variance, "variance")
+        check_positive(frame_duration, "frame_duration")
+        ratio = variance / mean
+        if ratio <= 1.0:
+            raise ParameterError(
+                "FBNDP requires variance > mean (index of dispersion > 1); "
+                f"got variance/mean = {ratio:.6g}"
+            )
+        arrival_rate = mean / frame_duration
+        rate_on = 2.0 * arrival_rate / check_integer(n_onoff, "n_onoff", minimum=1)
+        onset = frame_duration * (ratio - 1.0) ** (-1.0 / alpha)
+        knee = knee_from_onset_time(alpha, onset, rate_on)
+        return cls(alpha, knee, n_onoff, rate_on, frame_duration)
+
+    # -- derived parameters ------------------------------------------------------
+
+    @property
+    def arrival_rate(self) -> float:
+        """Mean arrival rate lambda = R M / 2 (cells/sec)."""
+        return self.rate_on * self.n_onoff / 2.0
+
+    @property
+    def onset_time(self) -> float:
+        """Fractal onset time T_0 (seconds)."""
+        return onset_time_from_physical(self.alpha, self.knee, self.rate_on)
+
+    @property
+    def lrd_weight(self) -> float:
+        """``g = T_s^alpha / (T_s^alpha + T_0^alpha)`` from Eq. (2)."""
+        ts_a = self.frame_duration**self.alpha
+        return ts_a / (ts_a + self.onset_time**self.alpha)
+
+    @property
+    def hurst(self) -> float:
+        return (self.alpha + 1.0) / 2.0
+
+    # -- TrafficModel interface ----------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.arrival_rate * self.frame_duration
+
+    @property
+    def variance(self) -> float:
+        ratio = (self.frame_duration / self.onset_time) ** self.alpha
+        return (1.0 + ratio) * self.mean
+
+    def autocorrelation(self, lags) -> np.ndarray:
+        lags_int = coerce_lags(lags)
+        out = np.ones(lags_int.shape, dtype=float)
+        positive = lags_int >= 1
+        if np.any(positive):
+            out[positive] = self.lrd_weight * 0.5 * second_central_difference(
+                lags_int[positive].astype(float), self.alpha + 1.0
+            )
+        return out
+
+    def variance_time(self, m) -> np.ndarray:
+        """Exact closed form ``sigma^2 [(1-g) m + g m^{2H}]``."""
+        return exact_lrd_variance_time(self.variance, self.lrd_weight, self.hurst, m)
+
+    def sample_frames(self, n_frames: int, rng: RngLike = None) -> np.ndarray:
+        return self._sample_superposed(n_frames, self.n_onoff, rng)
+
+    def sample_aggregate(
+        self, n_frames: int, n_sources: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Exact aggregate: N i.i.d. FBNDPs = one FBNDP with N*M processes."""
+        n_sources = check_integer(n_sources, "n_sources", minimum=1)
+        return self._sample_superposed(n_frames, self.n_onoff * n_sources, rng)
+
+    def _sample_superposed(
+        self, n_frames: int, n_processes: int, rng: RngLike
+    ) -> np.ndarray:
+        n_frames = check_integer(n_frames, "n_frames", minimum=1)
+        generator = as_generator(rng)
+        occupancy = superposed_onoff_occupancy(
+            self.durations,
+            n_processes,
+            n_frames,
+            self.frame_duration,
+            generator,
+        )
+        return generator.poisson(self.rate_on * occupancy).astype(float)
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update(
+            alpha=self.alpha,
+            knee=self.knee,
+            n_onoff=self.n_onoff,
+            rate_on=self.rate_on,
+            arrival_rate=self.arrival_rate,
+            onset_time=self.onset_time,
+            lrd_weight=self.lrd_weight,
+        )
+        return info

@@ -1,0 +1,97 @@
+"""Discrete-time fractional Gaussian noise (fGn) — exact LRD, g = 1.
+
+Section 2 of the paper cites fGn as the canonical *exact* LRD process:
+its ACF is ``r(k) = 1/2 nabla^2(k^{2H})`` (Eq. (2) with g(T_s) = 1)
+and its variance-time function is exactly ``V(m) = sigma^2 m^{2H}``
+(self-similarity of the integrated process, fractional Brownian
+motion).  It is the model underlying the Norros storage result and the
+Weibull BOP asymptotics of Section 4.1, so we carry it as a reference
+model alongside the paper's FBNDP-based constructions.
+
+Sampling is exact via circulant embedding
+(:func:`repro.models.gaussian.sample_stationary_gaussian`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import FRAME_DURATION
+from repro.core.variance_time import exact_lrd_variance_time
+from repro.models.base import TrafficModel, coerce_lags, stationary_gaussian_check
+from repro.models.gaussian import sample_stationary_gaussian
+from repro.utils.mathx import second_central_difference
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_in_range, check_integer
+
+
+class FGNModel(TrafficModel):
+    """Fractional Gaussian noise frame-size process.
+
+    Parameters
+    ----------
+    hurst:
+        Hurst parameter in (0, 1).  H > 0.5 gives LRD; H = 0.5 reduces
+        to i.i.d. Gaussian frames.
+    mean, variance:
+        Gaussian marginal parameters (cells/frame).
+    """
+
+    def __init__(
+        self,
+        hurst: float,
+        mean: float,
+        variance: float,
+        frame_duration: float = FRAME_DURATION,
+    ):
+        super().__init__(frame_duration)
+        self._hurst = check_in_range(hurst, "hurst", 0.0, 1.0)
+        stationary_gaussian_check(mean, variance)
+        self._mean = float(mean)
+        self._variance = float(variance)
+
+    @property
+    def hurst(self) -> float:
+        return self._hurst
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        return self._variance
+
+    def autocorrelation(self, lags) -> np.ndarray:
+        lags_int = coerce_lags(lags)
+        out = np.ones(lags_int.shape, dtype=float)
+        positive = lags_int >= 1
+        if np.any(positive):
+            out[positive] = 0.5 * second_central_difference(
+                lags_int[positive].astype(float), 2.0 * self._hurst
+            )
+        return out
+
+    def variance_time(self, m) -> np.ndarray:
+        """Exactly ``sigma^2 m^{2H}`` (g = 1 in the exact-LRD closed form)."""
+        return exact_lrd_variance_time(self._variance, 1.0, self._hurst, m)
+
+    def sample_frames(self, n_frames: int, rng: RngLike = None) -> np.ndarray:
+        n_frames = check_integer(n_frames, "n_frames", minimum=1)
+        acf = np.concatenate(([1.0], self.acf(n_frames - 1)))
+        path = sample_stationary_gaussian(acf, n_frames, rng)
+        return self._mean + np.sqrt(self._variance) * path
+
+    def sample_aggregate(
+        self, n_frames: int, n_sources: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Exact aggregate: the sum of N i.i.d. fGns is fGn with variance
+        N sigma^2 and the same H (Gaussian closure), so one path suffices."""
+        n_sources = check_integer(n_sources, "n_sources", minimum=1)
+        n_frames = check_integer(n_frames, "n_frames", minimum=1)
+        acf = np.concatenate(([1.0], self.acf(n_frames - 1)))
+        path = sample_stationary_gaussian(acf, n_frames, rng)
+        return n_sources * self._mean + np.sqrt(n_sources * self._variance) * path
+
+    def describe(self) -> dict:
+        return super().describe()

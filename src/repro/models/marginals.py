@@ -1,0 +1,141 @@
+"""Frame-size marginal distributions for DAR-type models.
+
+The DAR(p) construction preserves *any* innovation distribution as its
+stationary marginal, which is how the paper gives every model the same
+Gaussian marginal.  Section 6.1 discusses what changes under other
+marginals — Heyman & Lakshman reached the paper's conclusions with
+**negative binomial** frame sizes — so this module makes the marginal
+pluggable:
+
+* :class:`GaussianMarginal` — the paper's choice (lightest tail);
+* :class:`NegativeBinomialMarginal` — the Heyman-Lakshman choice
+  (right-skewed, heavier tail; integer cell counts);
+* :class:`LognormalMarginal` — a convenient heavier-tail alternative
+  often fitted to video frame sizes.
+
+All are parameterized by (mean, variance) so models with different
+marginal *shapes* can share first- and second-order statistics — the
+controlled comparison of Section 6.1.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_positive
+
+
+class Marginal(abc.ABC):
+    """A frame-size distribution with known mean and variance."""
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Mean frame size (cells/frame)."""
+
+    @property
+    @abc.abstractmethod
+    def variance(self) -> float:
+        """Frame-size variance (cells/frame)^2."""
+
+    @abc.abstractmethod
+    def sample(self, size: int, rng: RngLike = None) -> np.ndarray:
+        """Draw ``size`` i.i.d. frame sizes."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(mean={self.mean:.6g}, "
+            f"variance={self.variance:.6g})"
+        )
+
+
+class GaussianMarginal(Marginal):
+    """The paper's Gaussian frame-size marginal."""
+
+    def __init__(self, mean: float, variance: float):
+        self._mean = check_positive(mean, "mean", strict=False)
+        self._variance = check_positive(variance, "variance")
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        return self._variance
+
+    def sample(self, size: int, rng: RngLike = None) -> np.ndarray:
+        generator = as_generator(rng)
+        return self._mean + math.sqrt(self._variance) * (
+            generator.standard_normal(size)
+        )
+
+
+class NegativeBinomialMarginal(Marginal):
+    """Negative binomial frame sizes (Heyman & Lakshman's marginal).
+
+    Parameterized by (mean, variance) with variance > mean:
+    ``p = mean/variance`` and ``r = mean^2 / (variance - mean)``.
+    Right-skewed with integer support — the classic count model for
+    videoconference frame sizes.
+    """
+
+    def __init__(self, mean: float, variance: float):
+        check_positive(mean, "mean")
+        check_positive(variance, "variance")
+        if variance <= mean:
+            raise ParameterError(
+                "negative binomial requires variance > mean, got "
+                f"mean={mean!r}, variance={variance!r}"
+            )
+        self._mean = float(mean)
+        self._variance = float(variance)
+        self.p = mean / variance
+        self.r = mean**2 / (variance - mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        return self._variance
+
+    def sample(self, size: int, rng: RngLike = None) -> np.ndarray:
+        generator = as_generator(rng)
+        return generator.negative_binomial(self.r, self.p, size).astype(
+            float
+        )
+
+
+class LognormalMarginal(Marginal):
+    """Lognormal frame sizes — a heavier-tailed continuous alternative.
+
+    Moment-matched: ``sigma_log^2 = log(1 + variance/mean^2)`` and
+    ``mu_log = log(mean) - sigma_log^2 / 2``.
+    """
+
+    def __init__(self, mean: float, variance: float):
+        check_positive(mean, "mean")
+        check_positive(variance, "variance")
+        self._mean = float(mean)
+        self._variance = float(variance)
+        self.sigma_log = math.sqrt(math.log1p(variance / mean**2))
+        self.mu_log = math.log(mean) - self.sigma_log**2 / 2.0
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        return self._variance
+
+    def sample(self, size: int, rng: RngLike = None) -> np.ndarray:
+        generator = as_generator(rng)
+        return generator.lognormal(self.mu_log, self.sigma_log, size)

@@ -1,0 +1,185 @@
+"""M/G/infinity (Cox) input model with Pareto sessions — asymptotic LRD.
+
+Section 4.1 of the paper cites Likhanov et al. and Parulekar &
+Makowski, who show that for the "M/G/infinity-type model of Cox" the
+buffer-overflow tail decays at most *hyperbolically* — the strongest
+version of the LRD scare.  We include the model as an additional
+substrate so that claim can be examined with the same CTS machinery.
+
+The busy-server process: sessions arrive as a Poisson process of rate
+``session_rate``; each holds a server for an i.i.d. Pareto time
+``T ~ Pareto(beta, t_min)`` (survival ``(t_min/t)^beta`` for
+``t >= t_min``) with 1 < beta < 2.  The stationary occupancy ``N(t)``
+is Poisson with mean ``session_rate * E[T]``, and
+
+    ``Cov(N(0), N(tau)) = session_rate * int_tau^inf S(u) du``,
+
+so ``r(tau) ~ tau^{1-beta}`` — asymptotic LRD with
+``H = (3 - beta)/2``.  The frame process samples ``N`` at frame
+boundaries scaled by ``cells_per_session`` cells/frame per active
+session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import FRAME_DURATION
+from repro.models.base import TrafficModel, coerce_lags
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_in_range, check_integer, check_positive
+
+
+class MGInfModel(TrafficModel):
+    """Frame process driven by M/G/infinity busy servers with Pareto holding.
+
+    Parameters
+    ----------
+    session_rate:
+        Poisson session arrival rate (sessions/sec).
+    beta:
+        Pareto tail exponent in (1, 2): finite-mean, infinite-variance
+        holding times; H = (3 - beta)/2.
+    t_min:
+        Pareto scale (minimum session length, seconds).
+    cells_per_session:
+        Cells emitted per frame by each active session.
+    """
+
+    def __init__(
+        self,
+        session_rate: float,
+        beta: float,
+        t_min: float,
+        cells_per_session: float = 1.0,
+        frame_duration: float = FRAME_DURATION,
+    ):
+        super().__init__(frame_duration)
+        self.session_rate = check_positive(session_rate, "session_rate")
+        self.beta = check_in_range(beta, "beta", 1.0, 2.0)
+        self.t_min = check_positive(t_min, "t_min")
+        self.cells_per_session = check_positive(
+            cells_per_session, "cells_per_session"
+        )
+
+    # -- session-time moments -----------------------------------------------------
+
+    @property
+    def mean_holding(self) -> float:
+        """E[T] = beta t_min / (beta - 1)."""
+        return self.beta * self.t_min / (self.beta - 1.0)
+
+    @property
+    def mean_occupancy(self) -> float:
+        """Stationary mean number of busy servers (Poisson mean)."""
+        return self.session_rate * self.mean_holding
+
+    @property
+    def hurst(self) -> float:
+        return (3.0 - self.beta) / 2.0
+
+    # -- TrafficModel interface ------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.cells_per_session * self.mean_occupancy
+
+    @property
+    def variance(self) -> float:
+        # Poisson occupancy: variance equals the mean (in sessions).
+        return self.cells_per_session**2 * self.mean_occupancy
+
+    def _integrated_sf(self, tau: np.ndarray) -> np.ndarray:
+        """``int_tau^inf S(u) du`` for the Pareto holding time."""
+        b, tm = self.beta, self.t_min
+        tau = np.asarray(tau, dtype=float)
+        below = tm - tau + tm / (b - 1.0)  # int_tau^tm 1 du + int_tm^inf S
+        above_t = np.where(tau > tm, tau, tm)
+        above = tm**b * above_t ** (1.0 - b) / (b - 1.0)
+        return np.where(tau <= tm, below, above)
+
+    def autocorrelation(self, lags) -> np.ndarray:
+        lags_int = coerce_lags(lags)
+        tau = lags_int.astype(float) * self.frame_duration
+        return self._integrated_sf(tau) / self.mean_holding
+
+    def sample_frames(self, n_frames: int, rng: RngLike = None) -> np.ndarray:
+        return self._sample_occupancy(n_frames, 1, rng)
+
+    def sample_aggregate(
+        self, n_frames: int, n_sources: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Exact aggregate: N independent M/G/inf systems merge into one
+        with N-fold session rate (Poisson superposition)."""
+        return self._sample_occupancy(n_frames, n_sources, rng)
+
+    def _sample_occupancy(
+        self, n_frames: int, n_copies: int, rng: RngLike
+    ) -> np.ndarray:
+        n_frames = check_integer(n_frames, "n_frames", minimum=1)
+        n_copies = check_integer(n_copies, "n_copies", minimum=1)
+        generator = as_generator(rng)
+        rate = self.session_rate * n_copies
+        horizon = n_frames * self.frame_duration
+        boundaries = np.arange(n_frames) * self.frame_duration
+
+        # Stationary initial sessions: Poisson(mean) count, residual
+        # lives from the equilibrium distribution of the Pareto law.
+        n_initial = generator.poisson(rate * self.mean_holding)
+        residual = self._equilibrium_ppf(generator.random(n_initial))
+        delta = np.zeros(n_frames, dtype=np.int64)
+        self._accumulate(delta, np.zeros(n_initial), residual, boundaries)
+
+        # Fresh sessions over the horizon.
+        n_new = generator.poisson(rate * horizon)
+        starts = generator.random(n_new) * horizon
+        holding = self.t_min * (1.0 - generator.random(n_new)) ** (
+            -1.0 / self.beta
+        )
+        self._accumulate(delta, starts, holding, boundaries)
+        occupancy = np.cumsum(delta)
+        return self.cells_per_session * occupancy.astype(float)
+
+    def _equilibrium_ppf(self, u: np.ndarray) -> np.ndarray:
+        """Quantile of the Pareto equilibrium (residual-life) law.
+
+        ``F_e(t) = [t (b-1)/b + ...]/E[T]`` piecewise: uniform density
+        below t_min, power tail above; breakpoint at
+        ``u* = t_min / E[T] = (b-1)/b``.
+        """
+        b, tm = self.beta, self.t_min
+        mean = self.mean_holding
+        split = tm / mean  # = (b - 1) / b
+        below = np.minimum(u, split) * mean
+        frac = np.clip(1.0 - np.where(u > split, u, split), 1e-300, 1.0)
+        above = tm * (b * frac) ** (1.0 / (1.0 - b))
+        return np.where(u <= split, below, above)
+
+    @staticmethod
+    def _accumulate(
+        delta: np.ndarray,
+        starts: np.ndarray,
+        holding: np.ndarray,
+        boundaries: np.ndarray,
+    ) -> None:
+        """Record each session's [start, start+holding) boundary coverage.
+
+        Writes +1/-1 increments into ``delta``; the caller cumsums once
+        at the end to obtain the occupancy at each frame boundary.
+        """
+        ends = starts + holding
+        lo = np.searchsorted(boundaries, starts, side="left")
+        hi = np.searchsorted(boundaries, ends, side="left")
+        np.add.at(delta, lo[lo < delta.shape[0]], 1)
+        np.subtract.at(delta, hi[hi < delta.shape[0]], 1)
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update(
+            session_rate=self.session_rate,
+            beta=self.beta,
+            t_min=self.t_min,
+            cells_per_session=self.cells_per_session,
+            mean_occupancy=self.mean_occupancy,
+        )
+        return info

@@ -1,0 +1,121 @@
+"""Superposition of independent traffic models.
+
+Section 3.3 of the paper builds its main video models V^v and Z^a as
+the sum of an FBNDP component X (power-law long-term correlations) and
+a DAR(1) component Y (geometric short-term correlations).  For
+independent components the second-order statistics compose exactly:
+
+* mean:       ``mu = sum_i mu_i``
+* variance:   ``sigma^2 = sum_i sigma_i^2``
+* ACF:        ``r(k) = sum_i (sigma_i^2 / sigma^2) r_i(k)``
+  — the paper's Eq. (5), a variance-weighted average (for X + Y with
+  ``v = sigma_X^2 / sigma_Y^2``, the weights are v/(v+1) and 1/(v+1));
+* variance-time: ``V(m) = sum_i V_i(m)`` — so closed-form component
+  V(m)s (FBNDP, DAR(1)) make the composite's Bahadur-Rao analysis
+  closed-form too.
+
+Sample paths are sums of independent component paths, and aggregates
+of N sources delegate to each component's (possibly exact) aggregate
+sampler.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.models.base import TrafficModel
+from repro.utils.rng import RngLike, spawn_generators
+from repro.utils.validation import check_integer
+
+
+class SuperposedModel(TrafficModel):
+    """Sum of independent :class:`TrafficModel` components."""
+
+    def __init__(self, components: Sequence[TrafficModel]):
+        components = tuple(components)
+        if not components:
+            raise ParameterError("SuperposedModel needs at least one component")
+        durations = {c.frame_duration for c in components}
+        if len(durations) != 1:
+            raise ParameterError(
+                f"components must share a frame duration, got {sorted(durations)}"
+            )
+        super().__init__(components[0].frame_duration)
+        self.components = components
+
+    @property
+    def mean(self) -> float:
+        return float(sum(c.mean for c in self.components))
+
+    @property
+    def variance(self) -> float:
+        return float(sum(c.variance for c in self.components))
+
+    @property
+    def variance_ratio(self) -> float:
+        """``v = sigma_X^2 / sigma_Y^2`` for two-component models (Eq. 5).
+
+        Defined only for exactly two components, in construction order.
+        """
+        if len(self.components) != 2:
+            raise ParameterError(
+                "variance_ratio is defined for two-component superpositions"
+            )
+        return self.components[0].variance / self.components[1].variance
+
+    @property
+    def hurst(self) -> float:
+        """Hurst parameter of the superposition.
+
+        The slowest-decaying component dominates the correlation tail,
+        so the superposition inherits the maximum component H.
+        """
+        return max(c.hurst for c in self.components)
+
+    def autocorrelation(self, lags) -> np.ndarray:
+        total_var = self.variance
+        out = None
+        for component in self.components:
+            term = component.variance / total_var * component.autocorrelation(lags)
+            out = term if out is None else out + term
+        return out
+
+    def variance_time(self, m) -> np.ndarray:
+        out = None
+        for component in self.components:
+            term = component.variance_time(m)
+            out = term if out is None else out + term
+        return out
+
+    def sample_frames(self, n_frames: int, rng: RngLike = None) -> np.ndarray:
+        n_frames = check_integer(n_frames, "n_frames", minimum=1)
+        generators = spawn_generators(rng, len(self.components))
+        total = np.zeros(n_frames)
+        for component, component_rng in zip(self.components, generators):
+            total += component.sample_frames(n_frames, component_rng)
+        return total
+
+    def sample_aggregate(
+        self, n_frames: int, n_sources: int, rng: RngLike = None
+    ) -> np.ndarray:
+        """Aggregate of N sources = sum of component aggregates.
+
+        Each component may exploit its own superposition closure (the
+        FBNDP component simulates N*M ON/OFF processes at once; DAR
+        simulates N chains).
+        """
+        n_frames = check_integer(n_frames, "n_frames", minimum=1)
+        n_sources = check_integer(n_sources, "n_sources", minimum=1)
+        generators = spawn_generators(rng, len(self.components))
+        total = np.zeros(n_frames)
+        for component, component_rng in zip(self.components, generators):
+            total += component.sample_aggregate(n_frames, n_sources, component_rng)
+        return total
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info["components"] = [c.describe() for c in self.components]
+        return info

@@ -1,0 +1,124 @@
+"""Dependency-free ASCII line charts for experiment results.
+
+The reproduction environment is intentionally lean (numpy/scipy only),
+so the figures are rendered as Unicode scatter/line charts on a
+character grid — enough to *see* the orderings and crossovers the
+paper's figures communicate, directly in a terminal or log file.
+
+Used by the experiment runner (``--plot``) and available for ad-hoc
+use::
+
+    from repro.plotting import ascii_plot
+    print(ascii_plot([("Z", x, y1), ("DAR(1)", x, y2)]))
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: Distinct glyphs assigned to series, in order.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Sequence[Tuple[str, np.ndarray, np.ndarray]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "",
+    y_label: str = "",
+    logx: bool = False,
+) -> str:
+    """Render labeled (x, y) series on a character grid.
+
+    Parameters
+    ----------
+    series:
+        Tuples of (label, x, y).  Non-finite y values are skipped.
+    width, height:
+        Plot-area size in characters.
+    logx:
+        Plot against log10(x) (x must then be positive).
+
+    Returns the chart as a multi-line string (no trailing newline).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 8 or height < 4:
+        raise ValueError("plot area too small")
+
+    prepared = []
+    for label, x, y in series:
+        x_arr = np.asarray(x, dtype=float)
+        y_arr = np.asarray(y, dtype=float)
+        if x_arr.shape != y_arr.shape:
+            raise ValueError(f"series {label!r}: shape mismatch")
+        keep = np.isfinite(y_arr) & np.isfinite(x_arr)
+        if logx:
+            keep &= x_arr > 0
+        x_arr, y_arr = x_arr[keep], y_arr[keep]
+        if logx:
+            x_arr = np.log10(x_arr)
+        prepared.append((label, x_arr, y_arr))
+
+    non_empty = [p for p in prepared if p[1].size]
+    if not non_empty:
+        return "(no finite data to plot)"
+    xs = np.concatenate([p[1] for p in non_empty])
+    ys = np.concatenate([p[2] for p in non_empty])
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, x_arr, y_arr) in enumerate(prepared):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        for xv, yv in zip(x_arr, y_arr):
+            column = int(round((xv - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((yv - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - row][column] = glyph
+
+    lines: List[str] = []
+    if y_label:
+        lines.append(y_label)
+    top_tick = f"{y_hi:.3g}"
+    bottom_tick = f"{y_lo:.3g}"
+    margin = max(len(top_tick), len(bottom_tick)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_tick.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom_tick.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * margin + "+" + "-" * width)
+    left = f"{10**x_lo:.3g}" if logx else f"{x_lo:.3g}"
+    right = f"{10**x_hi:.3g}" if logx else f"{x_hi:.3g}"
+    axis = left.ljust(width // 2) + right.rjust(width - width // 2)
+    lines.append(" " * (margin + 1) + axis)
+    if x_label:
+        lines.append(" " * (margin + 1) + x_label.center(width))
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} {label}"
+        for i, (label, _x, _y) in enumerate(prepared)
+    )
+    lines.append("  legend: " + legend)
+    return "\n".join(lines)
+
+
+def plot_panel(panel, *, logx: bool = False, **kwargs) -> str:
+    """Render one :class:`~repro.experiments.result.Panel` as ASCII."""
+    series = [(s.label, s.x, s.y) for s in panel.series]
+    return ascii_plot(
+        series,
+        x_label=panel.x_label,
+        y_label=f"{panel.name}   [{panel.y_label}]",
+        logx=logx,
+        **kwargs,
+    )

@@ -1,0 +1,65 @@
+"""ATM multiplexer simulation: workload recursions, replications, stats."""
+
+from repro.queueing.cell_level import (
+    CellLevelResult,
+    deterministic_smoothing_times,
+    simulate_cell_level,
+)
+from repro.queueing.batch_means import (
+    BatchMeansEstimate,
+    batch_means,
+    batch_means_clr,
+)
+from repro.queueing.delay import DelayStatistics
+from repro.queueing.heterogeneous import HeterogeneousMultiplexer
+from repro.queueing.exact_markov import (
+    ExactCLRResult,
+    MarkovArrivalChain,
+    exact_clr,
+)
+from repro.queueing.multiplexer import ATMMultiplexer
+from repro.queueing.replication import (
+    CLRCurve,
+    CLRReplicationSummary,
+    replicated_clr,
+    replicated_clr_curve,
+)
+from repro.queueing.statistics import (
+    ReplicatedEstimate,
+    pooled_clr,
+    replicated_estimate,
+    survival_function,
+)
+from repro.queueing.workload import (
+    FiniteBufferResult,
+    InfiniteBufferResult,
+    simulate_finite_buffer,
+    simulate_infinite_buffer,
+)
+
+__all__ = [
+    "ATMMultiplexer",
+    "BatchMeansEstimate",
+    "CLRCurve",
+    "CLRReplicationSummary",
+    "CellLevelResult",
+    "DelayStatistics",
+    "ExactCLRResult",
+    "FiniteBufferResult",
+    "HeterogeneousMultiplexer",
+    "MarkovArrivalChain",
+    "exact_clr",
+    "InfiniteBufferResult",
+    "ReplicatedEstimate",
+    "batch_means",
+    "batch_means_clr",
+    "deterministic_smoothing_times",
+    "pooled_clr",
+    "replicated_clr",
+    "replicated_clr_curve",
+    "replicated_estimate",
+    "simulate_cell_level",
+    "simulate_finite_buffer",
+    "simulate_infinite_buffer",
+    "survival_function",
+]

@@ -1,0 +1,36 @@
+"""Shared low-level helpers: validation, RNG handling, math, units."""
+
+from repro.utils.validation import (
+    check_in_range,
+    check_integer,
+    check_positive,
+    check_probability,
+)
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.mathx import (
+    kappa,
+    second_central_difference,
+    weighted_tail_sum,
+)
+from repro.utils.units import (
+    buffer_cells_to_delay,
+    cells_per_frame_to_mbps,
+    delay_to_buffer_cells,
+    mbps_to_cells_per_frame,
+)
+
+__all__ = [
+    "as_generator",
+    "buffer_cells_to_delay",
+    "cells_per_frame_to_mbps",
+    "check_in_range",
+    "check_integer",
+    "check_positive",
+    "check_probability",
+    "delay_to_buffer_cells",
+    "kappa",
+    "mbps_to_cells_per_frame",
+    "second_central_difference",
+    "spawn_generators",
+    "weighted_tail_sum",
+]

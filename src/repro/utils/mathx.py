@@ -1,0 +1,84 @@
+"""Small mathematical helpers shared across models and core analysis.
+
+Named ``mathx`` to avoid shadowing the standard-library :mod:`math`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def second_central_difference(k: ArrayLike, exponent: float) -> np.ndarray:
+    """Second central difference ``nabla^2(k^exponent)`` used by exact-LRD ACFs.
+
+    Computes ``(k+1)^e - 2 k^e + |k-1|^e`` elementwise.  This is the
+    operator from Eq. (2) of the paper: the autocorrelation of an exact
+    LRD process is ``r(k) = (g/2) * nabla^2(k^{2H})``.
+
+    ``k`` may be scalar or array; values must be >= 1 for the formula to
+    be meaningful (``|k-1|`` keeps k = 1 well-defined: ``0^e = 0``).
+    """
+    k_arr = np.asarray(k, dtype=float)
+    if np.any(k_arr < 1):
+        raise ValueError("second_central_difference requires k >= 1")
+    return (
+        (k_arr + 1.0) ** exponent
+        - 2.0 * k_arr**exponent
+        + np.abs(k_arr - 1.0) ** exponent
+    )
+
+
+def kappa(hurst: float) -> float:
+    """``kappa(H) = H^H (1-H)^{1-H}`` from the paper's Eq. (6).
+
+    Appears in the Weibull approximation of the buffer overflow
+    probability for Gaussian exact-LRD sources.  Defined for
+    0 < H < 1; continuous limits at the endpoints equal 1.
+    """
+    if not 0.0 < hurst < 1.0:
+        raise ValueError(f"kappa(H) requires 0 < H < 1, got {hurst}")
+    return hurst**hurst * (1.0 - hurst) ** (1.0 - hurst)
+
+
+def weighted_tail_sum(acf: np.ndarray, m: int) -> float:
+    """``sum_{i=1}^{m-1} (m - i) * r(i)`` — the cross-term of Var(sum).
+
+    ``acf`` must contain r(1), r(2), ... (lag-0 excluded) with length
+    at least ``m - 1``.  Used by the generic variance-time computation
+    V(m) = sigma^2 [m + 2 * weighted_tail_sum(r, m)].
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if m == 1:
+        return 0.0
+    r = np.asarray(acf, dtype=float)
+    if r.shape[0] < m - 1:
+        raise ValueError(
+            f"need at least {m - 1} autocorrelations, got {r.shape[0]}"
+        )
+    lags = np.arange(1, m)
+    return float(np.dot(m - lags, r[: m - 1]))
+
+
+def geometric_weighted_tail_sum(a: float, m: ArrayLike) -> np.ndarray:
+    """Closed form of ``sum_{i=1}^{m-1} (m - i) a^i`` for geometric ACFs.
+
+    Equals ``a * (m (1 - a) - (1 - a^m)) / (1 - a)^2`` for ``a != 1``
+    and ``m (m - 1) / 2`` for ``a == 1``.  Vectorized over ``m``; used
+    by the AR(1)/DAR(1) variance-time closed forms, which keeps the
+    Bahadur-Rao infimum search O(1) per ``m`` instead of requiring a
+    cumulative ACF sum.
+    """
+    m_arr = np.asarray(m, dtype=float)
+    if np.any(m_arr < 1):
+        raise ValueError("m must be >= 1")
+    if a == 1.0:
+        return m_arr * (m_arr - 1.0) / 2.0
+    # Integer exponents keep negative bases (anti-persistent AR(1)) exact;
+    # numpy returns NaN for negative**float.
+    a_pow_m = np.power(a, np.round(m_arr).astype(np.int64))
+    return a * (m_arr * (1.0 - a) - (1.0 - a_pow_m)) / (1.0 - a) ** 2

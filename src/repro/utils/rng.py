@@ -1,0 +1,54 @@
+"""Random-number-generator plumbing.
+
+The library follows the modern numpy convention: every stochastic
+function accepts a ``rng`` argument that may be ``None`` (fresh
+entropy), an integer seed, or an existing :class:`numpy.random.Generator`.
+Replicated experiments use :func:`spawn_generators`, which derives
+statistically independent child generators from one seed via
+``SeedSequence.spawn`` so that replications are reproducible *and*
+independent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a generator seeded from OS entropy; an ``int`` or
+    :class:`~numpy.random.SeedSequence` seeds a new PCG64 generator; an
+    existing generator is returned unchanged (shared state — callers
+    that need isolation should spawn).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn_generators(rng: RngLike, count: int) -> List[np.random.Generator]:
+    """Create ``count`` independent generators derived from ``rng``.
+
+    Independence is guaranteed by ``SeedSequence.spawn`` when ``rng`` is
+    ``None``, an int, or a SeedSequence.  When an existing Generator is
+    passed, children are spawned from it (numpy >= 1.25 exposes
+    ``Generator.spawn``; we fall back to seeding from its bit stream).
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    if isinstance(rng, np.random.Generator):
+        try:
+            return list(rng.spawn(count))
+        except AttributeError:  # numpy < 1.25
+            seeds = rng.integers(0, 2**63 - 1, size=count)
+            return [np.random.default_rng(int(s)) for s in seeds]
+    if isinstance(rng, np.random.SeedSequence):
+        seq = rng
+    else:
+        seq = np.random.SeedSequence(rng)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]

@@ -1,0 +1,59 @@
+"""Unit conversions between the paper's working units and SI.
+
+The paper works in *cells/frame* for rates and sizes and reports buffer
+sizes as the *maximum queueing delay in milliseconds*.  The conversion
+pivot is: a multiplexer serving ``N`` sources at ``c`` cells/frame per
+source drains ``N * c / T_s`` cells per second, so a buffer of ``B``
+cells imposes a maximum delay of ``B * T_s / (N * c)`` seconds.
+"""
+
+from __future__ import annotations
+
+from repro.constants import ATM_CELL_BITS, FRAME_DURATION
+from repro.utils.validation import check_positive
+
+
+def delay_to_buffer_cells(
+    delay_seconds: float,
+    service_cells_per_frame: float,
+    frame_duration: float = FRAME_DURATION,
+) -> float:
+    """Convert a maximum queueing delay to a buffer size in cells.
+
+    ``service_cells_per_frame`` is the *total* service rate C (for a
+    per-source view pass ``c`` and get the per-source buffer ``b``).
+    """
+    check_positive(delay_seconds, "delay_seconds", strict=False)
+    check_positive(service_cells_per_frame, "service_cells_per_frame")
+    check_positive(frame_duration, "frame_duration")
+    return delay_seconds * service_cells_per_frame / frame_duration
+
+
+def buffer_cells_to_delay(
+    buffer_cells: float,
+    service_cells_per_frame: float,
+    frame_duration: float = FRAME_DURATION,
+) -> float:
+    """Convert a buffer size in cells to the maximum queueing delay (sec)."""
+    check_positive(buffer_cells, "buffer_cells", strict=False)
+    check_positive(service_cells_per_frame, "service_cells_per_frame")
+    check_positive(frame_duration, "frame_duration")
+    return buffer_cells * frame_duration / service_cells_per_frame
+
+
+def cells_per_frame_to_mbps(
+    cells_per_frame: float, frame_duration: float = FRAME_DURATION
+) -> float:
+    """Convert a rate in cells/frame into megabits/sec (53-byte cells)."""
+    check_positive(cells_per_frame, "cells_per_frame", strict=False)
+    check_positive(frame_duration, "frame_duration")
+    return cells_per_frame * ATM_CELL_BITS / frame_duration / 1e6
+
+
+def mbps_to_cells_per_frame(
+    mbps: float, frame_duration: float = FRAME_DURATION
+) -> float:
+    """Convert a rate in megabits/sec into cells/frame (53-byte cells)."""
+    check_positive(mbps, "mbps", strict=False)
+    check_positive(frame_duration, "frame_duration")
+    return mbps * 1e6 * frame_duration / ATM_CELL_BITS

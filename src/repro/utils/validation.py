@@ -1,0 +1,107 @@
+"""Parameter validation helpers.
+
+All model constructors validate their inputs eagerly so that a bad
+parameter fails at construction time with a clear message, rather than
+surfacing later as a NaN deep inside a solver.  Every helper returns
+the (possibly coerced) value so it can be used inline::
+
+    self.alpha = check_in_range(alpha, "alpha", 0.0, 1.0)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.exceptions import ParameterError
+
+
+def check_positive(value: float, name: str, *, strict: bool = True) -> float:
+    """Validate that ``value`` is a positive (or non-negative) finite number.
+
+    Parameters
+    ----------
+    value:
+        The number to validate.
+    name:
+        Parameter name used in the error message.
+    strict:
+        When true (default) require ``value > 0``; otherwise allow 0.
+    """
+    value = _check_finite_number(value, name)
+    if strict and value <= 0:
+        raise ParameterError(f"{name} must be > 0, got {value!r}")
+    if not strict and value < 0:
+        raise ParameterError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    name: str,
+    low: float,
+    high: float,
+    *,
+    inclusive_low: bool = False,
+    inclusive_high: bool = False,
+) -> float:
+    """Validate that ``value`` lies in the interval (low, high).
+
+    Endpoint inclusion is controlled by ``inclusive_low``/``inclusive_high``.
+    """
+    value = _check_finite_number(value, name)
+    low_ok = value >= low if inclusive_low else value > low
+    high_ok = value <= high if inclusive_high else value < high
+    if not (low_ok and high_ok):
+        lo_br = "[" if inclusive_low else "("
+        hi_br = "]" if inclusive_high else ")"
+        raise ParameterError(
+            f"{name} must be in {lo_br}{low}, {high}{hi_br}, got {value!r}"
+        )
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` is a probability in [0, 1]."""
+    return check_in_range(
+        value, name, 0.0, 1.0, inclusive_low=True, inclusive_high=True
+    )
+
+
+def check_integer(
+    value: int,
+    name: str,
+    *,
+    minimum: Optional[int] = None,
+    maximum: Optional[int] = None,
+) -> int:
+    """Validate that ``value`` is an integer within optional bounds.
+
+    Accepts anything that equals its own ``int()`` conversion (so numpy
+    integer scalars and float-valued whole numbers pass), and returns a
+    plain Python ``int``.
+    """
+    try:
+        as_int = int(value)
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(f"{name} must be an integer, got {value!r}") from exc
+    if isinstance(value, float) and not value.is_integer():
+        raise ParameterError(f"{name} must be an integer, got {value!r}")
+    if as_int != value:
+        raise ParameterError(f"{name} must be an integer, got {value!r}")
+    if minimum is not None and as_int < minimum:
+        raise ParameterError(f"{name} must be >= {minimum}, got {as_int}")
+    if maximum is not None and as_int > maximum:
+        raise ParameterError(f"{name} must be <= {maximum}, got {as_int}")
+    return as_int
+
+
+def _check_finite_number(value: float, name: str) -> float:
+    """Coerce ``value`` to float, rejecting NaN/inf/non-numerics."""
+    try:
+        as_float = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(f"{name} must be a number, got {value!r}") from exc
+    if math.isnan(as_float) or math.isinf(as_float):
+        raise ParameterError(f"{name} must be finite, got {value!r}")
+    return as_float

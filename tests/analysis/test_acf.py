@@ -1,0 +1,71 @@
+"""Tests for sample ACF and empirical variance-time estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.acf import sample_acf, sample_variance_time
+from repro.exceptions import SimulationError
+
+
+class TestSampleACF:
+    def test_iid_near_zero(self, rng):
+        x = rng.standard_normal(100_000)
+        r = sample_acf(x, 10)
+        assert np.all(np.abs(r) < 0.02)
+
+    def test_ar1_geometric(self, rng):
+        from repro.models import AR1Model
+
+        x = AR1Model(0.7, 0.0, 1.0).sample_frames(200_000, rng)
+        r = sample_acf(x, 4)
+        assert np.allclose(r, 0.7 ** np.arange(1, 5), atol=0.02)
+
+    def test_matches_direct_computation(self, rng):
+        x = rng.standard_normal(500)
+        r_fft = sample_acf(x, 5)
+        centered = x - x.mean()
+        direct = np.array(
+            [
+                np.dot(centered[:-k], centered[k:]) / len(x)
+                for k in range(1, 6)
+            ]
+        ) / (np.dot(centered, centered) / len(x))
+        assert np.allclose(r_fft, direct, rtol=1e-10)
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(SimulationError, match="constant"):
+            sample_acf(np.full(100, 3.0), 5)
+
+    def test_too_short_rejected(self, rng):
+        with pytest.raises(SimulationError):
+            sample_acf(rng.standard_normal(10), 10)
+
+    def test_2d_rejected(self, rng):
+        with pytest.raises(SimulationError):
+            sample_acf(rng.standard_normal((10, 10)), 2)
+
+
+class TestSampleVarianceTime:
+    def test_iid_linear(self, rng):
+        x = rng.standard_normal(200_000)
+        m = np.array([1, 4, 16])
+        v = sample_variance_time(x, m)
+        assert np.allclose(v, m.astype(float), rtol=0.1)
+
+    def test_matches_model_variance_time(self, rng):
+        from repro.models import AR1Model
+
+        model = AR1Model(0.6, 0.0, 1.0)
+        x = model.sample_frames(300_000, rng)
+        m = np.array([1, 5, 20])
+        observed = sample_variance_time(x, m)
+        expected = model.variance_time(m)
+        assert np.allclose(observed, expected, rtol=0.15)
+
+    def test_rejects_too_large_block(self, rng):
+        with pytest.raises(SimulationError):
+            sample_variance_time(rng.standard_normal(100), [80])
+
+    def test_rejects_zero_block(self, rng):
+        with pytest.raises(SimulationError):
+            sample_variance_time(rng.standard_normal(100), [0])

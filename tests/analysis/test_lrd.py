@@ -1,0 +1,36 @@
+"""Tests for the consensus LRD diagnostic."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.lrd import diagnose_lrd
+from repro.models import FGNModel
+
+
+class TestDiagnoseLRD:
+    def test_fgn_flagged_lrd(self):
+        x = FGNModel(0.9, 0.0, 1.0).sample_frames(150_000, rng=1)
+        report = diagnose_lrd(x)
+        assert report.is_lrd
+        assert report.median_hurst > 0.75
+
+    def test_white_noise_not_flagged(self):
+        x = np.random.default_rng(2).standard_normal(150_000)
+        report = diagnose_lrd(x)
+        assert not report.is_lrd
+        assert report.median_hurst == pytest.approx(0.5, abs=0.1)
+
+    def test_summary_text(self):
+        x = np.random.default_rng(3).standard_normal(50_000)
+        text = diagnose_lrd(x).summary()
+        assert "median" in text
+        assert "H =" in text
+
+    def test_three_estimates(self):
+        x = np.random.default_rng(4).standard_normal(50_000)
+        assert len(diagnose_lrd(x).estimates) == 3
+
+    def test_threshold_configurable(self):
+        x = FGNModel(0.7, 0.0, 1.0).sample_frames(100_000, rng=5)
+        strict = diagnose_lrd(x, threshold=0.95)
+        assert not strict.is_lrd

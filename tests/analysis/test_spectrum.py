@@ -1,0 +1,90 @@
+"""Tests for the spectral view of the CTS (Section 6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectrum import (
+    cts_cutoff_frequency,
+    low_frequency_mass,
+    model_power_spectrum,
+    power_spectrum_from_acf,
+)
+from repro.models import AR1Model, make_z
+
+
+class TestPowerSpectrum:
+    def test_white_noise_flat(self):
+        freqs, spectrum = power_spectrum_from_acf(
+            np.zeros(256), 2.0, 0.04
+        )
+        assert np.allclose(spectrum, spectrum[0], rtol=1e-9)
+        assert spectrum[0] == pytest.approx(2.0 * 0.04)
+
+    def test_ar1_spectrum_shape(self):
+        # AR(1) spectrum: S(f) = s2 Ts (1-a^2) / |1 - a e^{-i w}|^2;
+        # check the DC and Nyquist values.
+        a, var, ts = 0.6, 1.0, 0.04
+        model = AR1Model(a, 0.0, var)
+        freqs, spectrum = model_power_spectrum(model, n_lags=8192)
+        dc_expected = var * ts * (1 - a**2) / (1 - a) ** 2
+        nyq_expected = var * ts * (1 - a**2) / (1 + a) ** 2
+        assert spectrum[0] == pytest.approx(dc_expected, rel=0.01)
+        assert spectrum[-1] == pytest.approx(nyq_expected, rel=0.01)
+
+    def test_lrd_spectrum_diverges_at_dc(self):
+        z = make_z(0.975)
+        freqs, spectrum = model_power_spectrum(z, n_lags=8192)
+        # Low-frequency blow-up: S near DC far above mid-band.
+        mid = spectrum[len(spectrum) // 2]
+        assert spectrum[1] > 10 * mid
+
+    def test_nonnegative(self):
+        z = make_z(0.7)
+        _, spectrum = model_power_spectrum(z, n_lags=2048)
+        assert np.all(spectrum >= 0)
+
+    def test_rejects_empty_acf(self):
+        with pytest.raises(ValueError):
+            power_spectrum_from_acf(np.empty(0), 1.0, 0.04)
+
+
+class TestCutoff:
+    def test_cutoff_decreases_with_buffer(self):
+        z = make_z(0.975)
+        f_small = cts_cutoff_frequency(z, 538.0, 20.0)
+        f_large = cts_cutoff_frequency(z, 538.0, 500.0)
+        assert f_large < f_small
+
+    def test_cutoff_value_from_cts(self):
+        from repro.core import critical_time_scale
+
+        z = make_z(0.9)
+        c, b = 538.0, 100.0
+        cts = critical_time_scale(z, c, b)
+        assert cts_cutoff_frequency(z, c, b) == pytest.approx(
+            1.0 / (cts * 0.04)
+        )
+
+
+class TestLowFrequencyMass:
+    def test_fraction_in_unit_interval(self):
+        z = make_z(0.975)
+        mass = low_frequency_mass(z, 1.0)
+        assert 0.0 <= mass <= 1.0
+
+    def test_more_mass_below_higher_cutoff(self):
+        z = make_z(0.975)
+        assert low_frequency_mass(z, 2.0) >= low_frequency_mass(z, 0.5)
+
+    def test_lrd_concentrates_low_frequency(self):
+        # The LRD composite has far more low-frequency mass than its
+        # DAR(1) fit — yet (per the paper) that mass is invisible to
+        # a realistic buffer.
+        from repro.models import make_s
+
+        z = make_z(0.975)
+        s = make_s(1, 0.975)
+        cutoff = 0.25  # Hz: time scales slower than 4 seconds
+        assert low_frequency_mass(z, cutoff) > 2 * low_frequency_mass(
+            s, cutoff
+        )

@@ -1,0 +1,80 @@
+"""Tests for connection admission control policies."""
+
+import pytest
+
+from repro.atm.cac import (
+    admissible_connections,
+    compare_policies,
+    mean_rate_sources,
+    peak_rate_sources,
+)
+from repro.atm.qos import QoSRequirement
+from repro.exceptions import ParameterError
+
+
+@pytest.fixture
+def qos():
+    return QoSRequirement(max_delay_seconds=0.020, max_clr=1e-6)
+
+
+@pytest.fixture
+def link():
+    return 30 * 538.0  # cells/frame — the paper's Fig. 5-10 link
+
+
+class TestSimplePolicies:
+    def test_mean_rate(self, z_model, link):
+        n = mean_rate_sources(z_model, link)
+        # 16140 / 500 = 32.28 -> 32.
+        assert n == 32
+
+    def test_mean_rate_strictly_stable(self, z_model):
+        # Exactly divisible link: N must leave positive slack.
+        n = mean_rate_sources(z_model, 5000.0)
+        assert n == 9
+
+    def test_peak_rate_conservative(self, z_model, link):
+        n_peak = peak_rate_sources(z_model, link)
+        n_mean = mean_rate_sources(z_model, link)
+        assert 0 < n_peak < n_mean
+
+    def test_peak_rate_value(self, z_model, link):
+        # peak = 500 + 6 sigma-ish; 16140/~925 = 17.
+        assert peak_rate_sources(z_model, link) in range(14, 22)
+
+
+class TestStatisticalPolicies:
+    def test_ordering(self, z_model, link, qos):
+        results = compare_policies(z_model, link, qos)
+        assert (
+            results["peak-rate"]
+            <= results["bahadur-rao"]
+            <= results["mean-rate"]
+        )
+        assert results["large-n"] >= results["bahadur-rao"] - 2
+
+    def test_unknown_method_rejected(self, z_model, link, qos):
+        with pytest.raises(ParameterError, match="unknown CAC method"):
+            admissible_connections(z_model, link, qos, method="magic")
+
+    def test_looser_qos_admits_more(self, z_model, link):
+        strict = admissible_connections(
+            z_model, link, QoSRequirement(0.005, 1e-9)
+        )
+        loose = admissible_connections(
+            z_model, link, QoSRequirement(0.030, 1e-4)
+        )
+        assert loose >= strict
+
+    def test_markov_fit_matches_lrd_model(self, z_model, link, qos):
+        # The paper's motivating observation: admissible-connection
+        # counts from the DAR(1) fit match the LRD composite closely.
+        from repro.models import make_s
+
+        n_lrd = admissible_connections(z_model, link, qos)
+        n_markov = admissible_connections(make_s(1, 0.975), link, qos)
+        assert abs(n_lrd - n_markov) <= 2
+
+    def test_large_n_policy_runs(self, z_model, link, qos):
+        n = admissible_connections(z_model, link, qos, method="large-n")
+        assert n > 0

@@ -1,0 +1,98 @@
+"""Tests for the GCRA policer."""
+
+import numpy as np
+import pytest
+
+from repro.atm.gcra import GCRA, police_frame_process
+from repro.exceptions import SimulationError
+
+
+class TestPeakRatePolicing:
+    def test_exact_rate_conforms(self):
+        policer = GCRA.peak_rate(pcr=1000.0)
+        times = np.arange(100) * 1e-3  # exactly 1000 cells/s
+        result = policer.police(times)
+        assert result.n_tagged == 0
+
+    def test_faster_than_peak_tagged(self):
+        policer = GCRA.peak_rate(pcr=1000.0)
+        times = np.arange(100) * 0.5e-3  # 2000 cells/s
+        result = policer.police(times)
+        # Every other cell violates (the stream runs at 2x PCR).
+        assert result.tagged_fraction == pytest.approx(0.5, abs=0.02)
+
+    def test_cdvt_absorbs_jitter(self):
+        rng = np.random.default_rng(1)
+        base = np.arange(200) * 1e-3
+        jitter = rng.uniform(-0.2e-3, 0.2e-3, size=200)
+        times = np.sort(base + jitter)
+        strict = GCRA.peak_rate(pcr=1000.0, cdvt=0.0).police(times)
+        tolerant = GCRA.peak_rate(pcr=1000.0, cdvt=0.5e-3).police(times)
+        assert tolerant.n_tagged <= strict.n_tagged
+        assert tolerant.n_tagged == 0
+
+    def test_first_cell_always_conforms(self):
+        result = GCRA.peak_rate(1000.0).police(np.array([123.456]))
+        assert result.n_tagged == 0
+
+
+class TestSustainableRatePolicing:
+    def test_mbs_burst_conforms(self):
+        pcr, scr, mbs = 10_000.0, 1_000.0, 20
+        policer = GCRA.sustainable_rate(scr, pcr, mbs)
+        # MBS cells back-to-back at PCR.
+        times = np.arange(mbs) / pcr
+        assert policer.police(times).n_tagged == 0
+
+    def test_oversize_burst_tagged(self):
+        pcr, scr, mbs = 10_000.0, 1_000.0, 20
+        policer = GCRA.sustainable_rate(scr, pcr, mbs)
+        times = np.arange(mbs + 5) / pcr
+        result = policer.police(times)
+        assert result.n_tagged == 5
+
+    def test_scr_cannot_exceed_pcr(self):
+        with pytest.raises(SimulationError):
+            GCRA.sustainable_rate(2000.0, 1000.0, 10)
+
+    def test_sustained_scr_stream_conforms(self):
+        policer = GCRA.sustainable_rate(1000.0, 10_000.0, 10)
+        times = np.arange(500) * 1e-3
+        assert policer.police(times).n_tagged == 0
+
+
+class TestFrameProcessPolicing:
+    def test_tagging_decreases_with_scr(self):
+        from repro.models import make_s
+
+        model = make_s(1, 0.975)
+        frames = np.clip(model.sample_frames(400, rng=2), 0, None)
+        tagged = []
+        for scr_cells_per_sec in (11_000.0, 12_500.0, 15_000.0):
+            policer = GCRA.sustainable_rate(
+                scr_cells_per_sec, 50_000.0, 200
+            )
+            result = police_frame_process(frames, 0.04, policer)
+            tagged.append(result.tagged_fraction)
+        assert tagged[0] >= tagged[1] >= tagged[2]
+
+    def test_mean_rate_policing_tags_heavily(self):
+        # Policing a VBR source at its mean rate with small burst
+        # tolerance must tag a noticeable fraction.
+        from repro.models import make_s
+
+        model = make_s(1, 0.975)
+        frames = np.clip(model.sample_frames(400, rng=3), 0, None)
+        policer = GCRA.sustainable_rate(12_500.0, 50_000.0, 10)
+        result = police_frame_process(frames, 0.04, policer)
+        assert result.tagged_fraction > 0.05
+
+    def test_rejects_negative_frames(self):
+        with pytest.raises(SimulationError):
+            police_frame_process(
+                np.array([-5.0]), 0.04, GCRA.peak_rate(1000.0)
+            )
+
+    def test_rejects_unordered_times(self):
+        with pytest.raises(SimulationError):
+            GCRA.peak_rate(1000.0).police(np.array([1.0, 0.5]))

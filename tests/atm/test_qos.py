@@ -1,0 +1,39 @@
+"""Tests for QoS requirement contracts."""
+
+import pytest
+
+from repro.atm.qos import QoSRequirement
+from repro.exceptions import ParameterError
+
+
+class TestQoSRequirement:
+    def test_defaults_are_paper_envelope(self):
+        qos = QoSRequirement()
+        assert qos.max_delay_seconds == pytest.approx(0.030)
+        assert qos.max_clr == pytest.approx(1e-6)
+        assert qos.is_realistic()
+
+    def test_buffer_conversion(self):
+        qos = QoSRequirement(max_delay_seconds=0.020, max_clr=1e-6)
+        assert qos.buffer_cells(16140.0, 0.04) == pytest.approx(
+            0.020 * 16140.0 / 0.04
+        )
+
+    def test_unrealistic_delay_flagged(self):
+        qos = QoSRequirement(max_delay_seconds=1.0, max_clr=1e-6)
+        assert not qos.is_realistic()
+
+    def test_rejects_nonpositive_delay(self):
+        with pytest.raises(ParameterError):
+            QoSRequirement(max_delay_seconds=0.0)
+
+    def test_rejects_bad_clr(self):
+        with pytest.raises(ParameterError):
+            QoSRequirement(max_clr=0.0)
+        with pytest.raises(ParameterError):
+            QoSRequirement(max_clr=1.5)
+
+    def test_frozen(self):
+        qos = QoSRequirement()
+        with pytest.raises(AttributeError):
+            qos.max_clr = 1e-3

@@ -1,0 +1,78 @@
+"""Shared fixtures for the repro test-suite.
+
+Simulation-backed tests use small, seeded configurations: large enough
+for stable statistics, small enough to keep the suite fast.  Fixtures
+returning models are function-scoped where the object is mutated
+(ACF caches grow) but models are cheap to build, so no caching games.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    AR1Model,
+    DARModel,
+    FBNDPModel,
+    FGNModel,
+    make_l,
+    make_v,
+    make_z,
+)
+
+
+@pytest.fixture
+def rng():
+    """A deterministically seeded generator, fresh per test."""
+    return np.random.default_rng(20250706)
+
+
+@pytest.fixture
+def z_model():
+    """The paper's Z^0.975 composite (FBNDP + DAR(1))."""
+    return make_z(0.975)
+
+
+@pytest.fixture
+def z_weak():
+    """Z^0.7 — weak short-term correlations."""
+    return make_z(0.7)
+
+
+@pytest.fixture
+def v_model():
+    """The reference V^1 model."""
+    return make_v(1.0)
+
+
+@pytest.fixture
+def l_model():
+    """The pure exact-LRD model L."""
+    return make_l()
+
+
+@pytest.fixture
+def dar1():
+    """A plain DAR(1) with the paper's common marginal."""
+    return DARModel.dar1(0.8, 500.0, 5000.0)
+
+
+@pytest.fixture
+def ar1():
+    """A Gaussian AR(1) with the same second-order profile as dar1."""
+    return AR1Model(0.8, 500.0, 5000.0)
+
+
+@pytest.fixture
+def fgn():
+    """fGn with H = 0.9 and the paper's marginal."""
+    return FGNModel(0.9, 500.0, 5000.0)
+
+
+@pytest.fixture
+def small_fbndp():
+    """A small, fast FBNDP for sampling tests."""
+    return FBNDPModel.from_statistics(
+        mean=100.0, variance=1000.0, alpha=0.8, n_onoff=5
+    )

@@ -1,0 +1,90 @@
+"""Tests for the Bahadur-Rao BOP estimate (Eq. 7)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bahadur_rao import bahadur_rao_bop, bop_curve
+from repro.core.rate_function import rate_function
+from repro.models import make_s, make_z
+
+
+class TestPointEstimate:
+    def test_composition(self, z_model):
+        c, b, n = 538.0, 100.0, 30
+        rate = rate_function(z_model, c, b).rate
+        estimate = bahadur_rao_bop(z_model, c, b, n)
+        expected_log = -n * rate - 0.5 * math.log(4 * math.pi * n * rate)
+        assert estimate.log10_bop == pytest.approx(expected_log / math.log(10))
+        assert estimate.bop == pytest.approx(math.exp(expected_log))
+
+    def test_decreasing_in_buffer(self, z_model):
+        values = [
+            bahadur_rao_bop(z_model, 538.0, b, 30).log10_bop
+            for b in (0.0, 100.0, 500.0)
+        ]
+        assert values[0] > values[1] > values[2]
+
+    def test_decreasing_in_sources_at_fixed_per_source_point(self, z_model):
+        # Fixed (c, b) per source: more sources multiplex better.
+        values = [
+            bahadur_rao_bop(z_model, 538.0, 100.0, n).log10_bop
+            for n in (10, 30, 100)
+        ]
+        assert values[0] > values[1] > values[2]
+
+    def test_probability_clipped_at_one(self, dar1):
+        # Absurdly tight capacity margin: raw asymptotic can exceed 1.
+        estimate = bahadur_rao_bop(dar1, 500.5, 0.0, 1)
+        assert estimate.bop <= 1.0
+
+    def test_exponent_property(self, z_model):
+        estimate = bahadur_rao_bop(z_model, 538.0, 50.0, 30)
+        assert estimate.exponent == pytest.approx(-30 * estimate.rate)
+
+    def test_invalid_sources(self, z_model):
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError):
+            bahadur_rao_bop(z_model, 538.0, 50.0, 0)
+
+
+class TestCurve:
+    def test_axes_and_units(self, z_model):
+        delays = [0.001, 0.004, 0.016]
+        curve = bop_curve(z_model, 538.0, 30, delays, label="Z")
+        assert curve.label == "Z"
+        assert np.allclose(curve.delay_seconds, delays)
+        # b = delay * c / T_s.
+        assert np.allclose(
+            curve.b_per_source, np.array(delays) * 538.0 / 0.04
+        )
+        assert np.all(np.diff(curve.log10_bop) < 0)
+        assert np.all(np.diff(curve.cts) >= 0)
+
+    def test_fig5b_ordering(self):
+        # Stronger short-term correlations -> slower decay: at 16 msec
+        # Z^0.99 sits orders of magnitude above Z^0.7.
+        delays = [0.016]
+        weak = bop_curve(make_z(0.7), 538.0, 30, delays).log10_bop[0]
+        strong = bop_curve(make_z(0.99), 538.0, 30, delays).log10_bop[0]
+        assert strong > weak + 3
+
+    def test_fig6a_dar_fits_closer_than_l_at_small_buffers(self, z_model):
+        from repro.models import make_l
+
+        delays = [0.001, 0.002, 0.004]
+        z = bop_curve(z_model, 538.0, 30, delays).log10_bop
+        dar = bop_curve(make_s(1, 0.975), 538.0, 30, delays).log10_bop
+        l = bop_curve(make_l(), 538.0, 30, delays).log10_bop
+        assert np.all(np.abs(dar - z) < np.abs(l - z))
+
+    def test_fig6_dar_order_improves_fit(self, z_model):
+        delays = np.array([0.004, 0.008, 0.016])
+        z = bop_curve(z_model, 538.0, 30, delays).log10_bop
+        err = {}
+        for p in (1, 3):
+            fit = bop_curve(make_s(p, 0.975), 538.0, 30, delays).log10_bop
+            err[p] = np.abs(fit - z).sum()
+        assert err[3] < err[1]

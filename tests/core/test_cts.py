@@ -1,0 +1,95 @@
+"""Tests for the Critical Time Scale — the paper's Section 4.2 claims."""
+
+import numpy as np
+import pytest
+
+from repro.core.cts import (
+    critical_time_scale,
+    cts_curve,
+    empirical_cts_slope,
+    theoretical_cts_slope,
+)
+from repro.models import AR1Model, FGNModel, make_v, make_z
+from repro.utils.units import delay_to_buffer_cells
+
+
+class TestPaperProperties:
+    """The four properties stated in Section 4.2 / Fig. 4."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: make_z(0.975),
+            lambda: make_v(1.0),
+            lambda: AR1Model(0.8, 500.0, 5000.0),
+            lambda: FGNModel(0.9, 500.0, 5000.0),
+        ],
+    )
+    def test_cts_finite_small_at_zero_and_nondecreasing(self, factory):
+        model = factory()
+        b_values = np.array([0.0, 10.0, 30.0, 100.0, 300.0, 1000.0])
+        curve = cts_curve(model, 526.0, b_values)
+        assert curve[0] == 1  # m*_0 = 1
+        assert np.all(np.diff(curve) >= 0)  # non-decreasing
+        assert curve[-1] < 10_000  # finite, modest
+
+    def test_stronger_short_term_correlations_give_larger_cts(self):
+        # Fig. 4(b): higher a -> larger m*_b at the same buffer.
+        b = delay_to_buffer_cells(0.002, 526.0)
+        values = [
+            critical_time_scale(make_z(a), 526.0, b) for a in (0.7, 0.975)
+        ]
+        assert values[1] > values[0]
+
+    def test_fig4b_spread_at_2msec(self):
+        # "as many as 15 even at B = 2 msec".
+        b = delay_to_buffer_cells(0.002, 526.0)
+        low = critical_time_scale(make_z(0.7), 526.0, b)
+        high = critical_time_scale(make_z(0.99), 526.0, b)
+        assert high - low >= 10
+
+    def test_fig4a_vv_close_at_small_buffer(self):
+        b = delay_to_buffer_cells(0.001, 526.0)
+        values = [
+            critical_time_scale(make_v(v), 526.0, b) for v in (0.67, 1.0, 1.5)
+        ]
+        assert max(values) - min(values) <= 2
+
+
+class TestSlopes:
+    def test_theoretical_srd_slope(self):
+        assert theoretical_cts_slope(526.0, 500.0) == pytest.approx(1 / 26.0)
+
+    def test_theoretical_lrd_slope(self):
+        # K = H/((1-H)(c-mu)).
+        assert theoretical_cts_slope(526.0, 500.0, hurst=0.9) == pytest.approx(
+            0.9 / (0.1 * 26.0)
+        )
+
+    def test_rejects_unstable(self):
+        with pytest.raises(ValueError):
+            theoretical_cts_slope(500.0, 500.0)
+
+    def test_fgn_empirical_slope_matches_theory(self):
+        model = FGNModel(0.8, 500.0, 5000.0)
+        c = 526.0
+        b_values = np.linspace(2000.0, 6000.0, 5)
+        slope = empirical_cts_slope(model, c, b_values)
+        expected = theoretical_cts_slope(c, 500.0, hurst=0.8)
+        assert slope == pytest.approx(expected, rel=0.05)
+
+    def test_iid_empirical_slope(self):
+        model = AR1Model(0.0, 500.0, 5000.0)
+        slope = empirical_cts_slope(model, 526.0, np.linspace(500, 2000, 5))
+        assert slope == pytest.approx(1 / 26.0, rel=0.05)
+
+    def test_ar1_empirical_slope(self):
+        # Courcoubetis-Weber: K = 1/(c - mu) for Gaussian AR(1),
+        # independent of phi.
+        model = AR1Model(0.8, 500.0, 5000.0)
+        slope = empirical_cts_slope(model, 526.0, np.linspace(2000, 8000, 5))
+        assert slope == pytest.approx(1 / 26.0, rel=0.1)
+
+    def test_needs_two_points(self, dar1):
+        with pytest.raises(ValueError):
+            empirical_cts_slope(dar1, 526.0, [100.0])

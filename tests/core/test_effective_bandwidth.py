@@ -1,0 +1,66 @@
+"""Tests for Gaussian effective bandwidth and its LRD breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.core.effective_bandwidth import (
+    asymptotic_effective_bandwidth,
+    effective_bandwidth_at_cts,
+    gaussian_effective_bandwidth,
+)
+from repro.exceptions import ParameterError
+from repro.models import AR1Model
+
+
+class TestFiniteHorizon:
+    def test_m_one_value(self, dar1):
+        # e(theta, 1) = mu + theta sigma^2 / 2.
+        assert gaussian_effective_bandwidth(dar1, 0.01, 1) == pytest.approx(
+            500.0 + 0.01 * 5000.0 / 2.0
+        )
+
+    def test_between_mean_and_growing_in_theta(self, dar1):
+        e_small = gaussian_effective_bandwidth(dar1, 1e-4, 10)
+        e_large = gaussian_effective_bandwidth(dar1, 1e-2, 10)
+        assert 500.0 < e_small < e_large
+
+    def test_increasing_horizon_for_positive_correlation(self, dar1):
+        # Positive correlations make V(m)/m grow with m.
+        e10 = gaussian_effective_bandwidth(dar1, 0.01, 10)
+        e100 = gaussian_effective_bandwidth(dar1, 0.01, 100)
+        assert e100 > e10
+
+
+class TestAsymptotic:
+    def test_srd_converges_to_idc_value(self):
+        model = AR1Model(0.5, 500.0, 5000.0)
+        # lim V(m)/m = sigma^2 (1+phi)/(1-phi) = 15000.
+        value = asymptotic_effective_bandwidth(model, 0.01)
+        assert value == pytest.approx(500.0 + 0.01 * 15000.0 / 2.0, rel=1e-4)
+
+    def test_iid_equals_horizon_one(self):
+        model = AR1Model(0.0, 500.0, 5000.0)
+        assert asymptotic_effective_bandwidth(model, 0.02) == pytest.approx(
+            gaussian_effective_bandwidth(model, 0.02, 1)
+        )
+
+    def test_lrd_raises_with_cts_pointer(self, z_model):
+        with pytest.raises(ParameterError, match="CTS"):
+            asymptotic_effective_bandwidth(z_model, 0.01)
+
+
+class TestAtCTS:
+    def test_uses_cts_horizon(self, z_model):
+        from repro.core.rate_function import rate_function
+
+        c, b = 538.0, 200.0
+        cts = rate_function(z_model, c, b).cts
+        direct = gaussian_effective_bandwidth(z_model, 0.01, cts)
+        assert effective_bandwidth_at_cts(
+            z_model, 0.01, c, b
+        ) == pytest.approx(direct)
+
+    def test_finite_for_lrd(self, z_model):
+        value = effective_bandwidth_at_cts(z_model, 0.01, 538.0, 100.0)
+        assert np.isfinite(value)
+        assert value > z_model.mean

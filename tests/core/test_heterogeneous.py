@@ -1,0 +1,128 @@
+"""Tests for heterogeneous-mix Bahadur-Rao analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import bahadur_rao_bop
+from repro.core.heterogeneous import (
+    TrafficClass,
+    admissible_region,
+    heterogeneous_bop,
+)
+from repro.exceptions import StabilityError
+from repro.models import AR1Model, make_s, make_z
+
+
+@pytest.fixture
+def video():
+    return make_z(0.975)
+
+
+@pytest.fixture
+def conference():
+    # A smaller, less bursty class.
+    return AR1Model(0.6, 100.0, 400.0)
+
+
+class TestHeterogeneousBOP:
+    def test_reduces_to_homogeneous(self, video):
+        # One class of N sources must equal the homogeneous estimate.
+        n, c_per, b_per = 30, 538.0, 134.5
+        mix = heterogeneous_bop(
+            (TrafficClass(video, n),), n * c_per, n * b_per
+        )
+        homo = bahadur_rao_bop(video, c_per, b_per, n)
+        assert mix.log10_bop == pytest.approx(homo.log10_bop, abs=1e-9)
+        assert mix.cts == homo.cts
+
+    def test_zero_count_class_ignored(self, video, conference):
+        n, c_per, b_per = 30, 538.0, 134.5
+        with_empty = heterogeneous_bop(
+            (TrafficClass(video, n), TrafficClass(conference, 0)),
+            n * c_per,
+            n * b_per,
+        )
+        alone = heterogeneous_bop(
+            (TrafficClass(video, n),), n * c_per, n * b_per
+        )
+        assert with_empty.log10_bop == pytest.approx(alone.log10_bop)
+
+    def test_adding_load_increases_bop(self, video, conference):
+        capacity, buffer_cells = 30 * 538.0, 4000.0
+        base = heterogeneous_bop(
+            (TrafficClass(video, 25),), capacity, buffer_cells
+        )
+        loaded = heterogeneous_bop(
+            (TrafficClass(video, 25), TrafficClass(conference, 20)),
+            capacity,
+            buffer_cells,
+        )
+        assert loaded.log10_bop > base.log10_bop
+
+    def test_unstable_mix_rejected(self, video, conference):
+        with pytest.raises(StabilityError):
+            heterogeneous_bop(
+                (TrafficClass(video, 100),), 30 * 538.0, 100.0
+            )
+
+    def test_empty_mix_rejected(self, video):
+        with pytest.raises(StabilityError):
+            heterogeneous_bop((TrafficClass(video, 0),), 1000.0, 10.0)
+
+    def test_mix_cts_between_class_time_scales(self, video, conference):
+        # The mix shares one CTS; with video dominant it should be
+        # closer to the video-only CTS than to the conference-only one.
+        capacity, buffer_cells = 30 * 538.0, 4000.0
+        video_only = heterogeneous_bop(
+            (TrafficClass(video, 25),), capacity, buffer_cells
+        )
+        mixed = heterogeneous_bop(
+            (TrafficClass(video, 25), TrafficClass(conference, 10)),
+            capacity,
+            buffer_cells,
+        )
+        assert mixed.cts >= 1
+        assert abs(mixed.cts - video_only.cts) <= video_only.cts
+
+
+class TestAdmissibleRegion:
+    def test_boundary_monotone(self, video, conference):
+        region = admissible_region(
+            video, conference, 30 * 538.0, 4000.0, 1e-6, max_a=25
+        )
+        counts_b = [n_b for _n_a, n_b in region]
+        assert all(b1 >= b2 for b1, b2 in zip(counts_b, counts_b[1:]))
+
+    def test_pure_class_endpoints_admissible(self, video, conference):
+        capacity, buffer_cells, target = 30 * 538.0, 4000.0, 1e-6
+        region = admissible_region(
+            video, conference, capacity, buffer_cells, target, max_a=25
+        )
+        n_a0, n_b0 = region[0]
+        assert n_a0 == 0
+        check = heterogeneous_bop(
+            (TrafficClass(conference, n_b0),), capacity, buffer_cells
+        )
+        assert 10**check.log10_bop <= target
+
+    def test_markov_fit_gives_similar_region(self, video):
+        # The paper's conclusion extended to mixes: the DAR(1) fit
+        # traces nearly the same admissible boundary as the LRD model.
+        conference = AR1Model(0.6, 100.0, 400.0)
+        kwargs = dict(
+            capacity=30 * 538.0,
+            buffer_cells=4000.0,
+            target_bop=1e-6,
+            max_a=20,
+        )
+        lrd = dict(
+            admissible_region(video, conference, **kwargs)
+        )
+        markov = dict(
+            admissible_region(make_s(1, 0.975), conference, **kwargs)
+        )
+        for n_a in lrd:
+            if n_a in markov:
+                assert abs(lrd[n_a] - markov[n_a]) <= max(
+                    3, int(0.15 * max(lrd[n_a], 1))
+                )

@@ -1,0 +1,53 @@
+"""Tests for the Courcoubetis-Weber large-N asymptotic."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bahadur_rao import bahadur_rao_bop, bop_curve
+from repro.core.large_n import large_n_bop, large_n_bop_curve
+from repro.core.rate_function import rate_function
+
+
+class TestLargeN:
+    def test_is_exp_of_rate(self, z_model):
+        c, b, n = 538.0, 100.0, 30
+        rate = rate_function(z_model, c, b).rate
+        estimate = large_n_bop(z_model, c, b, n)
+        assert estimate.log10_bop == pytest.approx(
+            -n * rate / math.log(10)
+        )
+
+    def test_looser_than_bahadur_rao(self, z_model):
+        # Fig. 10: B-R refinement tightens the bound (g1 < 0 whenever
+        # 4 pi N I > 1, which holds at any realistic operating point).
+        c, b, n = 538.0, 100.0, 30
+        br = bahadur_rao_bop(z_model, c, b, n)
+        ln = large_n_bop(z_model, c, b, n)
+        assert br.log10_bop < ln.log10_bop
+
+    def test_fig10_gap_about_one_order(self, z_model):
+        # At the paper's operating point the prefactor is worth roughly
+        # an order of magnitude.
+        c, b, n = 538.0, 134.5, 30  # ~10 msec of buffer
+        br = bahadur_rao_bop(z_model, c, b, n)
+        ln = large_n_bop(z_model, c, b, n)
+        gap = ln.log10_bop - br.log10_bop
+        assert 0.5 < gap < 2.0
+
+    def test_same_cts(self, z_model):
+        c, b = 538.0, 100.0
+        assert (
+            large_n_bop(z_model, c, b, 30).cts
+            == bahadur_rao_bop(z_model, c, b, 30).cts
+        )
+
+    def test_curves_parallel(self, z_model):
+        delays = [0.002, 0.008, 0.02]
+        br = bop_curve(z_model, 538.0, 30, delays)
+        ln = large_n_bop_curve(z_model, 538.0, 30, delays)
+        gaps = ln.log10_bop - br.log10_bop
+        assert np.all(gaps > 0)
+        # "Parallel": the gap varies slowly compared to the decay.
+        assert gaps.max() - gaps.min() < 0.5

@@ -1,0 +1,114 @@
+"""Tests for Norros' fBm storage bound and dimensioning formulas."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.norros import (
+    FBMTraffic,
+    norros_overflow_bound,
+    norros_required_buffer,
+    norros_required_capacity,
+)
+from repro.exceptions import StabilityError
+from repro.models import FGNModel, make_l
+
+
+@pytest.fixture
+def traffic():
+    # The paper's source in continuous units: 12,500 cells/sec;
+    # a = sigma^2 g / (T_s^{2H} m) ~ 120 s for the model-L statistics.
+    return FBMTraffic(mean_rate=12500.0, variance_coefficient=120.0,
+                      hurst=0.9)
+
+
+class TestDescriptor:
+    def test_variance_growth(self, traffic):
+        v1 = traffic.variance_at(1.0)
+        v2 = traffic.variance_at(2.0)
+        assert v2 / v1 == pytest.approx(2 ** 1.8)
+
+    def test_from_frame_model_matches_variance_time(self):
+        model = make_l()
+        traffic = FBMTraffic.from_frame_model(model)
+        assert traffic.hurst == model.hurst
+        assert traffic.mean_rate == pytest.approx(12500.0)
+        # Var A(m T_s) should match sigma^2 g m^{2H} at large m.
+        m = 100
+        frame_var = float(model.variance_time(m)[0])
+        cont_var = traffic.variance_at(m * model.frame_duration)
+        assert cont_var == pytest.approx(frame_var, rel=0.02)
+
+    def test_from_frame_model_rejects_srd(self):
+        with pytest.raises(ValueError):
+            FBMTraffic.from_frame_model(FGNModel(0.5, 500.0, 5000.0))
+
+
+class TestBound:
+    def test_one_at_zero_buffer(self, traffic):
+        assert norros_overflow_bound(traffic, 14000.0, 0.0) == 1.0
+
+    def test_weibull_exponent(self, traffic):
+        # -ln P scales as x^{2-2H}.
+        p1 = norros_overflow_bound(traffic, 14000.0, 1000.0)
+        p2 = norros_overflow_bound(traffic, 14000.0, 2000.0)
+        ratio = math.log(p2) / math.log(p1)
+        assert ratio == pytest.approx(2.0 ** 0.2, rel=1e-9)
+
+    def test_decreasing_in_capacity(self, traffic):
+        values = [
+            norros_overflow_bound(traffic, c, 1000.0)
+            for c in (13000.0, 14000.0, 16000.0)
+        ]
+        assert values[0] > values[1] > values[2]
+
+    def test_unstable_rejected(self, traffic):
+        with pytest.raises(StabilityError):
+            norros_overflow_bound(traffic, 12500.0, 100.0)
+
+    def test_matches_discrete_weibull_rate(self):
+        # Continuous Norros exponent == the paper's Eq. (6) rate when
+        # the fBm descriptor is derived from the same frame model.
+        from repro.core.weibull import lrd_rate_function
+
+        model = make_l()
+        traffic = FBMTraffic.from_frame_model(model)
+        c_frame, b = 538.0, 2000.0  # per-frame units, one source
+        discrete_rate = lrd_rate_function(
+            c_frame, b, model.mean, model.variance, model.hurst,
+            model.lrd_weight,
+        )
+        capacity = c_frame / model.frame_duration
+        continuous = norros_overflow_bound(traffic, capacity, b)
+        assert -math.log(continuous) == pytest.approx(
+            discrete_rate, rel=1e-9
+        )
+
+
+class TestDimensioning:
+    def test_buffer_roundtrip(self, traffic):
+        eps = 1e-6
+        x = norros_required_buffer(traffic, 14000.0, eps)
+        assert norros_overflow_bound(traffic, 14000.0, x) == pytest.approx(
+            eps, rel=1e-9
+        )
+
+    def test_capacity_roundtrip(self, traffic):
+        eps = 1e-6
+        c = norros_required_capacity(traffic, 5000.0, eps)
+        assert norros_overflow_bound(traffic, c, 5000.0) == pytest.approx(
+            eps, rel=1e-9
+        )
+
+    def test_capacity_decreasing_in_buffer(self, traffic):
+        caps = [
+            norros_required_capacity(traffic, x, 1e-6)
+            for x in (1000.0, 5000.0, 50000.0)
+        ]
+        assert caps[0] > caps[1] > caps[2]
+
+    def test_buffer_increasing_in_strictness(self, traffic):
+        assert norros_required_buffer(
+            traffic, 14000.0, 1e-9
+        ) > norros_required_buffer(traffic, 14000.0, 1e-3)

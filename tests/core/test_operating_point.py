@@ -1,0 +1,79 @@
+"""Tests for capacity sizing and admissible-connection solvers."""
+
+import pytest
+
+from repro.core.bahadur_rao import bahadur_rao_bop
+from repro.core.operating_point import find_capacity, max_admissible_sources
+from repro.exceptions import ConvergenceError
+from repro.models import make_s, make_z
+from repro.utils.units import delay_to_buffer_cells
+
+
+class TestFindCapacity:
+    def test_meets_target_and_is_tight(self, z_model):
+        n, delay, target = 30, 0.010, 1e-6
+        c = find_capacity(z_model, n, delay, target)
+        b = delay_to_buffer_cells(delay, c)
+        at = bahadur_rao_bop(z_model, c, b, n)
+        assert at.bop <= target
+        # 1% less capacity must violate the target (tightness).
+        c_less = c * 0.99
+        b_less = delay_to_buffer_cells(delay, c_less)
+        assert bahadur_rao_bop(z_model, c_less, b_less, n).bop > target
+
+    def test_capacity_above_mean(self, z_model):
+        c = find_capacity(z_model, 30, 0.010, 1e-6)
+        assert c > z_model.mean
+
+    def test_stricter_target_needs_more_capacity(self, z_model):
+        loose = find_capacity(z_model, 30, 0.010, 1e-4)
+        strict = find_capacity(z_model, 30, 0.010, 1e-8)
+        assert strict > loose
+
+    def test_more_sources_need_less_per_source(self, z_model):
+        few = find_capacity(z_model, 10, 0.010, 1e-6)
+        many = find_capacity(z_model, 100, 0.010, 1e-6)
+        assert many < few  # statistical multiplexing gain
+
+    def test_unreachable_raises(self, z_model):
+        with pytest.raises(ConvergenceError):
+            find_capacity(z_model, 1, 0.0, 1e-30, c_hi=501.0)
+
+
+class TestMaxAdmissibleSources:
+    def test_paper_style_link(self, z_model):
+        # Link of 30 * 538 cells/frame at 20 msec delay and CLR 1e-6:
+        # close to the paper's N = 30 operating point.
+        link = 30 * 538.0
+        n = max_admissible_sources(z_model, link, 0.020, 1e-6)
+        assert 15 <= n <= 32
+
+    def test_result_is_maximal(self, z_model):
+        link, delay, target = 30 * 538.0, 0.020, 1e-6
+        n = max_admissible_sources(z_model, link, delay, target)
+        b_total = delay_to_buffer_cells(delay, link)
+        ok = bahadur_rao_bop(z_model, link / n, b_total / n, n)
+        assert 10 ** ok.log10_bop <= target
+        worse = bahadur_rao_bop(
+            z_model, link / (n + 1), b_total / (n + 1), n + 1
+        )
+        assert 10 ** worse.log10_bop > target
+
+    def test_never_exceeds_stability(self, z_model):
+        link = 10 * 510.0
+        n = max_admissible_sources(z_model, link, 0.020, 0.5)
+        assert link / n > z_model.mean
+
+    def test_zero_when_impossible(self, z_model):
+        # Link below one source's mean rate.
+        assert max_admissible_sources(z_model, 400.0, 0.020, 1e-6) == 0
+
+    def test_markov_fit_predicts_similar_admission(self, z_model):
+        # The paper's punchline: DAR(1) and the LRD composite give
+        # nearly the same number of admissible connections.
+        link, delay, target = 30 * 538.0, 0.020, 1e-6
+        n_z = max_admissible_sources(z_model, link, delay, target)
+        n_s = max_admissible_sources(
+            make_s(1, 0.975), link, delay, target
+        )
+        assert abs(n_z - n_s) <= max(2, int(0.1 * n_z))

@@ -1,0 +1,108 @@
+"""Tests for the Bahadur-Rao rate function I(c, b) and its minimizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.rate_function import (
+    RateFunctionResult,
+    VarianceTimeTable,
+    rate_function,
+    rate_function_curve,
+)
+from repro.exceptions import ConvergenceError, StabilityError
+from repro.models import AR1Model, DARModel, FGNModel
+
+
+@pytest.fixture
+def iid_model():
+    # White Gaussian frames: V(m) = sigma^2 m, closed-form infimum.
+    return AR1Model(0.0, 500.0, 5000.0)
+
+
+class TestRateFunction:
+    def test_iid_closed_form(self, iid_model):
+        # For V(m) = s2 m the continuous minimizer is m = b/(c-mu) and
+        # I = 2 b (c - mu) / (2 s2) at that point.
+        c, b = 520.0, 100.0
+        result = rate_function(iid_model, c, b)
+        m_star = b / (c - 500.0)  # = 5
+        expected = (b + m_star * 20.0) ** 2 / (2 * 5000.0 * m_star)
+        assert result.cts == 5
+        assert result.rate == pytest.approx(expected)
+
+    def test_zero_buffer_cts_is_one(self, iid_model, dar1, fgn, z_model):
+        # m*_0 = 1 for every model (Section 4.2).
+        for model in (iid_model, dar1, fgn, z_model):
+            assert rate_function(model, 520.0, 0.0).cts == 1
+
+    def test_zero_buffer_rate_is_marginal_only(self, z_model):
+        # At b = 0: I = (c - mu)^2 / (2 sigma^2), correlations ignored.
+        c = 538.0
+        result = rate_function(z_model, c, 0.0)
+        assert result.rate == pytest.approx((c - 500.0) ** 2 / (2 * 5000.0))
+
+    def test_unstable_raises(self, dar1):
+        with pytest.raises(StabilityError):
+            rate_function(dar1, 500.0, 10.0)
+        with pytest.raises(StabilityError):
+            rate_function(dar1, 499.0, 10.0)
+
+    def test_negative_buffer_rejected(self, dar1):
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError):
+            rate_function(dar1, 538.0, -1.0)
+
+    def test_rate_decreasing_in_buffer(self, z_model):
+        # More buffer, smaller decay rate? No: larger b means *larger*
+        # rate I (less overflow).  Check monotone increase.
+        rates = [
+            rate_function(z_model, 538.0, b).rate for b in (0.0, 50.0, 200.0)
+        ]
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_rate_increasing_in_capacity(self, z_model):
+        rates = [
+            rate_function(z_model, c, 100.0).rate for c in (520.0, 538.0, 560.0)
+        ]
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_m_max_exceeded_raises_with_last_value(self, fgn):
+        with pytest.raises(ConvergenceError) as excinfo:
+            rate_function(fgn, 500.5, 5000.0, m_max=64)
+        assert isinstance(excinfo.value.last_value, RateFunctionResult)
+
+    def test_correlated_needs_longer_horizon_than_iid(self, iid_model, dar1):
+        b, c = 200.0, 520.0
+        assert (
+            rate_function(dar1, c, b).cts > rate_function(iid_model, c, b).cts
+        )
+
+
+class TestVarianceTimeTable:
+    def test_grows_on_demand(self, dar1):
+        table = VarianceTimeTable(dar1, initial=4)
+        v = table.ensure(100)
+        assert v.shape == (100,)
+        assert v[0] == pytest.approx(dar1.variance)
+
+    def test_values_match_model(self, z_model):
+        table = VarianceTimeTable(z_model)
+        v = table.ensure(50)
+        direct = z_model.variance_time(np.arange(1, 51))
+        assert np.allclose(v, direct)
+
+    def test_wrong_model_rejected(self, dar1, fgn):
+        table = VarianceTimeTable(dar1)
+        with pytest.raises(ValueError, match="different model"):
+            rate_function(fgn, 600.0, 10.0, table=table)
+
+
+class TestCurve:
+    def test_curve_matches_pointwise(self, z_model):
+        b_values = np.array([0.0, 50.0, 150.0])
+        curve = rate_function_curve(z_model, 538.0, b_values)
+        for b, result in zip(b_values, curve):
+            direct = rate_function(z_model, 538.0, float(b))
+            assert result.rate == pytest.approx(direct.rate)
+            assert result.cts == direct.cts

@@ -1,0 +1,106 @@
+"""Tests for the variance-time function V(m) (Eq. 10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.variance_time import (
+    asymptotic_index_of_dispersion,
+    exact_lrd_variance_time,
+    geometric_variance_time,
+    variance_time_from_acf,
+)
+
+
+class TestGeneric:
+    def test_iid_is_linear(self):
+        m = np.array([1, 2, 10, 100])
+        v = variance_time_from_acf(np.zeros(99), 2.0, m)
+        assert np.allclose(v, 2.0 * m)
+
+    def test_small_case_by_hand(self):
+        # m = 3, r = (0.5, 0.25):
+        # V = s2 * (3 + 2*(2*0.5 + 1*0.25)) = s2 * 5.5.
+        v = variance_time_from_acf(np.array([0.5, 0.25]), 4.0, 3)
+        assert v[0] == pytest.approx(4.0 * 5.5)
+
+    def test_perfect_correlation_is_quadratic(self):
+        m = np.array([1, 5, 20])
+        v = variance_time_from_acf(np.ones(19), 1.0, m)
+        assert np.allclose(v, m.astype(float) ** 2)
+
+    def test_requires_enough_lags(self):
+        with pytest.raises(ValueError):
+            variance_time_from_acf(np.zeros(3), 1.0, 10)
+
+    def test_rejects_m_zero(self):
+        with pytest.raises(ValueError):
+            variance_time_from_acf(np.zeros(3), 1.0, 0)
+
+    def test_empty_m(self):
+        assert variance_time_from_acf(np.zeros(3), 1.0, []).size == 0
+
+    @given(st.floats(min_value=-0.9, max_value=0.95))
+    @settings(max_examples=40)
+    def test_positive_for_geometric_acf(self, a):
+        # Any valid process has V(m) > 0.
+        r = a ** np.arange(1, 100)
+        v = variance_time_from_acf(r, 1.0, np.arange(1, 101))
+        assert np.all(v > 0)
+
+
+class TestGeometricClosedForm:
+    @given(
+        st.floats(min_value=-0.9, max_value=0.95),
+        st.integers(min_value=1, max_value=300),
+    )
+    @settings(max_examples=60)
+    def test_matches_generic(self, a, m):
+        r = a ** np.arange(1, max(m, 2))
+        generic = variance_time_from_acf(r, 3.0, m)[0]
+        closed = geometric_variance_time(3.0, a, m)[0]
+        assert closed == pytest.approx(generic, rel=1e-9)
+
+    def test_m_one(self):
+        assert geometric_variance_time(5.0, 0.8, 1)[0] == pytest.approx(5.0)
+
+
+class TestExactLRDClosedForm:
+    def test_fgn_self_similarity(self):
+        m = np.array([1, 2, 8, 64])
+        v = exact_lrd_variance_time(2.0, 1.0, 0.8, m)
+        assert np.allclose(v, 2.0 * m**1.6)
+
+    def test_matches_generic_for_weighted_lrd(self):
+        # r(k) = (g/2) nabla^2(k^{2H}) summed numerically.
+        from repro.utils.mathx import second_central_difference
+
+        g, hurst, var = 0.9, 0.85, 4.0
+        k = np.arange(1, 500)
+        r = g * 0.5 * second_central_difference(k.astype(float), 2 * hurst)
+        m = np.array([1, 5, 50, 400])
+        generic = variance_time_from_acf(r, var, m)
+        closed = exact_lrd_variance_time(var, g, hurst, m)
+        assert np.allclose(closed, generic, rtol=1e-9)
+
+    def test_g_zero_is_linear(self):
+        m = np.array([1, 10, 100])
+        v = exact_lrd_variance_time(1.0, 0.0, 0.9, m)
+        assert np.allclose(v, m.astype(float))
+
+    def test_rejects_m_below_one(self):
+        with pytest.raises(ValueError):
+            exact_lrd_variance_time(1.0, 0.5, 0.8, 0)
+
+
+class TestIndexOfDispersion:
+    def test_iid(self):
+        assert asymptotic_index_of_dispersion(np.zeros(10), 3.0) == 3.0
+
+    def test_geometric(self):
+        # sigma^2 (1 + 2 a/(1-a)) = sigma^2 (1+a)/(1-a).
+        a = 0.5
+        r = a ** np.arange(1, 2000)
+        out = asymptotic_index_of_dispersion(r, 1.0)
+        assert out == pytest.approx((1 + a) / (1 - a), rel=1e-6)

@@ -1,0 +1,88 @@
+"""Tests for the Weibull LRD closed form (paper Eq. 6 and appendix)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.rate_function import rate_function
+from repro.core.weibull import (
+    lrd_critical_time_scale,
+    lrd_rate_coefficient,
+    lrd_rate_function,
+    weibull_bop,
+    weibull_bop_from_model,
+)
+from repro.models import FGNModel, make_l
+
+
+class TestClosedFormRate:
+    def test_matches_numeric_infimum_for_fgn(self):
+        # The appendix derivation is exact for V(m) = sigma^2 m^{2H};
+        # the numeric integer infimum should agree closely at large b.
+        model = FGNModel(0.9, 500.0, 5000.0)
+        c, b = 526.0, 2000.0
+        closed = lrd_rate_function(c, b, 500.0, 5000.0, 0.9, 1.0)
+        numeric = rate_function(model, c, b).rate
+        assert closed == pytest.approx(numeric, rel=1e-3)
+
+    def test_cts_closed_form_matches_numeric_for_fgn(self):
+        model = FGNModel(0.85, 500.0, 5000.0)
+        c, b = 526.0, 3000.0
+        closed = lrd_critical_time_scale(c, b, 500.0, 0.85)
+        numeric = rate_function(model, c, b).cts
+        assert numeric == pytest.approx(closed, rel=0.02)
+
+    def test_weibull_exponent_in_buffer(self):
+        # I(c, b) ~ b^{2-2H}: doubling b scales the rate by 2^{2-2H}.
+        args = (526.0, 500.0, 5000.0, 0.9, 1.0)
+        r1 = lrd_rate_function(args[0], 100.0, *args[1:])
+        r2 = lrd_rate_function(args[0], 200.0, *args[1:])
+        assert r2 / r1 == pytest.approx(2.0**0.2, rel=1e-12)
+
+    def test_h_half_reduces_to_linear_exponent(self):
+        # At H = 1/2 the decay is log-linear in B (classical effective
+        # bandwidth): I proportional to b.
+        r1 = lrd_rate_function(526.0, 100.0, 500.0, 5000.0, 0.5, 1.0)
+        r2 = lrd_rate_function(526.0, 200.0, 500.0, 5000.0, 0.5, 1.0)
+        assert r2 / r1 == pytest.approx(2.0, rel=1e-12)
+
+    def test_coefficient_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            lrd_rate_coefficient(500.0, 500.0, 5000.0, 0.9, 1.0)
+
+
+class TestWeibullBOP:
+    def test_formula_composition(self):
+        n, c, b = 30, 538.0, 500.0
+        mu, var, hurst, g = 500.0, 5000.0, 0.86, 0.9
+        j = n * lrd_rate_function(c, b, mu, var, hurst, g)
+        expected = math.exp(-j - 0.5 * math.log(4 * math.pi * j))
+        assert weibull_bop(n, c, b, mu, var, hurst, g) == pytest.approx(
+            expected
+        )
+
+    def test_close_to_bahadur_rao_for_l(self, l_model):
+        # Eq. (6) is the B-R asymptotic with the closed-form V(m); on
+        # the pure-LRD model L they must agree well at large buffers.
+        from repro.core.bahadur_rao import bahadur_rao_bop
+
+        c, b, n = 538.0, 2000.0, 30
+        closed = weibull_bop_from_model(l_model, c, b, n)
+        numeric = bahadur_rao_bop(l_model, c, b, n).bop
+        assert math.log10(closed) == pytest.approx(
+            math.log10(numeric), rel=0.05
+        )
+
+    def test_rejects_srd_model(self, dar1):
+        with pytest.raises(ValueError, match="exact-LRD"):
+            weibull_bop_from_model(dar1, 538.0, 100.0, 30)
+
+    def test_decreasing_in_n(self):
+        args = (538.0, 300.0, 500.0, 5000.0, 0.9, 0.9)
+        assert weibull_bop(60, *args) < weibull_bop(10, *args)
+
+    def test_probability_clipped(self):
+        # Tiny slack and tiny buffer: raw value would exceed 1.
+        value = weibull_bop(1, 500.001, 0.01, 500.0, 5000.0, 0.9, 0.9)
+        assert value <= 1.0

@@ -1,0 +1,53 @@
+"""Tests for the experiment scale configuration."""
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments.config import (
+    SCALE_ENV_VAR,
+    SCALES,
+    SimulationScale,
+    get_scale,
+)
+
+
+class TestScales:
+    def test_known_names(self):
+        assert set(SCALES) == {"smoke", "default", "paper"}
+
+    def test_paper_scale_is_published_depth(self):
+        paper = SCALES["paper"]
+        assert paper.n_frames == 500_000
+        assert paper.n_replications == 60
+
+    def test_total_frames(self):
+        scale = SimulationScale("x", 100, 3)
+        assert scale.total_frames == 300
+
+    def test_clr_floor_decreases_with_depth(self):
+        assert SCALES["paper"].clr_floor < SCALES["smoke"].clr_floor
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ParameterError):
+            SimulationScale("x", 0, 1)
+
+
+class TestGetScale:
+    def test_by_name(self):
+        assert get_scale("smoke").name == "smoke"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ParameterError, match="unknown scale"):
+            get_scale("galactic")
+
+    def test_env_var_respected(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "smoke")
+        assert get_scale().name == "smoke"
+
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv(SCALE_ENV_VAR, raising=False)
+        assert get_scale().name == "default"
+
+    def test_scale_object_passthrough(self):
+        scale = SCALES["smoke"]
+        assert get_scale(scale) is scale

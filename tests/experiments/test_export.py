@@ -1,0 +1,66 @@
+"""Tests for CSV export of experiment results."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.experiments.export import export_result, write_panel_csv
+from repro.experiments.result import ExperimentResult, Panel, Series
+
+
+@pytest.fixture
+def shared_panel():
+    x = np.arange(4.0)
+    return Panel(
+        "Panel (a)", "buffer", "bop",
+        (Series("Z", x, x * 2), Series("L", x, x * 3)),
+    )
+
+
+@pytest.fixture
+def ragged_panel():
+    return Panel(
+        "ragged", "x", "y",
+        (
+            Series("a", np.arange(3.0), np.arange(3.0)),
+            Series("b", np.arange(5.0), np.arange(5.0) ** 2),
+        ),
+    )
+
+
+class TestWritePanel:
+    def test_shared_grid(self, shared_panel, tmp_path):
+        path = tmp_path / "panel.csv"
+        write_panel_csv(shared_panel, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["buffer", "Z", "L"]
+        assert len(rows) == 5
+        assert float(rows[2][1]) == 2.0
+
+    def test_ragged(self, ragged_panel, tmp_path):
+        path = tmp_path / "ragged.csv"
+        write_panel_csv(ragged_panel, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["a:x", "a:y", "b:x", "b:y"]
+        assert rows[4][0] == ""  # series a exhausted
+        assert float(rows[5][3]) == 16.0
+
+
+class TestExportResult:
+    def test_paths_and_slugs(self, shared_panel, tmp_path):
+        result = ExperimentResult("fig99", "t", (shared_panel,))
+        paths = export_result(result, tmp_path / "out")
+        assert len(paths) == 1
+        assert paths[0].name == "fig99_panel-a.csv"
+        assert paths[0].exists()
+
+    def test_runner_csv_flag(self, tmp_path):
+        from repro.experiments.runner import main
+
+        code = main(["fig04", "--csv", str(tmp_path)])
+        assert code == 0
+        written = list(tmp_path.glob("fig04_*.csv"))
+        assert len(written) == 2

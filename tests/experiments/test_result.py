@@ -1,0 +1,64 @@
+"""Tests for the experiment result containers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.result import ExperimentResult, Panel, Series
+
+
+def _series(label="s", n=3):
+    return Series(label, np.arange(n, dtype=float), np.arange(n) * 2.0)
+
+
+class TestSeries:
+    def test_coerces_to_float_arrays(self):
+        s = Series("a", [1, 2], [3, 4])
+        assert s.x.dtype == float
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError, match="a"):
+            Series("a", [1, 2], [3])
+
+
+class TestPanel:
+    def test_common_x_detected(self):
+        p = Panel("p", "x", "y", (_series("a"), _series("b")))
+        assert p.common_x() is not None
+
+    def test_common_x_none_when_different(self):
+        p = Panel(
+            "p", "x", "y", (_series("a", 3), _series("b", 4))
+        )
+        assert p.common_x() is None
+
+    def test_format_shared_grid(self):
+        p = Panel("panel", "x", "y", (_series("a"), _series("b")))
+        text = p.format()
+        assert "panel" in text
+        assert "a" in text and "b" in text
+
+    def test_format_distinct_grids(self):
+        p = Panel("p", "x", "y", (_series("a", 3), _series("b", 5)))
+        text = p.format()
+        assert "[a]" in text and "[b]" in text
+
+    def test_notes_included(self):
+        p = Panel("p", "x", "y", (_series(),), notes="hello")
+        assert "hello" in p.format()
+
+
+class TestExperimentResult:
+    def test_panel_lookup(self):
+        result = ExperimentResult(
+            "id", "t", (Panel("one", "x", "y", (_series(),)),)
+        )
+        assert result.panel("one").name == "one"
+        with pytest.raises(KeyError):
+            result.panel("two")
+
+    def test_format_includes_title(self):
+        result = ExperimentResult(
+            "fig99", "A Title", (Panel("p", "x", "y", (_series(),)),)
+        )
+        assert "fig99" in result.format()
+        assert "A Title" in result.format()

@@ -1,0 +1,47 @@
+"""Tests for the experiment CLI runner."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.runner import main
+from repro.exceptions import ParameterError
+
+
+class TestRegistry:
+    def test_unknown_experiment(self):
+        with pytest.raises(ParameterError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_all_entries_have_run(self):
+        for name, runner in EXPERIMENTS.items():
+            assert callable(runner), name
+
+
+class TestCLI:
+    def test_single_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "completed in" in out
+
+    def test_plot_flag(self, capsys):
+        assert main(["fig04", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+    def test_logx_plot(self, capsys):
+        assert main(["fig01", "--plot", "--logx"]) == 0
+        assert "legend:" in capsys.readouterr().out
+
+    def test_scale_flag_threads_through(self, capsys):
+        assert main(["fig02", "--scale", "smoke"]) == 0
+        assert "Z^0.7" in capsys.readouterr().out
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--scale", "galactic"])
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["fig04", "fig05"]) == 0
+        out = capsys.readouterr().out
+        assert "fig04" in out and "fig05" in out

@@ -1,0 +1,96 @@
+"""Smoke-scale tests of the simulation experiments (Figs. 2, 8-10).
+
+These exercise the full pipeline (model -> aggregate sampling ->
+multiplexer -> replication -> result) at the smallest scale.  Deeper
+statistical agreement with the analytic figures is covered by the
+benchmarks at default/paper scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import SimulationScale
+from repro.experiments.registry import run_experiment
+
+#: One tiny scale shared by all tests in this module.
+TINY = SimulationScale("tiny", n_frames=800, n_replications=2)
+
+
+@pytest.fixture(scope="module")
+def fig08():
+    return run_experiment("fig08", TINY)
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return run_experiment("fig10", TINY)
+
+
+class TestFig02:
+    def test_paths_share_marginal(self):
+        result = run_experiment("fig02", TINY)
+        payload = result.payload
+        assert payload["z_mean"] == pytest.approx(
+            payload["expected_mean"], rel=0.05
+        )
+        assert payload["dar_mean"] == pytest.approx(
+            payload["expected_mean"], rel=0.05
+        )
+
+    def test_two_series(self):
+        result = run_experiment("fig02", TINY)
+        assert len(result.panels[0].series) == 2
+
+
+class TestFig08:
+    def test_panels_and_series(self, fig08):
+        assert len(fig08.panels) == 2
+        assert len(fig08.panels[0].series) == 3  # V^v
+        assert len(fig08.panels[1].series) == 4  # Z^a
+
+    def test_clr_nonincreasing_in_buffer(self, fig08):
+        for panel in fig08.panels:
+            for series in panel.series:
+                finite = np.isfinite(series.y)
+                assert np.all(np.diff(series.y[finite]) <= 1e-9)
+
+    def test_zero_buffer_clr_near_marginal_value(self, fig08):
+        # All models share the Gaussian marginal: CLR(B=0) ~ 1.2e-5.
+        # At tiny scale only order of magnitude is meaningful.
+        observed = [
+            v for v in fig08.payload["clr_at_zero_buffer"].values() if v > 0
+        ]
+        assert observed, "no model observed loss at B = 0"
+        for value in observed:
+            assert 1e-6 < value < 1e-3
+
+    def test_scale_recorded(self, fig08):
+        assert fig08.payload["scale"] == "tiny"
+
+
+class TestFig09:
+    def test_structure(self):
+        result = run_experiment("fig09", TINY)
+        assert len(result.panels) == 2
+        labels_a = [s.label for s in result.panels[0].series]
+        assert labels_a == ["Z^0.975", "DAR(1)", "DAR(2)", "DAR(3)", "L"]
+
+
+class TestFig10:
+    def test_three_curves(self, fig10):
+        assert [s.label for s in fig10.panels[0].series] == [
+            "Bahadur-Rao",
+            "large-N",
+            "simulation (CLR)",
+        ]
+
+    def test_bahadur_rao_tighter_than_large_n(self, fig10):
+        br, ln, _sim = fig10.panels[0].series
+        assert np.all(br.y <= ln.y)
+
+    def test_asymptotics_upper_bound_simulation(self, fig10):
+        # Both asymptotics should sit above the measured CLR wherever
+        # loss was observed (they bound the BOP from a larger system).
+        br, ln, sim = fig10.panels[0].series
+        finite = np.isfinite(sim.y)
+        assert np.all(ln.y[finite] >= sim.y[finite] - 0.5)

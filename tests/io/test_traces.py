@@ -1,0 +1,71 @@
+"""Tests for trace I/O."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.io.traces import Trace, load_trace, save_trace, synthesize_trace
+from repro.models import make_z
+
+
+@pytest.fixture
+def trace():
+    rng = np.random.default_rng(0)
+    return Trace(
+        frames=rng.poisson(500.0, size=512).astype(float),
+        frame_duration=0.04,
+        name="unit-test",
+    )
+
+
+class TestTrace:
+    def test_summary_fields(self, trace):
+        assert trace.n_frames == 512
+        assert trace.duration_seconds == pytest.approx(512 * 0.04)
+        assert "unit-test" in trace.summary()
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            Trace(frames=np.array([1.0, -2.0]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ParameterError):
+            Trace(frames=np.array([1.0, np.nan]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            Trace(frames=np.empty(0))
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("suffix", [".npz", ".csv"])
+    def test_roundtrip(self, trace, tmp_path, suffix):
+        path = tmp_path / f"trace{suffix}"
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        assert np.allclose(loaded.frames, trace.frames)
+        assert loaded.frame_duration == pytest.approx(0.04)
+        assert loaded.name == "unit-test"
+
+    def test_unknown_format(self, trace, tmp_path):
+        with pytest.raises(ParameterError, match="unsupported"):
+            save_trace(tmp_path / "trace.json", trace)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ParameterError, match="no such"):
+            load_trace(tmp_path / "absent.npz")
+
+    def test_csv_without_metadata_uses_defaults(self, tmp_path):
+        path = tmp_path / "bare.csv"
+        path.write_text("1.0\n2.0\n3.0\n")
+        loaded = load_trace(path)
+        assert loaded.n_frames == 3
+        assert loaded.frame_duration == pytest.approx(0.04)
+
+
+class TestSynthesize:
+    def test_from_model(self):
+        trace = synthesize_trace(make_z(0.9), 256, rng=1)
+        assert trace.n_frames == 256
+        assert np.all(trace.frames >= 0)
+        assert "SuperposedModel" in trace.name

@@ -1,0 +1,66 @@
+"""Tests for the Gaussian AR(1) reference model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.models.ar1 import AR1Model
+
+
+class TestStatistics:
+    def test_acf_geometric(self, ar1):
+        lags = np.arange(6)
+        assert np.allclose(ar1.autocorrelation(lags), 0.8**lags)
+
+    def test_negative_phi_alternates(self):
+        model = AR1Model(-0.5, 0.0, 1.0)
+        r = model.autocorrelation([1, 2, 3])
+        assert r[0] == pytest.approx(-0.5)
+        assert r[1] == pytest.approx(0.25)
+        assert r[2] == pytest.approx(-0.125)
+
+    def test_variance_time_matches_dar1(self, ar1, dar1):
+        # AR(1) and DAR(1) with equal lag-1 share all second-order
+        # structure — the paper's machinery cannot tell them apart.
+        m = np.array([1, 5, 20, 100])
+        assert np.allclose(ar1.variance_time(m), dar1.variance_time(m))
+
+    def test_srd(self, ar1):
+        assert ar1.hurst == 0.5
+        assert not ar1.is_lrd
+
+    @pytest.mark.parametrize("phi", [-1.0, 1.0, 1.5])
+    def test_rejects_nonstationary_phi(self, phi):
+        with pytest.raises(ParameterError):
+            AR1Model(phi, 0.0, 1.0)
+
+
+class TestSampling:
+    def test_marginal_moments(self, ar1):
+        x = ar1.sample_frames(200_000, rng=1)
+        assert x.mean() == pytest.approx(500.0, rel=0.01)
+        assert x.var() == pytest.approx(5000.0, rel=0.05)
+
+    def test_sample_acf(self, ar1):
+        from repro.analysis import sample_acf
+
+        x = ar1.sample_frames(200_000, rng=2)
+        assert np.allclose(sample_acf(x, 3), [0.8, 0.64, 0.512], atol=0.02)
+
+    def test_stationary_start(self, ar1):
+        # First samples must already have the stationary variance: pool
+        # the first frame across many short paths.
+        firsts = np.array(
+            [ar1.sample_frames(2, rng=seed)[0] for seed in range(2000)]
+        )
+        assert firsts.var() == pytest.approx(5000.0, rel=0.15)
+
+    def test_aggregate_moments(self, ar1):
+        agg = ar1.sample_aggregate(50_000, 4, rng=3)
+        assert agg.mean() == pytest.approx(2000.0, rel=0.02)
+        assert agg.var() == pytest.approx(4 * 5000.0, rel=0.1)
+
+    def test_deterministic_with_seed(self, ar1):
+        assert np.array_equal(
+            ar1.sample_frames(64, rng=5), ar1.sample_frames(64, rng=5)
+        )

@@ -1,0 +1,93 @@
+"""Tests for the Yule-Walker DAR(p) fitting (paper model S / Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FittingError
+from repro.models import fit_dar, make_z
+from repro.models.dar_fitting import fitted_acf_error, solve_dar_parameters
+
+
+class TestSolveDARParameters:
+    def test_dar1_fit_is_lag1(self):
+        rho, weights = solve_dar_parameters([0.73])
+        assert rho == pytest.approx(0.73)
+        assert weights.tolist() == [1.0]
+
+    def test_paper_z0975_dar2(self):
+        z = make_z(0.975)
+        rho, weights = solve_dar_parameters(z.acf(2))
+        assert rho == pytest.approx(0.87, abs=0.005)
+        assert weights[0] == pytest.approx(0.70, abs=0.005)
+        assert weights[1] == pytest.approx(0.30, abs=0.005)
+
+    def test_paper_z07_dar2(self):
+        z = make_z(0.7)
+        rho, weights = solve_dar_parameters(z.acf(2))
+        assert rho == pytest.approx(0.72, abs=0.005)
+        assert weights[0] == pytest.approx(0.84, abs=0.005)
+
+    def test_geometric_target_gives_dar1_like(self):
+        # A geometric ACF is exactly DAR(1); fitting DAR(2) to it puts
+        # (numerically) all weight on lag 1.
+        target = [0.6, 0.36]
+        rho, weights = solve_dar_parameters(target)
+        assert rho == pytest.approx(0.6, abs=1e-9)
+        assert weights[0] == pytest.approx(1.0, abs=1e-6)
+
+    def test_rejects_unreachable_negative_correlation(self):
+        with pytest.raises(FittingError, match="outside"):
+            solve_dar_parameters([-0.5])
+
+    def test_rejects_nonmixture_target(self):
+        # Strongly oscillating targets are not DAR-representable.
+        with pytest.raises(FittingError):
+            solve_dar_parameters([0.8, 0.1], strict=True)
+
+    def test_projection_when_not_strict(self):
+        rho, weights = solve_dar_parameters([0.8, 0.1], strict=False)
+        assert 0 <= rho < 1
+        assert np.all(weights >= 0)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(FittingError):
+            solve_dar_parameters([])
+
+    def test_zero_acf_target(self):
+        rho, weights = solve_dar_parameters([0.0])
+        assert rho == 0.0
+        assert weights.sum() == pytest.approx(1.0)
+
+
+class TestFitDAR:
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_matches_first_p_lags_exactly(self, order):
+        z = make_z(0.9)
+        fitted = fit_dar(z, order)
+        assert np.allclose(
+            fitted.acf(order), z.acf(order), rtol=0, atol=1e-10
+        )
+
+    def test_inherits_marginal(self, z_model):
+        fitted = fit_dar(z_model, 2)
+        assert fitted.mean == z_model.mean
+        assert fitted.variance == z_model.variance
+        assert fitted.frame_duration == z_model.frame_duration
+
+    def test_fitted_is_srd(self, z_model):
+        fitted = fit_dar(z_model, 3)
+        assert not fitted.is_lrd
+
+    def test_fit_decays_below_lrd_target_at_large_lags(self, z_model):
+        fitted = fit_dar(z_model, 1)
+        error = fitted_acf_error(z_model, fitted, 200)
+        assert error[0] == pytest.approx(0.0, abs=1e-12)  # matched lag
+        assert error[-1] < -0.05  # geometric decay undershoots LRD tail
+
+    def test_higher_order_fits_are_closer(self, z_model):
+        # Over the first 10 lags, the DAR(3) fit should track Z better
+        # than the DAR(1) fit (the paper's Fig. 3(c)/(d) message).
+        err1 = np.abs(fitted_acf_error(z_model, fit_dar(z_model, 1), 10))
+        err3 = np.abs(fitted_acf_error(z_model, fit_dar(z_model, 3), 10))
+        assert err3.sum() < err1.sum()

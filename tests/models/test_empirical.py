@@ -1,0 +1,79 @@
+"""Tests for the trace-driven empirical model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.io.traces import Trace, synthesize_trace
+from repro.models import DARModel, fit_dar, make_z
+from repro.models.empirical import EmpiricalTraceModel
+
+
+@pytest.fixture(scope="module")
+def dar_trace():
+    model = DARModel.dar1(0.8, 500.0, 5000.0)
+    return synthesize_trace(model, 100_000, rng=3, clip_negative=False)
+
+
+@pytest.fixture(scope="module")
+def empirical(dar_trace):
+    return EmpiricalTraceModel(dar_trace, max_lag=200)
+
+
+class TestStatistics:
+    def test_moments_match_trace(self, empirical, dar_trace):
+        assert empirical.mean == pytest.approx(dar_trace.mean)
+        assert empirical.variance == pytest.approx(dar_trace.variance)
+
+    def test_acf_estimates_source(self, empirical):
+        assert np.allclose(
+            empirical.acf(3), [0.8, 0.64, 0.512], atol=0.03
+        )
+
+    def test_acf_zero_beyond_max_lag(self, empirical):
+        assert empirical.autocorrelation(10_000)[0] == 0.0
+
+    def test_hurst_estimated(self, empirical):
+        assert 0.3 < empirical.hurst < 0.7  # SRD source
+
+    def test_rejects_short_trace(self):
+        with pytest.raises(ParameterError, match="too short"):
+            EmpiricalTraceModel(Trace(frames=np.ones(8)))
+
+
+class TestResampling:
+    def test_path_length_and_values(self, empirical, dar_trace):
+        path = empirical.sample_frames(5_000, rng=4)
+        assert path.shape == (5_000,)
+        # Bootstrap only redraws existing values.
+        assert set(np.unique(path)) <= set(np.unique(dar_trace.frames))
+
+    def test_bootstrap_preserves_short_acf(self, empirical):
+        from repro.analysis import sample_acf
+
+        path = empirical.sample_frames(80_000, rng=5)
+        assert np.allclose(sample_acf(path, 2), [0.8, 0.64], atol=0.05)
+
+    def test_bootstrap_moments(self, empirical):
+        path = empirical.sample_frames(50_000, rng=6)
+        assert path.mean() == pytest.approx(empirical.mean, rel=0.02)
+
+
+class TestWorkflow:
+    def test_fit_dar_to_trace_model(self, empirical):
+        # The paper's workflow: fit DAR(1) to a measured trace and use
+        # it for loss prediction.
+        fitted = fit_dar(empirical, 1)
+        assert fitted.rho == pytest.approx(0.8, abs=0.03)
+
+    def test_bahadur_rao_runs_on_trace_model(self, empirical):
+        from repro.core import bahadur_rao_bop
+
+        estimate = bahadur_rao_bop(empirical, 560.0, 200.0, 10)
+        assert np.isfinite(estimate.log10_bop)
+
+    def test_lrd_trace_has_high_hurst(self):
+        trace = synthesize_trace(make_z(0.975), 60_000, rng=7)
+        model = EmpiricalTraceModel(trace)
+        assert model.hurst > 0.6
+        assert model.is_lrd

@@ -1,0 +1,76 @@
+"""Tests for the F-ARIMA(0, d, 0) asymptotic-LRD model."""
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.exceptions import ParameterError
+from repro.models.farima import FARIMAModel
+
+
+@pytest.fixture
+def farima():
+    return FARIMAModel(0.4, 500.0, 5000.0)
+
+
+class TestStatistics:
+    def test_hurst_relation(self, farima):
+        assert farima.hurst == pytest.approx(0.9)
+        assert farima.is_lrd
+
+    def test_from_hurst(self):
+        model = FARIMAModel.from_hurst(0.8, 0.0, 1.0)
+        assert model.d == pytest.approx(0.3)
+
+    def test_lag1_closed_form(self, farima):
+        # r(1) = d / (1 - d).
+        assert farima.autocorrelation(1)[0] == pytest.approx(
+            0.4 / 0.6, rel=1e-12
+        )
+
+    def test_acf_product_recursion(self, farima):
+        # r(k) = r(k-1) * (k - 1 + d) / (k - d).
+        r = np.concatenate(([1.0], farima.acf(50)))
+        d = farima.d
+        for k in range(1, 51):
+            assert r[k] == pytest.approx(
+                r[k - 1] * (k - 1 + d) / (k - d), rel=1e-9
+            )
+
+    def test_asymptotic_power_law(self, farima):
+        # r(k) ~ (Gamma(1-d)/Gamma(d)) k^{2d-1}.
+        k = 50_000
+        expected = (
+            special.gamma(1 - farima.d)
+            / special.gamma(farima.d)
+            * k ** (2 * farima.d - 1)
+        )
+        assert farima.autocorrelation(k)[0] == pytest.approx(
+            expected, rel=1e-3
+        )
+
+    def test_acf_finite_at_huge_lag(self, farima):
+        value = farima.autocorrelation(10**7)[0]
+        assert 0 < value < 1
+
+    @pytest.mark.parametrize("d", [0.0, 0.5, -0.1])
+    def test_rejects_invalid_d(self, d):
+        with pytest.raises(ParameterError):
+            FARIMAModel(d, 0.0, 1.0)
+
+
+class TestSampling:
+    def test_marginal_moments(self, farima):
+        x = farima.sample_frames(50_000, rng=1)
+        assert x.mean() == pytest.approx(500.0, rel=0.1)
+
+    def test_sample_acf(self):
+        model = FARIMAModel(0.25, 0.0, 1.0)
+        x = model.sample_frames(100_000, rng=2)
+        from repro.analysis import sample_acf
+
+        assert np.allclose(sample_acf(x, 3), model.acf(3), atol=0.04)
+
+    def test_aggregate_mean(self, farima):
+        agg = farima.sample_aggregate(20_000, 4, rng=3)
+        assert agg.mean() == pytest.approx(2000.0, rel=0.1)

@@ -1,0 +1,172 @@
+"""Unit and statistical tests for the FBNDP model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import FRAME_DURATION
+from repro.exceptions import ParameterError
+from repro.models.fbndp import (
+    FBNDPModel,
+    fractal_onoff_occupancy,
+    knee_from_onset_time,
+    onset_time_coefficient,
+    onset_time_from_physical,
+    superposed_onoff_occupancy,
+)
+from repro.models.heavy_tail import HeavyTailedDuration
+
+
+class TestParameterConversions:
+    def test_onset_time_coefficient_at_paper_alpha(self):
+        # alpha = 0.8: c = 0.8*1.8/1.2 * (0.2 e^{1.2} + 1) = 1.997...
+        c = onset_time_coefficient(0.8)
+        assert c == pytest.approx(1.2 * (0.2 * np.exp(1.2) + 1.0))
+
+    @given(
+        st.floats(min_value=0.1, max_value=0.95),
+        st.floats(min_value=1e-4, max_value=1.0),
+        st.floats(min_value=10.0, max_value=1e5),
+    )
+    @settings(max_examples=60)
+    def test_knee_onset_roundtrip(self, alpha, onset, rate):
+        knee = knee_from_onset_time(alpha, onset, rate)
+        assert onset_time_from_physical(alpha, knee, rate) == pytest.approx(
+            onset, rel=1e-9
+        )
+
+    def test_from_statistics_recovers_targets(self):
+        model = FBNDPModel.from_statistics(250.0, 2500.0, 0.8, 15)
+        assert model.mean == pytest.approx(250.0)
+        assert model.variance == pytest.approx(2500.0)
+        assert model.arrival_rate == pytest.approx(250.0 / FRAME_DURATION)
+
+    def test_from_statistics_paper_onset_times(self):
+        # Table 1: T0(Z) = 2.57 msec, T0(L) = 1.83-1.89 msec.
+        z = FBNDPModel.from_statistics(250.0, 2500.0, 0.8, 15)
+        assert z.onset_time * 1e3 == pytest.approx(2.566, abs=0.01)
+        l = FBNDPModel.from_statistics(500.0, 5000.0, 0.72, 30)
+        assert l.onset_time * 1e3 == pytest.approx(1.891, abs=0.01)
+
+    def test_from_statistics_rejects_subpoisson_variance(self):
+        with pytest.raises(ParameterError, match="variance > mean"):
+            FBNDPModel.from_statistics(100.0, 90.0, 0.8, 10)
+
+    def test_hurst_from_alpha(self):
+        model = FBNDPModel.from_statistics(100.0, 1000.0, 0.8, 10)
+        assert model.hurst == pytest.approx(0.9)
+        assert model.is_lrd
+
+    def test_lrd_weight_equals_dispersion_identity(self):
+        # g = (sigma^2/mu - 1) / (sigma^2/mu).
+        model = FBNDPModel.from_statistics(250.0, 2500.0, 0.8, 15)
+        assert model.lrd_weight == pytest.approx(9.0 / 10.0, rel=1e-9)
+
+
+class TestSecondOrderStatistics:
+    def test_acf_lag_zero_is_one(self, small_fbndp):
+        assert small_fbndp.autocorrelation(0)[0] == 1.0
+
+    def test_acf_positive_decreasing(self, small_fbndp):
+        r = small_fbndp.acf(200)
+        assert np.all(r > 0)
+        assert np.all(np.diff(r) < 0)
+
+    def test_acf_power_law_tail(self, small_fbndp):
+        # r(2k)/r(k) -> 2^{2H-2} for large k.
+        r = small_fbndp.autocorrelation([1000, 2000])
+        expected = 2.0 ** (2 * small_fbndp.hurst - 2.0)
+        assert r[1] / r[0] == pytest.approx(expected, rel=1e-3)
+
+    def test_variance_time_closed_form_matches_generic(self, small_fbndp):
+        from repro.core.variance_time import variance_time_from_acf
+
+        m = np.array([1, 2, 5, 10, 50, 200])
+        closed = small_fbndp.variance_time(m)
+        generic = variance_time_from_acf(
+            small_fbndp.acf(199), small_fbndp.variance, m
+        )
+        assert np.allclose(closed, generic, rtol=1e-10)
+
+    def test_variance_time_m1_is_variance(self, small_fbndp):
+        assert small_fbndp.variance_time(1)[0] == pytest.approx(
+            small_fbndp.variance
+        )
+
+
+class TestOccupancy:
+    @pytest.fixture
+    def durations(self):
+        return HeavyTailedDuration(gamma=1.2, knee=0.002)
+
+    def test_occupancy_bounds(self, durations, rng):
+        occ = fractal_onoff_occupancy(durations, 500, 0.04, rng)
+        assert occ.shape == (500,)
+        assert np.all(occ >= 0.0)
+        assert np.all(occ <= 0.04 + 1e-12)
+
+    def test_occupancy_mean_half(self, durations, rng):
+        # A single heavy-tailed ON/OFF process's time-average converges
+        # only like n^{-(1-1/gamma)}; average over processes instead.
+        total = np.zeros(8_000)
+        for _ in range(30):
+            total += fractal_onoff_occupancy(durations, 8_000, 0.04, rng)
+        assert total.mean() / 30 == pytest.approx(0.02, rel=0.06)
+
+    def test_superposed_matches_scalar_sum_statistically(self, durations):
+        n_proc, n_frames = 40, 2_000
+        batched = superposed_onoff_occupancy(
+            durations, n_proc, n_frames, 0.04, rng=1
+        )
+        loop = np.zeros(n_frames)
+        gen = np.random.default_rng(2)
+        for _ in range(n_proc):
+            loop += fractal_onoff_occupancy(durations, n_frames, 0.04, gen)
+        assert batched.mean() == pytest.approx(loop.mean(), rel=0.05)
+        assert batched.std() == pytest.approx(loop.std(), rel=0.2)
+
+    def test_superposed_bounds(self, durations):
+        occ = superposed_onoff_occupancy(durations, 25, 300, 0.04, rng=3)
+        assert np.all(occ >= -1e-12)
+        assert np.all(occ <= 25 * 0.04 + 1e-9)
+
+    def test_superposed_single_process(self, durations):
+        occ = superposed_onoff_occupancy(durations, 1, 200, 0.04, rng=4)
+        assert occ.shape == (200,)
+        assert np.all((occ >= -1e-12) & (occ <= 0.04 + 1e-12))
+
+
+class TestSampling:
+    def test_sample_frames_moments(self, small_fbndp):
+        x = small_fbndp.sample_frames(40_000, rng=11)
+        assert x.mean() == pytest.approx(small_fbndp.mean, rel=0.1)
+        assert x.var() == pytest.approx(small_fbndp.variance, rel=0.35)
+
+    def test_sample_nonnegative_integers(self, small_fbndp):
+        x = small_fbndp.sample_frames(1_000, rng=12)
+        assert np.all(x >= 0)
+        assert np.allclose(x, np.round(x))
+
+    def test_aggregate_equals_scaled_model(self, small_fbndp):
+        # Superposition closure: aggregate of N has N-fold mean.
+        agg = small_fbndp.sample_aggregate(20_000, 4, rng=13)
+        assert agg.mean() == pytest.approx(4 * small_fbndp.mean, rel=0.1)
+
+    def test_sample_acf_matches_analytic(self, small_fbndp):
+        from repro.analysis import sample_acf
+
+        x = small_fbndp.sample_frames(120_000, rng=14)
+        observed = sample_acf(x, 5)
+        expected = small_fbndp.acf(5)
+        assert np.allclose(observed, expected, atol=0.05)
+
+    def test_deterministic_with_seed(self, small_fbndp):
+        a = small_fbndp.sample_frames(500, rng=15)
+        b = small_fbndp.sample_frames(500, rng=15)
+        assert np.array_equal(a, b)
+
+    def test_describe_reports_derived(self, small_fbndp):
+        info = small_fbndp.describe()
+        assert info["onset_time"] == pytest.approx(small_fbndp.onset_time)
+        assert info["n_onoff"] == 5

@@ -1,0 +1,76 @@
+"""Tests for the fractional Gaussian noise model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.models.fgn import FGNModel
+
+
+class TestStatistics:
+    def test_metadata(self, fgn):
+        assert fgn.hurst == 0.9
+        assert fgn.is_lrd
+        assert fgn.mean == 500.0
+        assert fgn.variance == 5000.0
+
+    def test_half_hurst_is_white_noise(self):
+        model = FGNModel(0.5, 0.0, 1.0)
+        assert np.allclose(model.acf(10), 0.0, atol=1e-12)
+        assert not model.is_lrd
+
+    def test_acf_exact_lrd_form(self, fgn):
+        # r(k) = 1/2 [(k+1)^{2H} - 2k^{2H} + (k-1)^{2H}].
+        h2 = 2 * fgn.hurst
+        k = 5.0
+        expected = 0.5 * ((k + 1) ** h2 - 2 * k**h2 + (k - 1) ** h2)
+        assert fgn.autocorrelation(5)[0] == pytest.approx(expected)
+
+    def test_variance_time_self_similar(self, fgn):
+        # V(m) = sigma^2 m^{2H} exactly.
+        m = np.array([1, 4, 16, 64])
+        expected = 5000.0 * m ** (2 * 0.9)
+        assert np.allclose(fgn.variance_time(m), expected)
+
+    @given(st.floats(min_value=0.55, max_value=0.95))
+    @settings(max_examples=30)
+    def test_acf_positive_for_lrd(self, hurst):
+        model = FGNModel(hurst, 0.0, 1.0)
+        assert np.all(model.acf(100) > 0)
+
+    def test_antipersistent_negative_lag1(self):
+        model = FGNModel(0.3, 0.0, 1.0)
+        assert model.autocorrelation(1)[0] < 0
+
+    @pytest.mark.parametrize("h", [0.0, 1.0, 1.2])
+    def test_rejects_invalid_hurst(self, h):
+        with pytest.raises(ParameterError):
+            FGNModel(h, 0.0, 1.0)
+
+
+class TestSampling:
+    def test_marginal_moments(self, fgn):
+        x = fgn.sample_frames(50_000, rng=1)
+        assert x.mean() == pytest.approx(500.0, rel=0.05)
+        # LRD: variance estimator converges slowly; generous band.
+        assert x.var() == pytest.approx(5000.0, rel=0.3)
+
+    def test_sample_acf(self, fgn):
+        from repro.analysis import sample_acf
+
+        x = fgn.sample_frames(100_000, rng=2)
+        observed = sample_acf(x, 4)
+        assert np.allclose(observed, fgn.acf(4), atol=0.05)
+
+    def test_aggregate_scales_variance(self, fgn):
+        agg = fgn.sample_aggregate(20_000, 9, rng=3)
+        assert agg.mean() == pytest.approx(9 * 500.0, rel=0.05)
+
+    def test_measured_hurst(self, fgn):
+        from repro.analysis import aggregated_variance_hurst
+
+        x = fgn.sample_frames(200_000, rng=4)
+        estimate = aggregated_variance_hurst(x)
+        assert estimate.hurst == pytest.approx(0.9, abs=0.08)

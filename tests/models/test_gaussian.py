@@ -1,0 +1,82 @@
+"""Tests for exact stationary Gaussian sampling (circulant embedding)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.models.gaussian import sample_stationary_gaussian, spectral_check
+
+
+def _ar1_acf(phi: float, n: int) -> np.ndarray:
+    return phi ** np.arange(n)
+
+
+class TestSampler:
+    def test_shape(self):
+        x = sample_stationary_gaussian(_ar1_acf(0.5, 100), 100, rng=0)
+        assert x.shape == (100,)
+
+    def test_single_sample(self):
+        x = sample_stationary_gaussian(np.array([1.0]), 1, rng=0)
+        assert x.shape == (1,)
+
+    def test_unit_variance(self):
+        draws = [
+            sample_stationary_gaussian(_ar1_acf(0.6, 64), 64, rng=seed)
+            for seed in range(300)
+        ]
+        pooled = np.concatenate(draws)
+        assert pooled.var() == pytest.approx(1.0, rel=0.05)
+        assert pooled.mean() == pytest.approx(0.0, abs=0.03)
+
+    def test_covariance_structure_ar1(self):
+        x = sample_stationary_gaussian(_ar1_acf(0.7, 200_000), 200_000, rng=1)
+        from repro.analysis import sample_acf
+
+        observed = sample_acf(x, 3)
+        assert np.allclose(observed, [0.7, 0.49, 0.343], atol=0.02)
+
+    def test_covariance_structure_fgn(self):
+        from repro.models.fgn import FGNModel
+
+        model = FGNModel(0.85, 0.0, 1.0)
+        acf = np.concatenate(([1.0], model.acf(100_000 - 1)))
+        x = sample_stationary_gaussian(acf, 100_000, rng=2)
+        from repro.analysis import sample_acf
+
+        observed = sample_acf(x, 3)
+        assert np.allclose(observed, model.acf(3), atol=0.03)
+
+    def test_requires_enough_acf(self):
+        with pytest.raises(ValueError, match="autocovariances"):
+            sample_stationary_gaussian(_ar1_acf(0.5, 10), 20)
+
+    def test_requires_unit_lag0(self):
+        bad = _ar1_acf(0.5, 10)
+        bad[0] = 2.0
+        with pytest.raises(ValueError, match="acf\\[0\\]"):
+            sample_stationary_gaussian(bad, 10)
+
+    def test_rejects_invalid_embedding(self):
+        # A strongly oscillating "ACF" that is not positive definite.
+        bad = np.array([1.0, -0.99, 0.99, -0.99, 0.99, -0.99])
+        if spectral_check(bad) < 0:
+            with pytest.raises(SimulationError, match="negative eigenvalues"):
+                sample_stationary_gaussian(bad, 6, rng=0)
+
+    def test_deterministic_with_seed(self):
+        a = sample_stationary_gaussian(_ar1_acf(0.4, 50), 50, rng=9)
+        b = sample_stationary_gaussian(_ar1_acf(0.4, 50), 50, rng=9)
+        assert np.array_equal(a, b)
+
+
+class TestSpectralCheck:
+    def test_positive_for_ar1(self):
+        assert spectral_check(_ar1_acf(0.8, 128)) > 0
+
+    def test_positive_for_fgn(self):
+        from repro.models.fgn import FGNModel
+
+        model = FGNModel(0.9, 0.0, 1.0)
+        acf = np.concatenate(([1.0], model.acf(255)))
+        assert spectral_check(acf) > 0

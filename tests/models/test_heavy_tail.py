@@ -1,0 +1,195 @@
+"""Unit and property tests for the heavy-tailed ON/OFF duration law."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import integrate
+
+from repro.exceptions import ParameterError
+from repro.models.heavy_tail import HeavyTailedDuration
+
+gamma_strategy = st.floats(min_value=1.05, max_value=1.95)
+
+
+@pytest.fixture
+def dist():
+    return HeavyTailedDuration(gamma=1.2, knee=0.002)
+
+
+class TestConstruction:
+    def test_from_alpha(self):
+        d = HeavyTailedDuration.from_alpha(0.8, 1.0)
+        assert d.gamma == pytest.approx(1.2)
+
+    @pytest.mark.parametrize("gamma", [1.0, 2.0, 0.5, 2.5])
+    def test_rejects_gamma_outside_open_interval(self, gamma):
+        with pytest.raises(ParameterError):
+            HeavyTailedDuration(gamma, 1.0)
+
+    def test_rejects_nonpositive_knee(self):
+        with pytest.raises(ParameterError):
+            HeavyTailedDuration(1.5, 0.0)
+
+
+class TestDensity:
+    def test_pdf_integrates_to_one(self, dist):
+        body, _ = integrate.quad(lambda t: dist.pdf(t), 0, dist.knee)
+        tail, _ = integrate.quad(
+            lambda t: dist.pdf(t), dist.knee, np.inf
+        )
+        assert body + tail == pytest.approx(1.0, rel=1e-8)
+
+    def test_pdf_continuous_at_knee(self, dist):
+        eps = 1e-10
+        below = float(dist.pdf(dist.knee - eps))
+        above = float(dist.pdf(dist.knee + eps))
+        assert below == pytest.approx(above, rel=1e-5)
+
+    def test_pdf_zero_for_negative(self, dist):
+        assert float(dist.pdf(-1.0)) == 0.0
+
+    def test_pdf_matches_numeric_cdf_derivative(self, dist):
+        t = 3 * dist.knee
+        h = 1e-8
+        numeric = (float(dist.cdf(t + h)) - float(dist.cdf(t - h))) / (2 * h)
+        assert numeric == pytest.approx(float(dist.pdf(t)), rel=1e-4)
+
+
+class TestCDF:
+    def test_cdf_limits(self, dist):
+        assert float(dist.cdf(0.0)) == 0.0
+        assert float(dist.cdf(1e6)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_cdf_continuous_at_knee(self, dist):
+        eps = 1e-12
+        assert float(dist.cdf(dist.knee - eps)) == pytest.approx(
+            float(dist.cdf(dist.knee + eps)), rel=1e-9
+        )
+
+    def test_sf_complements_cdf(self, dist):
+        t = np.array([0.0005, 0.002, 0.01, 0.1])
+        assert np.allclose(dist.sf(t) + dist.cdf(t), 1.0)
+
+    def test_cdf_monotone(self, dist):
+        t = np.geomspace(1e-5, 10.0, 200)
+        values = dist.cdf(t)
+        assert np.all(np.diff(values) >= 0)
+
+    def test_pareto_tail_exponent(self, dist):
+        # S(2t)/S(t) = 2^-gamma in the tail.
+        t = 100 * dist.knee
+        ratio = float(dist.sf(2 * t) / dist.sf(t))
+        assert ratio == pytest.approx(2.0 ** -dist.gamma, rel=1e-9)
+
+
+class TestPPF:
+    @given(gamma_strategy, st.floats(min_value=0.0, max_value=0.999999))
+    @settings(max_examples=80)
+    def test_roundtrip_with_cdf(self, gamma, u):
+        d = HeavyTailedDuration(gamma, 0.01)
+        assert float(d.cdf(d.ppf(u))) == pytest.approx(u, abs=1e-9)
+
+    def test_rejects_u_at_one(self, dist):
+        with pytest.raises(ValueError):
+            dist.ppf(1.0)
+
+    def test_rejects_negative_u(self, dist):
+        with pytest.raises(ValueError):
+            dist.ppf(-0.01)
+
+    def test_branch_boundary(self, dist):
+        split = 1.0 - np.exp(-dist.gamma)
+        assert float(dist.ppf(split)) == pytest.approx(dist.knee, rel=1e-9)
+
+    def test_vector_input(self, dist):
+        u = np.linspace(0, 0.99, 50)
+        out = dist.ppf(u)
+        assert out.shape == (50,)
+        assert np.all(np.diff(out) > 0)  # strictly increasing quantiles
+
+
+class TestMoments:
+    def test_mean_matches_numeric(self, dist):
+        numeric, _ = integrate.quad(
+            lambda t: dist.sf(t), 0, np.inf, limit=200
+        )
+        assert dist.mean == pytest.approx(numeric, rel=1e-4)
+
+    def test_variance_infinite(self, dist):
+        assert dist.variance == np.inf
+
+    @given(gamma_strategy)
+    @settings(max_examples=30)
+    def test_mean_scales_with_knee(self, gamma):
+        small = HeavyTailedDuration(gamma, 1.0).mean
+        large = HeavyTailedDuration(gamma, 5.0).mean
+        assert large == pytest.approx(5.0 * small, rel=1e-12)
+
+
+class TestEquilibrium:
+    def test_integrated_sf_limit_is_mean(self, dist):
+        # The tail remainder int_t^inf S = e^-g A^g t^{1-g}/(g-1) decays
+        # as t^{-0.2} here — glacially — so test the *exact* identity
+        # IS(t) + remainder(t) == E[T] instead of a numeric limit.
+        g, a = dist.gamma, dist.knee
+        for t in (10 * a, 1e3 * a, 1e9):
+            remainder = np.exp(-g) * a**g * t ** (1.0 - g) / (g - 1.0)
+            assert float(dist.integrated_sf(t)) + remainder == pytest.approx(
+                dist.mean, rel=1e-12
+            )
+
+    def test_equilibrium_cdf_limits(self, dist):
+        assert float(dist.equilibrium_cdf(0.0)) == 0.0
+        # Slow t^{1-gamma} convergence: modest tolerance at finite t.
+        assert float(dist.equilibrium_cdf(1e9)) == pytest.approx(
+            1.0, rel=5e-3
+        )
+
+    def test_integrated_sf_matches_numeric(self, dist):
+        for t in (0.5 * dist.knee, 2 * dist.knee, 20 * dist.knee):
+            numeric, _ = integrate.quad(lambda s: dist.sf(s), 0, t)
+            assert float(dist.integrated_sf(t)) == pytest.approx(
+                numeric, rel=1e-6
+            )
+
+    @given(gamma_strategy, st.floats(min_value=0.0, max_value=0.9999))
+    @settings(max_examples=80)
+    def test_equilibrium_ppf_roundtrip(self, gamma, u):
+        d = HeavyTailedDuration(gamma, 0.01)
+        t = float(d.equilibrium_ppf(u))
+        assert float(d.equilibrium_cdf(t)) == pytest.approx(u, abs=1e-8)
+
+    def test_equilibrium_stochastically_larger(self, dist, ):
+        # Residual life of a heavy-tailed law dominates the original:
+        # compare survival functions at several points.
+        t = np.array([0.001, 0.005, 0.02, 0.1])
+        eq_sf = 1.0 - dist.equilibrium_cdf(t)
+        assert np.all(eq_sf >= dist.sf(t) - 1e-12)
+
+
+class TestSampling:
+    def test_sample_shape_and_positivity(self, dist, rng):
+        x = dist.sample(10_000, rng)
+        assert x.shape == (10_000,)
+        assert np.all(x > 0)
+
+    def test_sample_mean_converges(self, dist, rng):
+        x = dist.sample(400_000, rng)
+        # Infinite variance: generous tolerance.
+        assert x.mean() == pytest.approx(dist.mean, rel=0.15)
+
+    def test_sample_tail_fraction(self, dist, rng):
+        x = dist.sample(200_000, rng)
+        threshold = 10 * dist.knee
+        expected = float(dist.sf(threshold))
+        observed = float((x > threshold).mean())
+        assert observed == pytest.approx(expected, rel=0.15)
+
+    def test_sample_equilibrium_median(self, dist, rng):
+        x = dist.sample_equilibrium(200_000, rng)
+        median_expected = float(dist.equilibrium_ppf(0.5))
+        assert np.median(x) == pytest.approx(median_expected, rel=0.05)
+
+    def test_deterministic_with_seed(self, dist):
+        assert np.array_equal(dist.sample(100, 7), dist.sample(100, 7))

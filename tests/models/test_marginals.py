@@ -1,0 +1,105 @@
+"""Tests for pluggable frame-size marginals (paper Section 6.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ParameterError
+from repro.models.dar import DARModel
+from repro.models.marginals import (
+    GaussianMarginal,
+    LognormalMarginal,
+    NegativeBinomialMarginal,
+)
+
+moment_strategy = st.tuples(
+    st.floats(min_value=5.0, max_value=1000.0),
+    st.floats(min_value=1.2, max_value=20.0),
+).map(lambda t: (t[0], t[0] * t[1]))  # variance > mean
+
+
+class TestGaussianMarginal:
+    def test_moments(self):
+        m = GaussianMarginal(500.0, 5000.0)
+        x = m.sample(100_000, rng=1)
+        assert x.mean() == pytest.approx(500.0, rel=0.01)
+        assert x.var() == pytest.approx(5000.0, rel=0.05)
+
+
+class TestNegativeBinomial:
+    @given(moment_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_parameterization_recovers_moments(self, moments):
+        mean, variance = moments
+        m = NegativeBinomialMarginal(mean, variance)
+        # Analytic NB moments from (r, p).
+        assert m.r * (1 - m.p) / m.p == pytest.approx(mean, rel=1e-9)
+        assert m.r * (1 - m.p) / m.p**2 == pytest.approx(
+            variance, rel=1e-9
+        )
+
+    def test_sample_moments(self):
+        m = NegativeBinomialMarginal(500.0, 5000.0)
+        x = m.sample(200_000, rng=2)
+        assert x.mean() == pytest.approx(500.0, rel=0.01)
+        assert x.var() == pytest.approx(5000.0, rel=0.05)
+
+    def test_integer_nonnegative(self):
+        m = NegativeBinomialMarginal(50.0, 200.0)
+        x = m.sample(10_000, rng=3)
+        assert np.all(x >= 0)
+        assert np.allclose(x, np.round(x))
+
+    def test_heavier_right_tail_than_gaussian(self):
+        nb = NegativeBinomialMarginal(500.0, 5000.0).sample(300_000, rng=4)
+        ga = GaussianMarginal(500.0, 5000.0).sample(300_000, rng=4)
+        threshold = 500.0 + 4 * np.sqrt(5000.0)
+        assert (nb > threshold).mean() > (ga > threshold).mean()
+
+    def test_requires_overdispersion(self):
+        with pytest.raises(ParameterError):
+            NegativeBinomialMarginal(100.0, 100.0)
+
+
+class TestLognormal:
+    def test_sample_moments(self):
+        m = LognormalMarginal(500.0, 5000.0)
+        x = m.sample(300_000, rng=5)
+        assert x.mean() == pytest.approx(500.0, rel=0.01)
+        assert x.var() == pytest.approx(5000.0, rel=0.1)
+
+    def test_strictly_positive(self):
+        x = LognormalMarginal(10.0, 400.0).sample(10_000, rng=6)
+        assert np.all(x > 0)
+
+
+class TestDARWithMarginal:
+    def test_marginal_preserved_through_dar(self):
+        marginal = NegativeBinomialMarginal(500.0, 5000.0)
+        model = DARModel.with_marginal(0.8, (1.0,), marginal)
+        x = model.sample_frames(150_000, rng=7)
+        assert x.mean() == pytest.approx(500.0, rel=0.02)
+        assert x.var() == pytest.approx(5000.0, rel=0.1)
+        assert np.all(x >= 0)
+
+    def test_acf_independent_of_marginal(self):
+        gaussian = DARModel.dar1(0.8, 500.0, 5000.0)
+        nb = DARModel.with_marginal(
+            0.8, (1.0,), NegativeBinomialMarginal(500.0, 5000.0)
+        )
+        assert np.allclose(gaussian.acf(10), nb.acf(10))
+
+    def test_moment_mismatch_rejected(self):
+        marginal = NegativeBinomialMarginal(500.0, 5000.0)
+        with pytest.raises(ParameterError, match="disagree"):
+            DARModel(0.8, (1.0,), 400.0, 5000.0, marginal=marginal)
+
+    def test_sample_acf_with_nb_marginal(self):
+        model = DARModel.with_marginal(
+            0.7, (1.0,), NegativeBinomialMarginal(100.0, 400.0)
+        )
+        from repro.analysis import sample_acf
+
+        x = model.sample_frames(150_000, rng=8)
+        assert np.allclose(sample_acf(x, 3), model.acf(3), atol=0.03)

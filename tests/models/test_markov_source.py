@@ -1,0 +1,129 @@
+"""Tests for Markov-modulated sources and effective-bandwidth theory."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError, StabilityError
+from repro.models import DARModel
+from repro.models.markov_source import MarkovModulatedSource
+from repro.queueing.exact_markov import MarkovArrivalChain
+
+
+@pytest.fixture
+def onoff():
+    # Two-state ON/OFF: 0 or 100 cells/frame.
+    chain = MarkovArrivalChain(
+        transition=np.array([[0.9, 0.1], [0.3, 0.7]]),
+        arrivals=np.array([0.0, 100.0]),
+    )
+    return MarkovModulatedSource(chain)
+
+
+@pytest.fixture
+def maglaris():
+    return MarkovModulatedSource.maglaris(
+        n_minisources=10,
+        p_on_to_off=0.2,
+        p_off_to_on=0.1,
+        cells_per_minisource=100.0,
+        base_cells=50.0,
+    )
+
+
+class TestStatistics:
+    def test_onoff_moments(self, onoff):
+        # pi = (0.75, 0.25).
+        assert onoff.mean == pytest.approx(25.0)
+        assert onoff.variance == pytest.approx(0.75 * 0.25 * 100.0**2)
+
+    def test_onoff_acf_geometric(self, onoff):
+        # Two-state chain: r(k) = (1 - alpha - beta)^k with
+        # alpha = P[0->1] = 0.1, beta = P[1->0] = 0.3.
+        r = onoff.acf(6)
+        assert np.allclose(r, 0.6 ** np.arange(1, 7))
+
+    def test_maglaris_moments(self, maglaris):
+        # Each mini-source ON with prob alpha/(alpha+beta) = 1/3.
+        p_on = 0.1 / 0.3
+        expected_mean = 50.0 + 100.0 * 10 * p_on
+        expected_var = 100.0**2 * 10 * p_on * (1 - p_on)
+        assert maglaris.mean == pytest.approx(expected_mean, rel=1e-9)
+        assert maglaris.variance == pytest.approx(expected_var, rel=1e-9)
+
+    def test_maglaris_acf_geometric(self, maglaris):
+        # Independent mini-sources: r(k) = (1 - alpha - beta)^k.
+        r = maglaris.acf(5)
+        assert np.allclose(r, 0.7 ** np.arange(1, 6), atol=1e-9)
+
+    def test_from_dar1_acf_matches_model(self):
+        model = DARModel.dar1(0.8, 500.0, 5000.0)
+        source = MarkovModulatedSource.from_dar1(model, n_bins=25)
+        assert np.allclose(source.acf(5), model.acf(5), atol=1e-9)
+
+    def test_srd(self, onoff):
+        assert not onoff.is_lrd
+
+
+class TestEffectiveBandwidth:
+    def test_limits(self, onoff):
+        # e(theta) -> mean as theta -> 0+, -> peak as theta -> inf.
+        assert onoff.effective_bandwidth(1e-6) == pytest.approx(
+            25.0, rel=1e-3
+        )
+        assert onoff.effective_bandwidth(5.0) == pytest.approx(
+            100.0, rel=0.05
+        )
+
+    def test_monotone_in_theta(self, onoff):
+        thetas = [1e-3, 1e-2, 1e-1, 1.0]
+        values = [onoff.effective_bandwidth(t) for t in thetas]
+        assert values == sorted(values)
+
+    def test_decay_rate_consistency(self, onoff):
+        # e(theta*) = c by construction.
+        c = 50.0
+        theta_star = onoff.decay_rate_for_capacity(c)
+        assert onoff.effective_bandwidth(theta_star) == pytest.approx(c)
+
+    def test_decay_rate_matches_exact_clr_slope(self, onoff):
+        # Cross-validation of two independent computations: the CLR of
+        # the exact finite-buffer chain decays asymptotically at
+        # exactly theta* (needs theta* B >> 1 to be in the asymptotic
+        # regime: theta* ~ 0.005 here, so B of a few thousand cells).
+        from repro.queueing.exact_markov import exact_clr
+
+        c = 50.0
+        theta_star = onoff.decay_rate_for_capacity(c)
+        clr1 = exact_clr(onoff.chain, c, 1000.0, n_levels=1001).clr
+        clr2 = exact_clr(onoff.chain, c, 2000.0, n_levels=2001).clr
+        measured = -(np.log(clr2) - np.log(clr1)) / 1000.0
+        assert measured == pytest.approx(theta_star, rel=0.01)
+
+    def test_unstable_capacity_rejected(self, onoff):
+        with pytest.raises(StabilityError):
+            onoff.decay_rate_for_capacity(20.0)
+
+    def test_peak_capacity_rejected(self, onoff):
+        with pytest.raises(ParameterError):
+            onoff.decay_rate_for_capacity(100.0)
+
+
+class TestSampling:
+    def test_marginal_moments(self, maglaris):
+        x = maglaris.sample_frames(100_000, rng=1)
+        assert x.mean() == pytest.approx(maglaris.mean, rel=0.03)
+        assert x.var() == pytest.approx(maglaris.variance, rel=0.1)
+
+    def test_sample_acf(self, onoff):
+        from repro.analysis import sample_acf
+
+        x = onoff.sample_frames(150_000, rng=2)
+        assert np.allclose(sample_acf(x, 3), onoff.acf(3), atol=0.03)
+
+    def test_values_in_state_space(self, onoff):
+        x = onoff.sample_frames(5_000, rng=3)
+        assert set(np.unique(x)) <= {0.0, 100.0}
+
+    def test_aggregate_mean(self, onoff):
+        agg = onoff.sample_aggregate(30_000, 4, rng=4)
+        assert agg.mean() == pytest.approx(100.0, rel=0.05)

@@ -1,0 +1,74 @@
+"""Tests for the M/G/infinity (Cox) model with Pareto sessions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.models.mginf import MGInfModel
+
+
+@pytest.fixture
+def mginf():
+    # mean holding = 1.5 * 0.1 / 0.5 = 0.3 s; mean occupancy = 30.
+    return MGInfModel(
+        session_rate=100.0, beta=1.5, t_min=0.1, cells_per_session=2.0
+    )
+
+
+class TestStatistics:
+    def test_mean_holding(self, mginf):
+        assert mginf.mean_holding == pytest.approx(0.3)
+
+    def test_poisson_occupancy_moments(self, mginf):
+        assert mginf.mean_occupancy == pytest.approx(30.0)
+        assert mginf.mean == pytest.approx(60.0)
+        assert mginf.variance == pytest.approx(4.0 * 30.0)
+
+    def test_hurst(self, mginf):
+        assert mginf.hurst == pytest.approx(0.75)
+        assert mginf.is_lrd
+
+    def test_acf_lag0(self, mginf):
+        assert mginf.autocorrelation(0)[0] == pytest.approx(1.0)
+
+    def test_acf_hyperbolic_tail(self, mginf):
+        # r(tau) ~ tau^{1-beta} in the tail: doubling the lag scales by
+        # 2^{1-beta}.
+        r = mginf.autocorrelation([200, 400])
+        assert r[1] / r[0] == pytest.approx(2.0 ** (1 - 1.5), rel=1e-6)
+
+    def test_acf_monotone_decreasing(self, mginf):
+        r = mginf.acf(500)
+        assert np.all(np.diff(r) <= 1e-15)
+
+    @pytest.mark.parametrize("beta", [1.0, 2.0, 0.8])
+    def test_rejects_invalid_beta(self, beta):
+        with pytest.raises(ParameterError):
+            MGInfModel(10.0, beta, 0.1)
+
+
+class TestSampling:
+    def test_occupancy_mean(self, mginf):
+        x = mginf.sample_frames(50_000, rng=1)
+        assert x.mean() == pytest.approx(60.0, rel=0.1)
+
+    def test_occupancy_nonnegative_multiples(self, mginf):
+        x = mginf.sample_frames(2_000, rng=2)
+        assert np.all(x >= 0)
+        assert np.allclose(x / 2.0, np.round(x / 2.0))
+
+    def test_poisson_marginal_variance(self, mginf):
+        x = mginf.sample_frames(100_000, rng=3)
+        # Var = cells^2 * mean occupancy (Poisson).
+        assert x.var() == pytest.approx(120.0, rel=0.25)
+
+    def test_aggregate_scales(self, mginf):
+        agg = mginf.sample_aggregate(20_000, 3, rng=4)
+        assert agg.mean() == pytest.approx(180.0, rel=0.1)
+
+    def test_sample_acf_tracks_analytic(self, mginf):
+        from repro.analysis import sample_acf
+
+        x = mginf.sample_frames(150_000, rng=5)
+        observed = sample_acf(x, 4)
+        assert np.allclose(observed, mginf.acf(4), atol=0.06)

@@ -1,0 +1,111 @@
+"""Tests for the GOP-periodic MPEG model (paper Section 6.2 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.models import AR1Model, DARModel, MPEGModel, make_z
+from repro.models.mpeg import CLASSIC_GOP
+
+
+@pytest.fixture
+def mpeg():
+    # SRD modulator keeps sampling fast and statistics simple.
+    return MPEGModel(DARModel.dar1(0.8, 500.0, 5000.0))
+
+
+class TestConstruction:
+    def test_pattern_normalized(self, mpeg):
+        assert mpeg.pattern.mean() == pytest.approx(1.0)
+        assert mpeg.gop_length == 12
+
+    def test_rejects_bad_patterns(self):
+        base = AR1Model(0.5, 10.0, 4.0)
+        with pytest.raises(ParameterError):
+            MPEGModel(base, pattern=(1.0,))
+        with pytest.raises(ParameterError):
+            MPEGModel(base, pattern=(1.0, -1.0, 2.0))
+
+    def test_inherits_frame_duration(self, mpeg):
+        assert mpeg.frame_duration == pytest.approx(0.04)
+
+
+class TestStatistics:
+    def test_mean_preserved(self, mpeg):
+        assert mpeg.mean == pytest.approx(500.0)
+
+    def test_variance_exceeds_modulator(self, mpeg):
+        # The multiplicative pattern adds variance:
+        # Var = R_p(0)(sigma^2 + mu^2) - mu^2 > sigma^2 for R_p(0) > 1.
+        assert mpeg.variance > 5000.0
+        rp0 = float(mpeg.pattern_correlation(0)[0])
+        expected = rp0 * (5000.0 + 500.0**2) - 500.0**2
+        assert mpeg.variance == pytest.approx(expected)
+
+    def test_pattern_correlation_periodic(self, mpeg):
+        lags = np.arange(0, 36)
+        rp = mpeg.pattern_correlation(lags)
+        assert np.allclose(rp[:12], rp[12:24])
+        assert rp[0] == rp.max()
+
+    def test_acf_shows_gop_ripple(self, mpeg):
+        # ACF at GOP multiples exceeds neighbours (the I-frame comb).
+        r = mpeg.acf(36)
+        assert r[11] > r[10]  # lag 12 vs lag 11
+        assert r[23] > r[22]
+
+    def test_acf_lag0_is_one(self, mpeg):
+        assert mpeg.autocorrelation(0)[0] == pytest.approx(1.0)
+
+    def test_hurst_inherited(self):
+        lrd_mpeg = MPEGModel(make_z(0.9))
+        assert lrd_mpeg.hurst == pytest.approx(0.9)
+        assert lrd_mpeg.is_lrd
+
+
+class TestSampling:
+    def test_marginal_moments(self, mpeg):
+        x = mpeg.sample_frames(200_000, rng=1)
+        assert x.mean() == pytest.approx(mpeg.mean, rel=0.02)
+        assert x.var() == pytest.approx(mpeg.variance, rel=0.1)
+
+    def test_sample_acf_matches_analytic(self, mpeg):
+        from repro.analysis import sample_acf
+
+        x = mpeg.sample_frames(200_000, rng=2)
+        observed = sample_acf(x, 13)
+        assert np.allclose(observed, mpeg.acf(13), atol=0.03)
+
+    def test_aggregate_independent_phases_mean(self, mpeg):
+        agg = mpeg.sample_aggregate(30_000, 6, rng=3)
+        assert agg.mean() == pytest.approx(6 * 500.0, rel=0.03)
+
+    def test_aggregate_independent_phases_variance_linear(self, mpeg):
+        # Independent phases: ensemble aggregate variance = N * Var(X).
+        # The estimator must be the across-replication variance at
+        # fixed frame indices — a single path has its phases frozen
+        # (cyclostationarity), so time averages converge very slowly.
+        paths = np.vstack(
+            [mpeg.sample_aggregate(60, 6, rng=400 + k) for k in range(2500)]
+        )
+        ensemble_var = paths.var(axis=0).mean()
+        assert ensemble_var == pytest.approx(6 * mpeg.variance, rel=0.1)
+
+    def test_aligned_phases_variance_superlinear(self):
+        model = MPEGModel(
+            DARModel.dar1(0.8, 500.0, 5000.0), aligned_phases=True
+        )
+        agg = model.sample_aggregate(60_000, 6, rng=5)
+        # Shared phase correlates sources: variance well above N * Var.
+        assert agg.var() > 1.5 * 6 * model.variance
+
+
+class TestCTSOnMPEG:
+    def test_cts_machinery_applies(self):
+        from repro.core import critical_time_scale, cts_curve
+
+        mpeg = MPEGModel(DARModel.dar1(0.8, 500.0, 5000.0))
+        c = 1.1 * mpeg.mean * (mpeg.std / mpeg.mean + 1)  # safely > mean
+        curve = cts_curve(mpeg, 700.0, np.array([0.0, 50.0, 200.0, 800.0]))
+        assert curve[0] == 1
+        assert np.all(np.diff(curve) >= 0)

@@ -1,0 +1,160 @@
+"""Tests for the Table 1 model factory — the paper's parameter spec."""
+
+import numpy as np
+import pytest
+
+from repro.constants import FRAME_DURATION
+from repro.exceptions import ParameterError
+from repro.models import (
+    fit_l_alpha,
+    make_l,
+    make_s,
+    make_v,
+    make_z,
+    reference_lag1,
+    solve_v_lag1,
+    table1_parameters,
+)
+
+
+class TestMakeZ:
+    @pytest.mark.parametrize("a", [0.7, 0.9, 0.975, 0.99])
+    def test_common_marginal(self, a):
+        model = make_z(a)
+        assert model.mean == pytest.approx(500.0)
+        assert model.variance == pytest.approx(5000.0)
+
+    def test_equal_split(self):
+        model = make_z(0.9)
+        fbndp, dar = model.components
+        assert fbndp.mean == pytest.approx(dar.mean)
+        assert fbndp.variance == pytest.approx(dar.variance)
+        assert model.variance_ratio == pytest.approx(1.0)
+
+    def test_hurst_09(self):
+        assert make_z(0.7).hurst == pytest.approx(0.9)
+
+    def test_paper_lambda_and_t0(self):
+        fbndp = make_z(0.7).components[0]
+        assert fbndp.arrival_rate == pytest.approx(6250.0)
+        assert fbndp.onset_time * 1e3 == pytest.approx(2.57, abs=0.01)
+
+    def test_long_term_correlations_independent_of_a(self):
+        # Table 1 note: "once alpha, lambda, T0 and M are fixed, the
+        # marginal of Z^a is not affected by a" — and the ACF tails of
+        # different a coincide asymptotically.
+        tails = [make_z(a).autocorrelation(2000)[0] for a in (0.7, 0.99)]
+        assert tails[0] == pytest.approx(tails[1], rel=1e-6)
+
+    def test_short_term_correlations_increase_with_a(self):
+        r1 = [make_z(a).autocorrelation(1)[0] for a in (0.7, 0.9, 0.975)]
+        assert r1[0] < r1[1] < r1[2]
+
+
+class TestMakeV:
+    def test_first_lag_matched_across_v(self):
+        r1 = [make_v(v).autocorrelation(1)[0] for v in (0.67, 1.0, 1.5)]
+        assert r1[0] == pytest.approx(r1[1], rel=1e-10)
+        assert r1[1] == pytest.approx(r1[2], rel=1e-10)
+
+    def test_paper_a_values_close(self):
+        # Paper Table 1: a = 0.799761, 0.8, 0.800362; our exact
+        # first-lag match gives 0.7966, 0.8, 0.8051 — within 1%.
+        assert solve_v_lag1(0.67) == pytest.approx(0.799761, rel=0.01)
+        assert solve_v_lag1(1.0) == pytest.approx(0.8, rel=1e-12)
+        assert solve_v_lag1(1.5) == pytest.approx(0.800362, rel=0.01)
+
+    def test_variance_ratio(self):
+        assert make_v(1.5).variance_ratio == pytest.approx(1.5)
+
+    def test_t0_independent_of_v(self):
+        # Constant sigma_X^2/mu_X pins T0 across v (Table 1's single
+        # T0 = 3.48 msec row).
+        t0 = [make_v(v).components[0].onset_time for v in (0.67, 1.0, 1.5)]
+        assert t0[0] == pytest.approx(t0[1], rel=1e-9)
+        assert t0[1] == pytest.approx(t0[2], rel=1e-9)
+        assert t0[0] * 1e3 == pytest.approx(3.48, abs=0.01)
+
+    def test_lambda_scales_with_v(self):
+        assert make_v(0.67).components[0].arrival_rate == pytest.approx(
+            5015.0, rel=0.01
+        )
+        assert make_v(1.5).components[0].arrival_rate == pytest.approx(
+            7500.0
+        )
+
+    def test_common_marginal(self):
+        for v in (0.67, 1.0, 1.5):
+            model = make_v(v)
+            assert model.mean == pytest.approx(500.0)
+            assert model.variance == pytest.approx(5000.0)
+
+    def test_larger_v_has_heavier_tail(self):
+        r_tail = [make_v(v).autocorrelation(500)[0] for v in (0.67, 1.5)]
+        assert r_tail[1] > r_tail[0]
+
+    def test_explicit_a_override(self):
+        model = make_v(1.0, a=0.5)
+        assert model.components[1].rho == 0.5
+
+    def test_reference_lag1_value(self):
+        # r(1) = (0.9 * 0.77946 + 0.8) / 2.
+        assert reference_lag1() == pytest.approx(0.7897, abs=2e-4)
+
+
+class TestMakeL:
+    def test_paper_parameters(self, l_model):
+        assert l_model.alpha == 0.72
+        assert l_model.n_onoff == 30
+        assert l_model.arrival_rate == pytest.approx(12500.0)
+        assert l_model.hurst == pytest.approx(0.86)
+
+    def test_marginal(self, l_model):
+        assert l_model.mean == pytest.approx(500.0)
+        assert l_model.variance == pytest.approx(5000.0)
+
+    def test_tail_matches_z(self, l_model, z_model):
+        # Fig. 3(b): tails of L and Z^a close up to lag 1000.
+        lags = np.array([100, 300, 1000])
+        r_l = l_model.autocorrelation(lags)
+        r_z = z_model.autocorrelation(lags)
+        assert np.allclose(r_l, r_z, rtol=0.25)
+
+
+class TestMakeS:
+    @pytest.mark.parametrize("order", [1, 2, 3])
+    def test_matches_z_prefix(self, order):
+        z = make_z(0.975)
+        s = make_s(order, 0.975)
+        assert np.allclose(s.acf(order), z.acf(order), atol=1e-10)
+
+    def test_paper_dar1_rhos(self):
+        assert make_s(1, 0.7).rho == pytest.approx(0.68, abs=0.005)
+        assert make_s(1, 0.975).rho == pytest.approx(0.82, abs=0.005)
+
+    def test_paper_dar2_weights(self):
+        fitted = make_s(2, 0.975)
+        assert fitted.rho == pytest.approx(0.87, abs=0.005)
+        assert fitted.weights[0] == pytest.approx(0.70, abs=0.01)
+
+
+class TestFitLAlpha:
+    def test_recovers_near_paper_alpha(self, z_model):
+        alpha = fit_l_alpha(z_model)
+        # The paper settles on 0.72 by eyeballing the tail fit; our
+        # least-squares lands in the same neighbourhood.
+        assert alpha == pytest.approx(0.72, abs=0.06)
+
+
+class TestTable1Parameters:
+    def test_contains_all_models(self):
+        rows = table1_parameters()
+        for key in ("V^0.67", "V^1", "V^1.5", "Z^a", "L"):
+            assert key in rows
+
+    def test_dar_fits_included(self):
+        rows = table1_parameters()
+        assert "S=DAR(2)~Z^0.975" in rows
+        assert rows["S=DAR(2)~Z^0.975"]["rho"] == pytest.approx(
+            0.87, abs=0.005
+        )

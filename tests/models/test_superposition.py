@@ -1,0 +1,99 @@
+"""Tests for superposition model algebra (paper Eq. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.models import AR1Model, DARModel, FGNModel, SuperposedModel
+
+
+@pytest.fixture
+def pair():
+    x = FGNModel(0.9, 300.0, 3000.0)
+    y = DARModel.dar1(0.7, 200.0, 2000.0)
+    return x, y, SuperposedModel((x, y))
+
+
+class TestAlgebra:
+    def test_mean_and_variance_add(self, pair):
+        x, y, s = pair
+        assert s.mean == pytest.approx(500.0)
+        assert s.variance == pytest.approx(5000.0)
+
+    def test_acf_is_variance_weighted(self, pair):
+        x, y, s = pair
+        lags = np.arange(1, 20)
+        expected = (3000.0 * x.autocorrelation(lags)
+                    + 2000.0 * y.autocorrelation(lags)) / 5000.0
+        assert np.allclose(s.autocorrelation(lags), expected)
+
+    def test_eq5_weights(self, pair):
+        # v = sigma_X^2 / sigma_Y^2 = 1.5; weights v/(v+1), 1/(v+1).
+        x, y, s = pair
+        assert s.variance_ratio == pytest.approx(1.5)
+        v = s.variance_ratio
+        r1 = (v / (v + 1)) * x.autocorrelation(1)[0] + (
+            1 / (v + 1)
+        ) * y.autocorrelation(1)[0]
+        assert s.autocorrelation(1)[0] == pytest.approx(r1)
+
+    def test_variance_time_adds(self, pair):
+        x, y, s = pair
+        m = np.array([1, 5, 25])
+        assert np.allclose(
+            s.variance_time(m), x.variance_time(m) + y.variance_time(m)
+        )
+
+    def test_hurst_is_max(self, pair):
+        _, _, s = pair
+        assert s.hurst == 0.9
+        assert s.is_lrd
+
+    def test_variance_ratio_requires_two_components(self):
+        s = SuperposedModel((AR1Model(0.5, 1.0, 1.0),))
+        with pytest.raises(ParameterError):
+            s.variance_ratio
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            SuperposedModel(())
+
+    def test_rejects_mismatched_frame_durations(self):
+        a = AR1Model(0.5, 1.0, 1.0, frame_duration=0.04)
+        b = AR1Model(0.5, 1.0, 1.0, frame_duration=0.02)
+        with pytest.raises(ParameterError, match="frame duration"):
+            SuperposedModel((a, b))
+
+    def test_three_components(self):
+        parts = [AR1Model(phi, 10.0, 100.0) for phi in (0.2, 0.5, 0.8)]
+        s = SuperposedModel(parts)
+        assert s.mean == pytest.approx(30.0)
+        assert s.variance == pytest.approx(300.0)
+        r1 = s.autocorrelation(1)[0]
+        assert r1 == pytest.approx((0.2 + 0.5 + 0.8) / 3.0)
+
+
+class TestSampling:
+    def test_sample_moments(self, pair):
+        _, _, s = pair
+        x = s.sample_frames(50_000, rng=1)
+        assert x.mean() == pytest.approx(500.0, rel=0.05)
+        assert x.var() == pytest.approx(5000.0, rel=0.3)
+
+    def test_aggregate_moments(self, pair):
+        _, _, s = pair
+        agg = s.sample_aggregate(20_000, 6, rng=2)
+        assert agg.mean() == pytest.approx(3000.0, rel=0.05)
+
+    def test_sample_acf_matches_eq5(self, pair):
+        from repro.analysis import sample_acf
+
+        _, _, s = pair
+        x = s.sample_frames(120_000, rng=3)
+        assert np.allclose(sample_acf(x, 3), s.acf(3), atol=0.05)
+
+    def test_deterministic_with_seed(self, pair):
+        _, _, s = pair
+        assert np.array_equal(
+            s.sample_frames(100, rng=4), s.sample_frames(100, rng=4)
+        )

@@ -1,0 +1,84 @@
+"""Tests for batch-means confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.queueing.batch_means import batch_means, batch_means_clr
+
+
+class TestBatchMeans:
+    def test_iid_coverage(self, rng):
+        # On iid data the CI should cover the true mean most of the
+        # time; check over repeated experiments.
+        hits = 0
+        trials = 200
+        for k in range(trials):
+            x = rng.normal(3.0, 1.0, size=2_000)
+            est = batch_means(x, n_batches=20)
+            lo, hi = est.interval
+            hits += lo <= 3.0 <= hi
+        assert hits / trials > 0.85  # nominal 0.95 with slack
+
+    def test_mean_matches_sample_mean(self, rng):
+        x = rng.normal(0.0, 1.0, size=1_000)
+        est = batch_means(x, n_batches=10)
+        assert est.mean == pytest.approx(x[:1000].mean(), abs=1e-12)
+
+    def test_iid_batches_look_independent(self, rng):
+        x = rng.normal(0.0, 1.0, size=20_000)
+        est = batch_means(x, n_batches=20)
+        assert est.batches_look_independent
+
+    def test_lrd_input_flags_dependence(self):
+        # Strongly LRD input with short batches: the lag-1 correlation
+        # of batch means stays high — the diagnostic the module exists
+        # to surface.  The 20-point correlation estimate is noisy, so
+        # average over independent paths.
+        from repro.models import FGNModel
+
+        model = FGNModel(0.95, 0.0, 1.0)
+        lag1 = [
+            batch_means(
+                model.sample_frames(20_000, rng=seed), n_batches=20
+            ).batch_lag1
+            for seed in range(6)
+        ]
+        assert np.mean(lag1) > 0.2
+
+    def test_run_too_short(self):
+        with pytest.raises(SimulationError):
+            batch_means(np.ones(5), n_batches=10)
+
+    def test_rejects_2d(self, rng):
+        with pytest.raises(SimulationError):
+            batch_means(rng.normal(size=(10, 10)))
+
+
+class TestBatchMeansCLR:
+    def test_ratio_within_batches(self, rng):
+        lost = rng.poisson(2.0, size=10_000).astype(float)
+        arrived = np.full(10_000, 100.0)
+        est = batch_means_clr(lost, arrived, n_batches=10)
+        assert est.mean == pytest.approx(0.02, rel=0.1)
+
+    def test_agrees_with_multiplexer_run(self):
+        from repro.models import AR1Model
+        from repro.queueing import ATMMultiplexer
+
+        model = AR1Model(0.5, 500.0, 5000.0)
+        mux = ATMMultiplexer(model, 10, 512.0, buffer_cells=100.0)
+        result = mux.simulate_clr(40_000, rng=3)
+        arrivals_proxy = np.full(40_000, result.arrived_cells / 40_000)
+        est = batch_means_clr(
+            result.lost_cells, arrivals_proxy, n_batches=20
+        )
+        assert est.mean == pytest.approx(result.clr, rel=0.02)
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(SimulationError):
+            batch_means_clr(np.ones(10), np.ones(5))
+
+    def test_empty_batch_arrivals(self):
+        with pytest.raises(SimulationError):
+            batch_means_clr(np.zeros(100), np.zeros(100), n_batches=5)

@@ -1,0 +1,83 @@
+"""Tests for the cell-granularity simulator vs the fluid recursion."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.queueing.cell_level import (
+    deterministic_smoothing_times,
+    simulate_cell_level,
+)
+from repro.queueing.workload import simulate_finite_buffer
+
+
+class TestSmoothingTimes:
+    def test_equispaced_within_frame(self):
+        times = deterministic_smoothing_times(np.array([4]))
+        assert np.allclose(times, [0.0, 0.25, 0.5, 0.75])
+
+    def test_multi_frame(self):
+        times = deterministic_smoothing_times(np.array([2, 1]))
+        assert np.allclose(times, [0.0, 0.5, 1.0])
+
+    def test_zero_frames_allowed(self):
+        times = deterministic_smoothing_times(np.array([0, 3, 0]))
+        assert np.allclose(times, [1.0, 1.0 + 1 / 3, 1.0 + 2 / 3])
+
+    def test_empty(self):
+        assert deterministic_smoothing_times(np.zeros(5, int)).size == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            deterministic_smoothing_times(np.array([-1]))
+
+
+class TestCellLevel:
+    def test_no_loss_when_underloaded(self, rng):
+        frames = rng.integers(0, 8, size=(200, 3))
+        result = simulate_cell_level(frames, capacity=40, buffer_cells=100)
+        assert result.lost_cells == 0
+        assert result.arrived_cells == int(frames.sum())
+
+    def test_loss_when_overloaded(self):
+        frames = np.full((50, 1), 20)
+        result = simulate_cell_level(frames, capacity=10, buffer_cells=5)
+        assert result.lost_cells > 0
+        # Long-run loss rate approaches (20 - 10)/20 = 0.5.
+        assert result.clr == pytest.approx(0.5, abs=0.05)
+
+    def test_agrees_with_fluid_at_high_rates(self, rng):
+        # With many cells per frame, the slotted system converges to
+        # the fluid recursion.
+        n_frames, n_sources = 300, 5
+        frames = rng.poisson(200, size=(n_frames, n_sources))
+        capacity = 1050  # utilization ~0.95
+        buffer_cells = 400
+        cell = simulate_cell_level(frames, capacity, buffer_cells)
+        fluid = simulate_finite_buffer(
+            frames.sum(axis=1).astype(float), float(capacity),
+            float(buffer_cells),
+        )
+        assert cell.clr == pytest.approx(fluid.clr, abs=0.005)
+
+    def test_single_source_1d_input(self):
+        frames = np.full(20, 15)
+        result = simulate_cell_level(frames, capacity=10, buffer_cells=2)
+        assert result.arrived_cells == 300
+        assert result.lost_cells > 0
+
+    def test_bufferless(self):
+        # One cell per frame, capacity 1: exactly sustainable.
+        frames = np.ones((50, 1), dtype=int)
+        result = simulate_cell_level(frames, capacity=1, buffer_cells=0)
+        assert result.lost_cells == 0
+
+    def test_empty_traffic(self):
+        result = simulate_cell_level(np.zeros((10, 2), int), 5, 5)
+        assert result.arrived_cells == 0
+        with pytest.raises(SimulationError):
+            result.clr
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(SimulationError):
+            simulate_cell_level(np.zeros((0, 2), int), 5, 5)

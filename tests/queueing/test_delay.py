@@ -1,0 +1,62 @@
+"""Tests for FIFO delay statistics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.queueing.delay import DelayStatistics
+
+
+@pytest.fixture
+def stats():
+    # Workload in cells at frame starts; C = 100 cells/frame,
+    # T_s = 0.04 s -> delay = W * 4e-4 s.
+    workload = np.array([0.0, 50.0, 100.0, 150.0, 200.0])
+    return DelayStatistics.from_workload(workload, 100.0, 0.04)
+
+
+class TestDelayStatistics:
+    def test_conversion(self, stats):
+        assert np.allclose(
+            stats.delays, [0.0, 0.02, 0.04, 0.06, 0.08]
+        )
+
+    def test_mean_and_max(self, stats):
+        assert stats.mean == pytest.approx(0.04)
+        assert stats.maximum == pytest.approx(0.08)
+
+    def test_quantiles(self, stats):
+        assert float(stats.quantile(0.5)) == pytest.approx(0.04)
+        assert np.allclose(stats.quantile([0.0, 1.0]), [0.0, 0.08])
+
+    def test_survival(self, stats):
+        probs = stats.survival([0.0, 0.04, 0.1])
+        assert probs.tolist() == [0.8, 0.4, 0.0]
+
+    def test_violations(self, stats):
+        assert stats.violates(0.05) == pytest.approx(0.4)
+
+    def test_buffer_cap_bounds_delay(self):
+        # A multiplexer with max_delay budget keeps every delay at or
+        # below the budget — the defining property of the conversion.
+        from repro.models import AR1Model
+        from repro.queueing import ATMMultiplexer
+
+        model = AR1Model(0.7, 500.0, 5000.0)
+        mux = ATMMultiplexer(model, 10, 520.0, max_delay_seconds=0.010)
+        result = mux.simulate_clr(5_000, rng=1)
+        stats = DelayStatistics.from_workload(
+            result.workload, mux.capacity, model.frame_duration
+        )
+        assert stats.maximum <= 0.010 + 1e-12
+        assert stats.violates(0.010) == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            DelayStatistics.from_workload(np.empty(0), 10.0, 0.04)
+
+    def test_rejects_bad_capacity(self):
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError):
+            DelayStatistics.from_workload(np.ones(3), 0.0, 0.04)

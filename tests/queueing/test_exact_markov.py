@@ -1,0 +1,122 @@
+"""Tests for the exact finite-buffer Markov-chain solver."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError, StabilityError
+from repro.models import DARModel
+from repro.queueing import simulate_finite_buffer
+from repro.queueing.exact_markov import MarkovArrivalChain, exact_clr
+
+
+@pytest.fixture
+def two_state():
+    # Simple bursty source: 40 cells or 100 cells per frame.
+    return MarkovArrivalChain(
+        transition=np.array([[0.9, 0.1], [0.2, 0.8]]),
+        arrivals=np.array([40.0, 100.0]),
+    )
+
+
+@pytest.fixture
+def dar_chain():
+    return MarkovArrivalChain.from_dar1(
+        DARModel.dar1(0.8, 500.0, 5000.0), n_bins=21
+    )
+
+
+class TestChain:
+    def test_stationary_distribution(self, two_state):
+        pi = two_state.stationary_distribution()
+        # Global balance: pi = (2/3, 1/3).
+        assert np.allclose(pi, [2 / 3, 1 / 3])
+        assert two_state.mean_arrival == pytest.approx(60.0)
+
+    def test_from_dar1_preserves_moments(self, dar_chain):
+        pi = dar_chain.stationary_distribution()
+        assert dar_chain.mean_arrival == pytest.approx(500.0, rel=1e-9)
+        second = float(np.dot(pi, dar_chain.arrivals**2))
+        # Binned conditional means lose a little within-bin variance.
+        assert second - 500.0**2 == pytest.approx(5000.0, rel=0.05)
+
+    def test_from_dar1_requires_order_one(self):
+        model = DARModel(0.8, (0.5, 0.5), 500.0, 5000.0)
+        with pytest.raises(ParameterError):
+            MarkovArrivalChain.from_dar1(model)
+
+    def test_superpose(self, two_state):
+        double = two_state.superpose(two_state)
+        assert double.n_states == 4
+        assert double.mean_arrival == pytest.approx(120.0)
+
+    def test_self_superpose(self, two_state):
+        triple = two_state.self_superpose(3)
+        assert triple.n_states == 8
+        assert triple.mean_arrival == pytest.approx(180.0)
+
+    def test_invalid_transition_rejected(self):
+        with pytest.raises(ParameterError):
+            MarkovArrivalChain(
+                transition=np.array([[0.5, 0.4], [0.2, 0.8]]),
+                arrivals=np.array([1.0, 2.0]),
+            )
+
+
+class TestExactCLR:
+    def test_matches_simulation(self, two_state, rng):
+        capacity, buffer_cells = 70.0, 60.0
+        result = exact_clr(two_state, capacity, buffer_cells, n_levels=241)
+        # Simulate the same chain directly.
+        n = 1_000_000
+        states = np.empty(n, dtype=int)
+        s = 0
+        u = rng.random(n)
+        for i in range(n):
+            s = 0 if u[i] < two_state.transition[s, 0] else 1
+            states[i] = s
+        sim = simulate_finite_buffer(
+            two_state.arrivals[states], capacity, buffer_cells
+        )
+        assert result.clr == pytest.approx(sim.clr, rel=0.1)
+
+    def test_bufferless_closed_form(self, two_state):
+        result = exact_clr(two_state, 70.0, 0.0)
+        # CLR = pi_1 * (100 - 70) / 60.
+        assert result.clr == pytest.approx((1 / 3) * 30.0 / 60.0)
+        assert result.iterations == 0
+
+    def test_monotone_in_buffer(self, dar_chain):
+        values = [
+            exact_clr(dar_chain, 560.0, b, n_levels=151).clr
+            for b in (0.0, 100.0, 400.0)
+        ]
+        assert values[0] > values[1] > values[2]
+
+    def test_monotone_in_capacity(self, dar_chain):
+        values = [
+            exact_clr(dar_chain, c, 200.0, n_levels=151).clr
+            for c in (540.0, 570.0, 620.0)
+        ]
+        assert values[0] > values[1] > values[2]
+
+    def test_grid_refinement_converges(self, dar_chain):
+        coarse = exact_clr(dar_chain, 560.0, 300.0, n_levels=101).clr
+        fine = exact_clr(dar_chain, 560.0, 300.0, n_levels=801).clr
+        assert coarse == pytest.approx(fine, rel=0.08)
+
+    def test_unstable_rejected(self, two_state):
+        with pytest.raises(StabilityError):
+            exact_clr(two_state, 50.0, 10.0)
+
+    def test_bahadur_rao_upper_bounds_exact(self):
+        # The open question of the paper's Fig. 10, answered exactly
+        # for one source: the B-R (infinite-buffer) estimate sits above
+        # the true finite-buffer CLR.
+        from repro.core import bahadur_rao_bop
+
+        model = DARModel.dar1(0.8, 500.0, 5000.0)
+        chain = MarkovArrivalChain.from_dar1(model, n_bins=31)
+        c, b = 560.0, 400.0
+        exact = exact_clr(chain, c, b, n_levels=401)
+        estimate = bahadur_rao_bop(model, c, b, 1)
+        assert estimate.log10_bop > exact.log10_clr

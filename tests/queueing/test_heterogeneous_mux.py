@@ -1,0 +1,81 @@
+"""Tests for the heterogeneous multiplexer simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.heterogeneous import TrafficClass, heterogeneous_bop
+from repro.exceptions import ParameterError
+from repro.models import AR1Model, DARModel
+from repro.queueing.heterogeneous import HeterogeneousMultiplexer
+
+
+@pytest.fixture
+def mix():
+    video = DARModel.dar1(0.8, 500.0, 5000.0)
+    voice = AR1Model(0.5, 100.0, 400.0)
+    return HeterogeneousMultiplexer(
+        (TrafficClass(video, 10), TrafficClass(voice, 30)),
+        capacity=8400.0,
+        buffer_cells=500.0,
+    )
+
+
+class TestConfiguration:
+    def test_offered_load(self, mix):
+        assert mix.offered_load == pytest.approx(10 * 500.0 + 30 * 100.0)
+        assert mix.utilization == pytest.approx(8000.0 / 8400.0)
+
+    def test_zero_count_classes_dropped(self):
+        video = DARModel.dar1(0.8, 500.0, 5000.0)
+        voice = AR1Model(0.5, 100.0, 400.0)
+        mux = HeterogeneousMultiplexer(
+            (TrafficClass(video, 5), TrafficClass(voice, 0)),
+            capacity=3000.0,
+            buffer_cells=100.0,
+        )
+        assert len(mux.classes) == 1
+
+    def test_empty_mix_rejected(self):
+        video = DARModel.dar1(0.8, 500.0, 5000.0)
+        with pytest.raises(ParameterError):
+            HeterogeneousMultiplexer(
+                (TrafficClass(video, 0),), 1000.0, 10.0
+            )
+
+    def test_mismatched_frame_durations_rejected(self):
+        a = AR1Model(0.5, 10.0, 4.0, frame_duration=0.04)
+        b = AR1Model(0.5, 10.0, 4.0, frame_duration=0.02)
+        with pytest.raises(ParameterError):
+            HeterogeneousMultiplexer(
+                (TrafficClass(a, 1), TrafficClass(b, 1)), 100.0, 10.0
+            )
+
+
+class TestSimulation:
+    def test_mix_moments(self, mix):
+        path = mix.sample_mix(30_000, rng=1)
+        assert path.mean() == pytest.approx(mix.offered_load, rel=0.02)
+        expected_var = 10 * 5000.0 + 30 * 400.0
+        assert path.var() == pytest.approx(expected_var, rel=0.15)
+
+    def test_clr_runs_and_is_bounded(self, mix):
+        result = mix.simulate_clr(10_000, rng=2)
+        assert 0.0 <= result.clr < 1.0
+
+    def test_deterministic(self, mix):
+        a = mix.simulate_clr(2_000, rng=3)
+        b = mix.simulate_clr(2_000, rng=3)
+        assert a.clr == b.clr
+
+    def test_analysis_upper_bounds_simulation(self, mix):
+        # Mix-level B-R (infinite-buffer overflow) should sit above the
+        # simulated finite-buffer CLR, as in Fig. 10.
+        estimate = heterogeneous_bop(
+            mix.classes, mix.capacity, mix.buffer_cells
+        )
+        losses = [
+            mix.simulate_clr(20_000, rng=10 + k).clr for k in range(3)
+        ]
+        measured = float(np.mean(losses))
+        if measured > 0:
+            assert estimate.log10_bop > np.log10(measured) - 0.2

@@ -1,0 +1,66 @@
+"""Tests for the ATMMultiplexer facade."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.models import AR1Model
+from repro.queueing.multiplexer import ATMMultiplexer
+
+
+@pytest.fixture
+def mux():
+    model = AR1Model(0.6, 500.0, 5000.0)
+    return ATMMultiplexer(model, 30, 538.0, max_delay_seconds=0.010)
+
+
+class TestConfiguration:
+    def test_capacity(self, mux):
+        assert mux.capacity == pytest.approx(30 * 538.0)
+
+    def test_buffer_from_delay(self, mux):
+        # B = delay * C / T_s.
+        assert mux.buffer_cells == pytest.approx(0.010 * 30 * 538.0 / 0.04)
+        assert mux.max_delay_seconds == pytest.approx(0.010)
+
+    def test_buffer_direct(self):
+        model = AR1Model(0.0, 10.0, 4.0)
+        mux = ATMMultiplexer(model, 2, 12.0, buffer_cells=7.0)
+        assert mux.buffer_cells == 7.0
+
+    def test_utilization(self, mux):
+        assert mux.utilization == pytest.approx(500.0 / 538.0)
+
+    def test_requires_exactly_one_buffer_spec(self):
+        model = AR1Model(0.0, 10.0, 4.0)
+        with pytest.raises(ParameterError):
+            ATMMultiplexer(model, 1, 12.0)
+        with pytest.raises(ParameterError):
+            ATMMultiplexer(
+                model, 1, 12.0, buffer_cells=5.0, max_delay_seconds=0.01
+            )
+
+    def test_repr_mentions_delay(self, mux):
+        assert "msec" in repr(mux)
+
+
+class TestSimulation:
+    def test_simulate_clr_runs(self, mux):
+        result = mux.simulate_clr(2_000, rng=1)
+        assert result.arrived_cells > 0
+        assert 0.0 <= result.clr < 1.0
+
+    def test_simulate_workload_runs(self, mux):
+        result = mux.simulate_workload(2_000, rng=2)
+        probs = result.overflow_probability([0.0, mux.buffer_cells])
+        assert probs[0] >= probs[1]
+
+    def test_clr_for_buffers_monotone(self, mux):
+        buffers = np.array([0.0, 500.0, 2000.0, 8000.0])
+        clr = mux.clr_for_buffers(4_000, buffers, rng=3)
+        assert np.all(np.diff(clr) <= 1e-12)
+
+    def test_deterministic_with_seed(self, mux):
+        a = mux.simulate_clr(500, rng=5)
+        b = mux.simulate_clr(500, rng=5)
+        assert a.clr == b.clr

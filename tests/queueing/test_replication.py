@@ -1,0 +1,82 @@
+"""Tests for the replication harness."""
+
+import numpy as np
+import pytest
+
+from repro.models import AR1Model
+from repro.queueing.multiplexer import ATMMultiplexer
+from repro.queueing.replication import replicated_clr, replicated_clr_curve
+
+
+@pytest.fixture
+def mux():
+    # High utilization so losses are plentiful at test scale.
+    model = AR1Model(0.5, 500.0, 5000.0)
+    return ATMMultiplexer(model, 10, 515.0, buffer_cells=200.0)
+
+
+class TestReplicatedCLR:
+    def test_summary_fields(self, mux):
+        summary = replicated_clr(mux, 2_000, 4, rng=1)
+        assert summary.total_arrived > 0
+        assert summary.per_replication.n_replications == 4
+        assert 0.0 <= summary.clr < 1.0
+
+    def test_pooled_consistent_with_totals(self, mux):
+        summary = replicated_clr(mux, 1_000, 3, rng=2)
+        assert summary.clr == pytest.approx(
+            summary.total_lost / summary.total_arrived
+        )
+
+    def test_deterministic(self, mux):
+        a = replicated_clr(mux, 500, 2, rng=3)
+        b = replicated_clr(mux, 500, 2, rng=3)
+        assert a.clr == b.clr
+
+    def test_replications_differ(self, mux):
+        summary = replicated_clr(mux, 1_000, 4, rng=4)
+        values = summary.per_replication.values
+        assert len(np.unique(values)) > 1
+
+    def test_observed_loss_flag(self, mux):
+        summary = replicated_clr(mux, 2_000, 2, rng=5)
+        assert summary.observed_loss == (summary.total_lost > 0)
+
+
+class TestReplicatedCurve:
+    def test_monotone_in_buffer(self, mux):
+        buffers = np.array([0.0, 100.0, 500.0, 2000.0])
+        curve = replicated_clr_curve(mux, buffers, 2_000, 3, rng=6)
+        assert np.all(np.diff(curve.clr) <= 1e-15)
+
+    def test_axes(self, mux):
+        buffers = np.array([0.0, 400.0])
+        curve = replicated_clr_curve(mux, buffers, 500, 2, rng=7, label="x")
+        assert curve.label == "x"
+        assert np.allclose(
+            curve.delay_seconds, buffers * 0.04 / mux.capacity
+        )
+
+    def test_log10_handles_zero_loss(self, mux):
+        buffers = np.array([1e9])  # absurd buffer: no loss
+        curve = replicated_clr_curve(mux, buffers, 500, 2, rng=8)
+        assert curve.clr[0] == 0.0
+        assert np.isneginf(curve.log10_clr()[0])
+
+    def test_zero_buffer_matches_marginal_overflow(self):
+        # At B = 0, CLR = E[(S - C)^+] / E[S] with S the aggregate
+        # Gaussian frame: compare against the closed form.
+        from scipy import stats
+
+        model = AR1Model(0.0, 500.0, 5000.0)
+        n, c = 20, 520.0
+        mux = ATMMultiplexer(model, n, c, buffer_cells=0.0)
+        curve = replicated_clr_curve(
+            mux, np.array([0.0]), 30_000, 4, rng=9
+        )
+        sd = np.sqrt(n * 5000.0)
+        z = (n * c - n * 500.0) / sd
+        expected = sd * (
+            stats.norm.pdf(z) - z * stats.norm.sf(z)
+        ) / (n * 500.0)
+        assert curve.clr[0] == pytest.approx(expected, rel=0.15)

@@ -1,0 +1,82 @@
+"""Tests for loss estimators and confidence intervals."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.queueing.statistics import (
+    pooled_clr,
+    replicated_estimate,
+    survival_function,
+)
+
+
+class TestReplicatedEstimate:
+    def test_mean_and_se(self):
+        est = replicated_estimate([1.0, 2.0, 3.0])
+        assert est.mean == 2.0
+        assert est.std_error == pytest.approx(1.0 / math.sqrt(3))
+
+    def test_interval_contains_mean(self):
+        est = replicated_estimate([1.0, 2.0, 3.0, 4.0])
+        lo, hi = est.interval
+        assert lo < est.mean < hi
+
+    def test_single_replication_nan_half_width(self):
+        est = replicated_estimate([1.0])
+        assert math.isnan(est.half_width)
+
+    def test_higher_confidence_wider(self):
+        values = [1.0, 2.0, 3.0, 2.5]
+        narrow = replicated_estimate(values, confidence=0.8).half_width
+        wide = replicated_estimate(values, confidence=0.99).half_width
+        assert wide > narrow
+
+    def test_log10_mean(self):
+        assert replicated_estimate([0.01, 0.01]).log10_mean == pytest.approx(
+            -2.0
+        )
+        assert replicated_estimate([0.0, 0.0]).log10_mean == -math.inf
+
+    def test_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            replicated_estimate([])
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError):
+            replicated_estimate([1.0, 2.0], confidence=1.5)
+
+
+class TestPooledCLR:
+    def test_ratio_of_sums(self):
+        # (1 + 3) / (100 + 300), not mean(1/100, 3/300).
+        assert pooled_clr([1.0, 3.0], [100.0, 300.0]) == pytest.approx(0.01)
+
+    def test_weighting_differs_from_mean_of_ratios(self):
+        lost = [0.0, 10.0]
+        arrived = [1000.0, 10.0]
+        pooled = pooled_clr(lost, arrived)
+        mean_of_ratios = np.mean([0.0, 1.0])
+        assert pooled == pytest.approx(10.0 / 1010.0)
+        assert pooled != pytest.approx(mean_of_ratios)
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(SimulationError):
+            pooled_clr([1.0], [100.0, 200.0])
+
+    def test_rejects_zero_arrivals(self):
+        with pytest.raises(SimulationError):
+            pooled_clr([0.0], [0.0])
+
+
+class TestSurvivalFunction:
+    def test_values(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        probs = survival_function(samples, [0.0, 2.0, 4.0])
+        assert probs.tolist() == [1.0, 0.5, 0.0]
+
+    def test_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            survival_function(np.array([]), [1.0])

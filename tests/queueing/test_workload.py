@@ -1,0 +1,128 @@
+"""Unit and property tests for the workload recursions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.queueing.workload import (
+    simulate_finite_buffer,
+    simulate_infinite_buffer,
+)
+
+arrival_arrays = st.lists(
+    st.floats(min_value=0.0, max_value=50.0), min_size=1, max_size=200
+).map(np.array)
+
+
+def _reference_finite(x, c, b):
+    """Straightforward Python-loop reference implementation."""
+    w, lost = 0.0, []
+    workload = []
+    for a in x:
+        workload.append(w)
+        total = w + a - c
+        lost.append(max(total - b, 0.0))
+        w = min(max(total, 0.0), b)
+    return np.array(workload), np.array(lost)
+
+
+class TestFiniteBuffer:
+    def test_matches_reference_loop(self, rng):
+        x = rng.uniform(0, 30, size=500)
+        result = simulate_finite_buffer(x, 12.0, 40.0)
+        ref_w, ref_l = _reference_finite(x, 12.0, 40.0)
+        assert np.allclose(result.workload, ref_w)
+        assert np.allclose(result.lost_cells, ref_l)
+
+    @given(arrival_arrays, st.floats(min_value=1.0, max_value=30.0),
+           st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_invariants(self, x, c, b):
+        result = simulate_finite_buffer(x, c, b)
+        # Workload bounded by the buffer, never negative.
+        assert np.all(result.workload >= 0.0)
+        assert np.all(result.workload <= b + 1e-9)
+        # Loss non-negative and never more than what arrived.
+        assert np.all(result.lost_cells >= 0.0)
+        assert result.total_lost <= result.arrived_cells + 1e-9
+
+    @given(arrival_arrays, st.floats(min_value=1.0, max_value=30.0))
+    @settings(max_examples=40, deadline=None)
+    def test_conservation(self, x, c):
+        # arrivals = served + lost + final backlog, with service
+        # bounded by c per frame.
+        b = 25.0
+        result = simulate_finite_buffer(x, c, b)
+        final = min(
+            max(result.workload[-1] + x[-1] - c, 0.0), b
+        )
+        served = result.arrived_cells - result.total_lost - final
+        assert served >= -1e-9
+        assert served <= c * len(x) + 1e-9
+
+    def test_zero_buffer_loss(self):
+        x = np.array([5.0, 20.0, 3.0])
+        result = simulate_finite_buffer(x, 10.0, 0.0)
+        assert result.total_lost == pytest.approx(10.0)
+        assert np.all(result.workload == 0.0)
+
+    def test_no_loss_when_underloaded(self):
+        x = np.full(100, 5.0)
+        result = simulate_finite_buffer(x, 10.0, 50.0)
+        assert result.total_lost == 0.0
+        assert result.clr == 0.0
+
+    def test_clr_value(self):
+        x = np.array([30.0, 0.0])
+        result = simulate_finite_buffer(x, 10.0, 10.0)
+        # Frame 1: 30 in, 10 served, 10 buffered, 10 lost.
+        assert result.clr == pytest.approx(10.0 / 30.0)
+
+    def test_monotone_in_buffer(self, rng):
+        x = rng.uniform(0, 30, size=2000)
+        losses = [
+            simulate_finite_buffer(x, 12.0, b).total_lost
+            for b in (0.0, 10.0, 50.0, 200.0)
+        ]
+        assert losses == sorted(losses, reverse=True)
+
+    def test_empty_arrivals_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_finite_buffer(np.array([]), 10.0, 5.0)
+
+    def test_clr_undefined_without_arrivals(self):
+        result = simulate_finite_buffer(np.zeros(5), 10.0, 5.0)
+        with pytest.raises(SimulationError):
+            result.clr
+
+
+class TestInfiniteBuffer:
+    @given(arrival_arrays, st.floats(min_value=1.0, max_value=30.0))
+    @settings(max_examples=60, deadline=None)
+    def test_reflection_matches_loop(self, x, c):
+        vectorized = simulate_infinite_buffer(x, c).workload
+        w, loop = 0.0, [0.0]
+        for a in x:
+            w = max(w + a - c, 0.0)
+            loop.append(w)
+        assert np.allclose(vectorized, loop)
+
+    def test_agrees_with_huge_finite_buffer(self, rng):
+        x = rng.uniform(0, 30, size=1000)
+        infinite = simulate_infinite_buffer(x, 12.0).workload
+        finite = simulate_finite_buffer(x, 12.0, 1e12).workload
+        assert np.allclose(infinite[:-1], finite)
+
+    def test_overflow_probability(self):
+        x = np.array([20.0, 0.0, 20.0, 0.0])
+        result = simulate_infinite_buffer(x, 10.0)
+        # Workloads: 0, 10, 0, 10, 0.
+        probs = result.overflow_probability([5.0, 15.0])
+        assert probs[0] == pytest.approx(2.0 / 5.0)
+        assert probs[1] == 0.0
+
+    def test_nonnegative(self, rng):
+        x = rng.uniform(0, 5, size=500)
+        assert np.all(simulate_infinite_buffer(x, 50.0).workload >= 0.0)

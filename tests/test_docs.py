@@ -1,0 +1,81 @@
+"""Executable-documentation tests.
+
+Extracts every Python code block from docs/TUTORIAL.md and runs them
+in order in one shared namespace — the tutorial is a contract, and
+this test keeps it honest against API drift.  Two deliberately heavy
+tutorial parameters are substituted with small ones (noted inline);
+everything else runs verbatim.
+"""
+
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+TUTORIAL = Path(__file__).resolve().parent.parent / "docs" / "TUTORIAL.md"
+
+#: Textual substitutions that shrink the tutorial's deliberately
+#: realistic (but slow) parameters for CI.  Each pattern must occur,
+#: so drift in the tutorial text is flagged.
+SUBSTITUTIONS = {
+    "n_frames=50_000,\n                               n_replications=10": (
+        "n_frames=1_500,\n                               n_replications=2"
+    ),
+    "z.sample_frames(10_000, rng=42)": "z.sample_frames(6_000, rng=42)",
+    "z.sample_aggregate(10_000, 30, rng=42)": (
+        "z.sample_aggregate(1_000, 30, rng=42)"
+    ),
+    "mux.simulate_clr(20_000, rng=8)": "mux.simulate_clr(2_000, rng=8)",
+}
+
+
+def _python_blocks(markdown: str):
+    return re.findall(r"```python\n(.*?)```", markdown, flags=re.DOTALL)
+
+
+@pytest.fixture(scope="module")
+def tutorial_blocks():
+    text = TUTORIAL.read_text()
+    for pattern, replacement in SUBSTITUTIONS.items():
+        assert pattern in text, f"tutorial drifted: {pattern!r} not found"
+        text = text.replace(pattern, replacement)
+    blocks = _python_blocks(text)
+    assert len(blocks) >= 8
+    return blocks
+
+
+def test_tutorial_runs_end_to_end(tutorial_blocks, tmp_path, monkeypatch):
+    # The trace-loading block expects "my_video.csv" in the cwd.
+    monkeypatch.chdir(tmp_path)
+    import repro
+    from repro.io import save_trace, synthesize_trace
+
+    trace = synthesize_trace(repro.make_s(1, 0.975), 4_000, rng=99)
+    save_trace(tmp_path / "my_video.csv", trace)
+
+    namespace: dict = {}
+    for index, block in enumerate(tutorial_blocks):
+        try:
+            exec(compile(block, f"<tutorial block {index}>", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - diagnostic
+            pytest.fail(
+                f"tutorial block {index} failed: {exc}\n---\n{block}"
+            )
+
+    # Spot-check that the narrative's claims hold in the namespace.
+    assert namespace["z"].hurst == pytest.approx(0.9)
+    assert namespace["est"].cts >= 1
+    assert namespace["fitted"].order == 3
+
+
+def test_readme_quickstart_runs():
+    readme = (TUTORIAL.parent.parent / "README.md").read_text()
+    blocks = _python_blocks(readme)
+    assert blocks, "README lost its quickstart block"
+    namespace: dict = {}
+    quickstart = blocks[0].replace(
+        "n_frames=100_000, n_replications=10", "n_frames=1_500, n_replications=2"
+    )
+    exec(compile(quickstart, "<readme quickstart>", "exec"), namespace)
+    assert namespace["mux"].n_sources == 30

@@ -1,0 +1,72 @@
+"""Tests for the exception hierarchy and its ergonomics."""
+
+import pytest
+
+from repro.exceptions import (
+    ConvergenceError,
+    FittingError,
+    ParameterError,
+    ReproError,
+    SimulationError,
+    StabilityError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ParameterError,
+            FittingError,
+            ConvergenceError,
+            StabilityError,
+            SimulationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_parameter_error_is_value_error(self):
+        # So generic callers that catch ValueError keep working.
+        assert issubclass(ParameterError, ValueError)
+        with pytest.raises(ValueError):
+            raise ParameterError("bad")
+
+    def test_convergence_error_carries_last_value(self):
+        error = ConvergenceError("gave up", last_value=42)
+        assert error.last_value == 42
+        assert "gave up" in str(error)
+
+    def test_convergence_error_default_last_value(self):
+        assert ConvergenceError("x").last_value is None
+
+    def test_one_catch_covers_the_library(self):
+        # The advertised pattern: except ReproError around library use.
+        from repro.models import FBNDPModel
+
+        with pytest.raises(ReproError):
+            FBNDPModel.from_statistics(100.0, 50.0, 0.8, 10)
+
+
+class TestConstantsSanity:
+    def test_atm_cell_geometry(self):
+        from repro import constants
+
+        assert constants.ATM_CELL_BYTES == 53
+        assert constants.ATM_CELL_PAYLOAD_BYTES == 48
+        assert constants.ATM_CELL_BITS == 424
+
+    def test_frame_timing(self):
+        from repro import constants
+
+        assert constants.FRAME_RATE * constants.FRAME_DURATION == 1.0
+
+    def test_paper_operating_points(self):
+        from repro import constants
+
+        assert constants.N_SOURCES_BOP == 30
+        assert constants.C_PER_SOURCE_BOP == 538.0
+        # Utilization of the Figs. 5-10 point.
+        assert constants.MEAN_FRAME_CELLS / constants.C_PER_SOURCE_BOP == (
+            pytest.approx(0.9294, abs=1e-4)
+        )

@@ -1,0 +1,174 @@
+"""End-to-end integration tests: the paper's claims, analysis-to-sim.
+
+Each test exercises the whole stack — Table 1 factory, large-deviations
+analysis, multiplexer simulation — on one of the paper's conclusions,
+at a scale small enough for CI but large enough to be meaningful.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import bahadur_rao_bop, critical_time_scale, cts_curve
+from repro.models import fit_dar, make_l, make_s, make_v, make_z
+from repro.queueing import ATMMultiplexer, replicated_clr_curve
+from repro.utils.units import delay_to_buffer_cells
+
+
+class TestMythOne:
+    """Claim 1: 'cumulative effect of long-term correlations on CLR is
+    non-negligible' — disproved for realistic buffers."""
+
+    def test_cts_bounds_the_correlations_that_matter(self):
+        # At a 10-msec buffer the CTS is a few dozen frames: lag-1000
+        # correlations (where LRD lives) cannot influence the CLR.
+        z = make_z(0.975)
+        b = delay_to_buffer_cells(0.010, 526.0)
+        cts = critical_time_scale(z, 526.0, b)
+        assert cts < 100
+
+    def test_truncating_the_acf_tail_leaves_bop_unchanged(self):
+        # Construct a surgically truncated model: same ACF up to the
+        # CTS, zero afterwards.  B-R BOP must be identical.
+        from repro.models.base import TrafficModel, coerce_lags
+
+        z = make_z(0.975)
+        c, b, n = 538.0, delay_to_buffer_cells(0.010, 538.0), 30
+        cts = critical_time_scale(z, c, b)
+
+        class Truncated(TrafficModel):
+            def __init__(self, inner, keep):
+                super().__init__(inner.frame_duration)
+                self._inner, self._keep = inner, keep
+
+            @property
+            def mean(self):
+                return self._inner.mean
+
+            @property
+            def variance(self):
+                return self._inner.variance
+
+            def autocorrelation(self, lags):
+                lags_int = coerce_lags(lags)
+                r = self._inner.autocorrelation(lags_int)
+                return np.where(lags_int <= self._keep, r, 0.0)
+
+            def sample_frames(self, n_frames, rng=None):
+                raise NotImplementedError
+
+        truncated = Truncated(z, cts)
+        full = bahadur_rao_bop(z, c, b, n)
+        cut = bahadur_rao_bop(truncated, c, b, n)
+        assert cut.log10_bop == pytest.approx(full.log10_bop, abs=1e-9)
+        assert cut.cts == full.cts
+
+    def test_long_term_weight_barely_moves_small_buffer_bop(self):
+        c, n = 538.0, 30
+        b = delay_to_buffer_cells(0.002, c)
+        values = [
+            bahadur_rao_bop(make_v(v), c, b, n).log10_bop
+            for v in (0.67, 1.5)
+        ]
+        assert abs(values[0] - values[1]) < 0.3
+
+
+class TestMythTwo:
+    """Claim 2: 'LRD buffer behavior cannot be predicted by Markov
+    models' — disproved for realistic buffers."""
+
+    def test_dar1_tracks_z_better_than_l_analytically(self):
+        z = make_z(0.975)
+        c, n = 538.0, 30
+        for delay in (0.001, 0.002, 0.004):
+            b = delay_to_buffer_cells(delay, c)
+            z_bop = bahadur_rao_bop(z, c, b, n).log10_bop
+            s_bop = bahadur_rao_bop(make_s(1, 0.975), c, b, n).log10_bop
+            l_bop = bahadur_rao_bop(make_l(), c, b, n).log10_bop
+            assert abs(s_bop - z_bop) < abs(l_bop - z_bop)
+
+    def test_dar_p_converges_to_z(self):
+        z = make_z(0.975)
+        c, n = 538.0, 30
+        b = delay_to_buffer_cells(0.008, c)
+        z_bop = bahadur_rao_bop(z, c, b, n).log10_bop
+        errors = [
+            abs(bahadur_rao_bop(make_s(p, 0.975), c, b, n).log10_bop - z_bop)
+            for p in (1, 2, 3)
+        ]
+        assert errors[2] < errors[0]
+
+
+class TestSimulationAgreement:
+    """Simulated CLR ordering matches the analytic prediction."""
+
+    @pytest.mark.slow
+    def test_za_simulated_ordering(self):
+        c, n = 538.0, 30
+        buffers = np.array(
+            [delay_to_buffer_cells(d, n * c) for d in (0.0, 0.002)]
+        )
+        clr = {}
+        for a in (0.7, 0.99):
+            mux = ATMMultiplexer(make_z(a), n, c, buffer_cells=0.0)
+            curve = replicated_clr_curve(mux, buffers, 6_000, 2, rng=11)
+            clr[a] = curve.clr
+        # Identical marginals: zero-buffer CLRs within one order of
+        # magnitude (few loss events at this scale; LRD clusters them).
+        assert abs(np.log10(clr[0.7][0]) - np.log10(clr[0.99][0])) < 1.0
+        # Stronger short-term correlations lose more with buffer.
+        assert clr[0.99][1] >= clr[0.7][1]
+
+    @pytest.mark.slow
+    def test_markov_fit_simulated_clr_close_to_z(self):
+        c, n = 538.0, 30
+        z = make_z(0.975)
+        s = fit_dar(z, 1)
+        buffers = np.array([0.0, delay_to_buffer_cells(0.001, n * c)])
+        curves = {}
+        for label, model in (("z", z), ("s", s)):
+            mux = ATMMultiplexer(model, n, c, buffer_cells=0.0)
+            curves[label] = replicated_clr_curve(
+                mux, buffers, 6_000, 2, rng=13
+            ).clr
+        # Same marginal: zero-buffer CLR within one order of magnitude
+        # (loss events are scarce and clustered at this scale).
+        if curves["z"][0] > 0 and curves["s"][0] > 0:
+            ratio = curves["z"][0] / curves["s"][0]
+            assert 0.1 < ratio < 10.0
+
+    def test_cell_level_validates_fluid_on_paper_traffic(self):
+        # Cell-granular and fluid CLR agree at high cell counts.
+        from repro.queueing import simulate_cell_level, simulate_finite_buffer
+
+        z = make_z(0.9)
+        n = 5
+        frames = np.vstack(
+            [z.sample_frames(300, rng=100 + i) for i in range(n)]
+        ).T
+        frames = np.round(frames).astype(np.int64)
+        capacity = int(n * 515)
+        buffer_cells = 600
+        cell = simulate_cell_level(frames, capacity, buffer_cells)
+        fluid = simulate_finite_buffer(
+            frames.sum(axis=1).astype(float),
+            float(capacity),
+            float(buffer_cells),
+        )
+        assert cell.clr == pytest.approx(fluid.clr, abs=0.004)
+
+
+class TestCACEndToEnd:
+    def test_admission_counts_stable_across_model_choice(self):
+        from repro.atm import QoSRequirement, admissible_connections
+
+        qos = QoSRequirement(max_delay_seconds=0.020, max_clr=1e-6)
+        link = 30 * 538.0
+        counts = {
+            label: admissible_connections(model, link, qos)
+            for label, model in (
+                ("Z", make_z(0.975)),
+                ("DAR1", make_s(1, 0.975)),
+                ("DAR3", make_s(3, 0.975)),
+            )
+        }
+        assert max(counts.values()) - min(counts.values()) <= 3

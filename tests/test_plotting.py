@@ -1,0 +1,72 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.result import Panel, Series
+from repro.plotting import ascii_plot, plot_panel
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        x = np.arange(10.0)
+        chart = ascii_plot([("up", x, x), ("down", x, -x)])
+        assert "legend: o up   x down" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_extremes_labeled(self):
+        x = np.arange(5.0)
+        chart = ascii_plot([("s", x, x * 10)])
+        assert "40" in chart  # y max tick
+        assert "0" in chart
+
+    def test_skips_non_finite(self):
+        x = np.arange(4.0)
+        y = np.array([1.0, -np.inf, np.nan, 2.0])
+        chart = ascii_plot([("s", x, y)])
+        grid_area = chart.rsplit("legend:", 1)[0]
+        assert grid_area.count("o") == 2
+
+    def test_logx(self):
+        x = np.array([1.0, 10.0, 100.0])
+        chart = ascii_plot([("s", x, x)], logx=True)
+        assert "100" in chart
+
+    def test_all_nonfinite_graceful(self):
+        x = np.arange(3.0)
+        y = np.full(3, np.nan)
+        assert "no finite data" in ascii_plot([("s", x, y)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ascii_plot([])
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError):
+            ascii_plot([("s", [0, 1], [0, 1])], width=4, height=2)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="bad"):
+            ascii_plot([("bad", [0, 1], [0, 1, 2])])
+
+    def test_constant_series(self):
+        x = np.arange(5.0)
+        chart = ascii_plot([("flat", x, np.ones(5))])
+        assert "o" in chart
+
+
+class TestPlotPanel:
+    def test_from_panel(self):
+        panel = Panel(
+            name="demo",
+            x_label="buffer",
+            y_label="log10 BOP",
+            series=(
+                Series("a", np.arange(4.0), np.arange(4.0)),
+                Series("b", np.arange(4.0), np.arange(4.0) ** 2),
+            ),
+        )
+        chart = plot_panel(panel)
+        assert "demo" in chart
+        assert "buffer" in chart
+        assert "legend: o a   x b" in chart

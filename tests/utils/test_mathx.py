@@ -1,0 +1,108 @@
+"""Unit and property tests for repro.utils.mathx."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.mathx import (
+    geometric_weighted_tail_sum,
+    kappa,
+    second_central_difference,
+    weighted_tail_sum,
+)
+
+
+class TestSecondCentralDifference:
+    def test_quadratic_is_constant_two(self):
+        # nabla^2(k^2) = 2 exactly for all k.
+        k = np.arange(1, 50)
+        assert np.allclose(second_central_difference(k, 2.0), 2.0)
+
+    def test_linear_is_zero(self):
+        k = np.arange(1, 50)
+        assert np.allclose(second_central_difference(k, 1.0), 0.0)
+
+    def test_k_equal_one_uses_zero_power(self):
+        # (2)^e - 2*1 + 0^e with 0^e = 0.
+        value = second_central_difference(1, 1.8)
+        assert value == pytest.approx(2**1.8 - 2.0)
+
+    def test_rejects_k_below_one(self):
+        with pytest.raises(ValueError):
+            second_central_difference(0, 1.5)
+
+    def test_scalar_input_gives_numpy_value(self):
+        out = second_central_difference(3, 1.5)
+        assert isinstance(out, (np.ndarray, np.floating))
+        assert float(out) == pytest.approx(4**1.5 - 2 * 3**1.5 + 2**1.5)
+
+    @given(st.floats(min_value=1.01, max_value=1.99))
+    def test_matches_power_law_asymptotically(self, exponent):
+        # nabla^2(k^e) ~ e(e-1) k^{e-2} for large k.
+        k = 10_000.0
+        exact = float(second_central_difference(k, exponent))
+        approx = exponent * (exponent - 1.0) * k ** (exponent - 2.0)
+        assert exact == pytest.approx(approx, rel=1e-3)
+
+
+class TestKappa:
+    def test_symmetric_peak_at_half(self):
+        assert kappa(0.5) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        assert kappa(0.3) == pytest.approx(kappa(0.7))
+
+    @pytest.mark.parametrize("h", [0.0, 1.0, -0.1, 1.1])
+    def test_rejects_out_of_domain(self, h):
+        with pytest.raises(ValueError):
+            kappa(h)
+
+    @given(st.floats(min_value=0.01, max_value=0.99))
+    def test_bounded(self, h):
+        assert 0.5 <= kappa(h) <= 1.0
+
+
+class TestWeightedTailSum:
+    def test_m_one_is_zero(self):
+        assert weighted_tail_sum(np.array([0.5]), 1) == 0.0
+
+    def test_small_case_by_hand(self):
+        # m=3: 2*r(1) + 1*r(2).
+        r = np.array([0.5, 0.25])
+        assert weighted_tail_sum(r, 3) == pytest.approx(2 * 0.5 + 0.25)
+
+    def test_needs_enough_lags(self):
+        with pytest.raises(ValueError):
+            weighted_tail_sum(np.array([0.5]), 3)
+
+    def test_rejects_m_below_one(self):
+        with pytest.raises(ValueError):
+            weighted_tail_sum(np.array([0.5]), 0)
+
+
+class TestGeometricWeightedTailSum:
+    @given(
+        st.floats(min_value=-0.95, max_value=0.95),
+        st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=60)
+    def test_matches_direct_sum(self, a, m):
+        direct = sum((m - i) * a**i for i in range(1, m))
+        closed = float(geometric_weighted_tail_sum(a, m))
+        assert closed == pytest.approx(direct, rel=1e-9, abs=1e-9)
+
+    def test_a_equal_one(self):
+        assert float(geometric_weighted_tail_sum(1.0, 5)) == pytest.approx(10.0)
+
+    def test_a_zero(self):
+        assert float(geometric_weighted_tail_sum(0.0, 10)) == 0.0
+
+    def test_rejects_m_below_one(self):
+        with pytest.raises(ValueError):
+            geometric_weighted_tail_sum(0.5, 0)
+
+    def test_vectorized_over_m(self):
+        out = geometric_weighted_tail_sum(0.5, np.array([1, 2, 3]))
+        assert out.shape == (3,)
+        assert out[0] == 0.0

@@ -1,0 +1,60 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(123).random(5)
+        b = as_generator(123).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(99)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 4)) == 4
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_children_deterministic_from_seed(self):
+        first = [g.random(3) for g in spawn_generators(42, 3)]
+        second = [g.random(3) for g in spawn_generators(42, 3)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+    def test_children_mutually_different(self):
+        children = spawn_generators(42, 3)
+        draws = [g.random(8) for g in children]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_spawn_from_existing_generator(self):
+        gen = np.random.default_rng(5)
+        children = spawn_generators(gen, 2)
+        assert len(children) == 2
+        assert not np.allclose(children[0].random(4), children[1].random(4))
+
+    def test_spawn_from_seed_sequence(self):
+        seq = np.random.SeedSequence(11)
+        children = spawn_generators(seq, 2)
+        assert len(children) == 2

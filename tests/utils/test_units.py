@@ -1,0 +1,66 @@
+"""Unit tests for repro.utils.units."""
+
+import pytest
+
+from repro.constants import ATM_CELL_BITS, FRAME_DURATION
+from repro.exceptions import ParameterError
+from repro.utils.units import (
+    buffer_cells_to_delay,
+    cells_per_frame_to_mbps,
+    delay_to_buffer_cells,
+    mbps_to_cells_per_frame,
+)
+
+
+class TestDelayBufferConversion:
+    def test_paper_operating_point(self):
+        # Fig. 4 axis: N = 100, c = 526 -> C = 52600 cells/frame;
+        # 2 msec of delay is 2630 cells of total buffer.
+        cells = delay_to_buffer_cells(0.002, 52600.0)
+        assert cells == pytest.approx(2630.0)
+
+    def test_roundtrip(self):
+        delay = buffer_cells_to_delay(
+            delay_to_buffer_cells(0.0173, 16140.0), 16140.0
+        )
+        assert delay == pytest.approx(0.0173)
+
+    def test_zero_delay_gives_zero_buffer(self):
+        assert delay_to_buffer_cells(0.0, 1000.0) == 0.0
+
+    def test_custom_frame_duration(self):
+        # Doubling the frame duration halves the cells for a given delay.
+        a = delay_to_buffer_cells(0.01, 1000.0, frame_duration=0.04)
+        b = delay_to_buffer_cells(0.01, 1000.0, frame_duration=0.08)
+        assert a == pytest.approx(2 * b)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ParameterError):
+            delay_to_buffer_cells(-0.001, 1000.0)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ParameterError):
+            delay_to_buffer_cells(0.001, 0.0)
+        with pytest.raises(ParameterError):
+            buffer_cells_to_delay(10.0, 0.0)
+
+
+class TestRateConversion:
+    def test_one_cell_per_frame(self):
+        mbps = cells_per_frame_to_mbps(1.0)
+        assert mbps == pytest.approx(ATM_CELL_BITS / FRAME_DURATION / 1e6)
+
+    def test_roundtrip(self):
+        assert mbps_to_cells_per_frame(
+            cells_per_frame_to_mbps(538.0)
+        ) == pytest.approx(538.0)
+
+    def test_paper_source_rate(self):
+        # 500 cells/frame at 25 frames/sec = 12500 cells/s = 5.3 Mbps.
+        assert cells_per_frame_to_mbps(500.0) == pytest.approx(5.3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            cells_per_frame_to_mbps(-1.0)
+        with pytest.raises(ParameterError):
+            mbps_to_cells_per_frame(-1.0)

@@ -1,0 +1,110 @@
+"""Unit tests for repro.utils.validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.utils.validation import (
+    check_in_range,
+    check_integer,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ParameterError, match="x must be > 0"):
+            check_positive(0.0, "x")
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive(0.0, "x", strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            check_positive(-1.0, "x", strict=False)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ParameterError, match="finite"):
+            check_positive(math.nan, "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ParameterError, match="finite"):
+            check_positive(math.inf, "x")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ParameterError, match="number"):
+            check_positive("three", "x")
+
+    def test_coerces_numpy_scalar(self):
+        value = check_positive(np.float64(2.0), "x")
+        assert isinstance(value, float) and value == 2.0
+
+
+class TestCheckInRange:
+    def test_interior_value(self):
+        assert check_in_range(0.5, "x", 0.0, 1.0) == 0.5
+
+    def test_open_endpoints_rejected(self):
+        with pytest.raises(ParameterError):
+            check_in_range(0.0, "x", 0.0, 1.0)
+        with pytest.raises(ParameterError):
+            check_in_range(1.0, "x", 0.0, 1.0)
+
+    def test_inclusive_endpoints_accepted(self):
+        assert check_in_range(0.0, "x", 0.0, 1.0, inclusive_low=True) == 0.0
+        assert check_in_range(1.0, "x", 0.0, 1.0, inclusive_high=True) == 1.0
+
+    def test_error_message_shows_brackets(self):
+        with pytest.raises(ParameterError, match=r"\[0.0, 1.0\)"):
+            check_in_range(2.0, "x", 0.0, 1.0, inclusive_low=True)
+
+    def test_outside_rejected(self):
+        with pytest.raises(ParameterError):
+            check_in_range(-0.1, "x", 0.0, 1.0)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("p", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, p):
+        assert check_probability(p, "p") == p
+
+    @pytest.mark.parametrize("p", [-0.01, 1.01, math.nan])
+    def test_rejects_invalid(self, p):
+        with pytest.raises(ParameterError):
+            check_probability(p, "p")
+
+
+class TestCheckInteger:
+    def test_accepts_int(self):
+        assert check_integer(5, "n") == 5
+
+    def test_accepts_whole_float(self):
+        assert check_integer(5.0, "n") == 5
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(ParameterError):
+            check_integer(5.5, "n")
+
+    def test_accepts_numpy_integer(self):
+        assert check_integer(np.int64(7), "n") == 7
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ParameterError, match=">= 1"):
+            check_integer(0, "n", minimum=1)
+
+    def test_maximum_enforced(self):
+        with pytest.raises(ParameterError, match="<= 10"):
+            check_integer(11, "n", maximum=10)
+
+    def test_returns_python_int(self):
+        assert type(check_integer(np.int32(3), "n")) is int
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ParameterError):
+            check_integer("many", "n")
