@@ -11,14 +11,27 @@ Simulation experiments honor ``REPRO_SCALE`` (smoke/default/paper) and
 run a single round — there the quantity of interest is the output;
 the timing is informative only.  Analytic experiments are cheap and
 run several rounds for a meaningful timing.
+
+Besides the human-readable tables under ``benchmarks/results/``, every
+``report(...)`` run appends one JSON line to
+``benchmarks/results/timings.jsonl`` (experiment, scale, rounds,
+mean/min/max seconds, timestamp) so the performance trajectory of the
+repo accumulates machine-readably across commits.
 """
 
 from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.experiments.config import get_scale
 from repro.experiments.registry import run_experiment
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+TIMINGS_PATH = RESULTS_DIR / "timings.jsonl"
 
 
 @pytest.fixture(scope="session")
@@ -27,17 +40,35 @@ def scale():
     return get_scale()
 
 
+def _append_timing(name: str, scale, benchmark, rounds: int) -> None:
+    """One JSON line per benchmarked experiment run."""
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is None:
+        return
+    record = {
+        "experiment": name,
+        "scale": getattr(scale, "name", None),
+        "rounds": rounds,
+        "mean_s": stats.mean,
+        "min_s": stats.min,
+        "max_s": stats.max,
+        "stddev_s": stats.stddev if rounds > 1 else None,
+        "timestamp_unix": time.time(),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with TIMINGS_PATH.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record) + "\n")
+
+
 @pytest.fixture
 def report(benchmark):
     """Run one experiment under the benchmark and report its tables.
 
     The formatted tables are printed (visible with ``-s``) *and*
     written to ``benchmarks/results/<name>.txt`` so the reproduced
-    rows survive pytest's output capture in any invocation.
+    rows survive pytest's output capture in any invocation; timing
+    goes to ``benchmarks/results/timings.jsonl``.
     """
-    from pathlib import Path
-
-    results_dir = Path(__file__).resolve().parent / "results"
 
     def _run(name: str, scale=None, rounds: int = 1):
         result = benchmark.pedantic(
@@ -50,8 +81,9 @@ def report(benchmark):
         text = result.format()
         print()
         print(text)
-        results_dir.mkdir(exist_ok=True)
-        (results_dir / f"{name}.txt").write_text(text + "\n")
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        _append_timing(name, scale, benchmark, rounds)
         return result
 
     return _run

@@ -14,7 +14,9 @@ The package answers the paper's question end to end:
 * :mod:`repro.analysis`  — ACF and Hurst estimation for sample paths;
 * :mod:`repro.atm`       — QoS contracts, admission control and
   dimensioning built on the above;
-* :mod:`repro.experiments` — one module per table/figure of the paper.
+* :mod:`repro.experiments` — one module per table/figure of the paper;
+* :mod:`repro.obs`       — telemetry: timing spans, counters, JSONL
+  traces, and replication progress (off by default; ``REPRO_TRACE=1``).
 
 Quickstart::
 
@@ -27,7 +29,17 @@ Quickstart::
         print(model, est.bop, est.cts)
 """
 
-from repro import analysis, atm, constants, core, io, models, plotting, queueing
+from repro import (
+    analysis,
+    atm,
+    constants,
+    core,
+    io,
+    models,
+    obs,
+    plotting,
+    queueing,
+)
 from repro.core import (
     BOPCurve,
     BOPEstimate,
@@ -147,6 +159,7 @@ __all__ = [
     "make_z",
     "max_admissible_sources",
     "models",
+    "obs",
     "queueing",
     "rate_function",
     "replicated_clr",

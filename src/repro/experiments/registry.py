@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from repro.exceptions import ParameterError
+from repro.obs.spans import span
 from repro.experiments import (
     fig01,
     fig02,
@@ -46,4 +47,6 @@ def run_experiment(name: str, scale: Optional[object] = None) -> ExperimentResul
         raise ParameterError(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(scale)
+    scale_name = getattr(scale, "name", scale if isinstance(scale, str) else None)
+    with span(f"experiment.{name}", scale=scale_name):
+        return runner(scale)

@@ -4,8 +4,14 @@ Usage::
 
     python -m repro.experiments.runner table1 fig04 fig05
     python -m repro.experiments.runner --scale smoke all
+    python -m repro.experiments.runner fig08 --scale smoke \\
+        --trace --metrics-out /tmp/metrics
 
-Prints each experiment's formatted tables to stdout.
+Prints each experiment's formatted tables to stdout.  With ``--trace``
+(or ``REPRO_TRACE=1``) telemetry is collected and a span/metrics
+summary follows each experiment; ``--metrics-out DIR`` additionally
+writes one ``<experiment>.jsonl`` trace per experiment into DIR (see
+``docs/OBSERVABILITY.md`` for the schema).
 """
 
 from __future__ import annotations
@@ -13,8 +19,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.experiments.config import SCALES, get_scale
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 
@@ -51,6 +59,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="also write each panel as CSV into DIR",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect telemetry and print a span/metrics summary per "
+        "experiment (also enabled by REPRO_TRACE=1)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="DIR",
+        default=None,
+        help="write per-experiment telemetry as DIR/<name>.jsonl "
+        "(implies telemetry collection)",
+    )
     args = parser.parse_args(argv)
 
     names = list(args.experiments)
@@ -58,9 +79,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         names = sorted(EXPERIMENTS)
     scale = get_scale(args.scale)
 
+    if args.metrics_out is not None:
+        # Fail fast: a bad output path should not cost a simulation run.
+        try:
+            Path(args.metrics_out).mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            parser.error(f"--metrics-out {args.metrics_out}: {exc}")
+
+    # REPRO_TRACE=1 behaves exactly like --trace; --metrics-out collects
+    # without printing the summary unless --trace is also given.
+    trace = args.trace or obs.is_enabled()
+    collect = trace or args.metrics_out is not None
+    if collect:
+        obs.enable()
+    if trace:
+        obs.progress.enable_progress()
+
     for name in names:
-        started = time.time()
-        result = run_experiment(name, scale)
+        if collect:
+            obs.reset()  # one clean trace per experiment
+        started = time.perf_counter()
+        with obs.span(f"runner.{name}", scale=scale.name) as root_span:
+            result = run_experiment(name, scale)
+        elapsed = (
+            root_span.duration_ns * 1e-9
+            if root_span.duration_ns is not None
+            else time.perf_counter() - started
+        )
         print(result.format())
         if args.plot:
             from repro.plotting import plot_panel
@@ -73,7 +118,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
             for path in export_result(result, args.csv):
                 print(f"[wrote {path}]")
-        print(f"[{name} completed in {time.time() - started:.1f}s]")
+        if trace:
+            print()
+            print(obs.format_summary())
+        if args.metrics_out is not None:
+            out = obs.write_jsonl(
+                Path(args.metrics_out) / f"{name}.jsonl", label=name
+            )
+            print(f"[wrote {out}]")
+        print(f"[{name} completed in {elapsed:.1f}s]")
         print()
     return 0
 

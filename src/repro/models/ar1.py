@@ -80,14 +80,16 @@ class AR1Model(TrafficModel):
     ) -> np.ndarray:
         """Exact aggregate: sum of N i.i.d. Gaussian AR(1) with common phi
         is AR(1) with variance N sigma^2 (Gaussian closure)."""
+        n_frames = check_integer(n_frames, "n_frames", minimum=1)
         n_sources = check_integer(n_sources, "n_sources", minimum=1)
-        scaled = AR1Model(
-            self.phi,
-            n_sources * self._mean,
-            n_sources * self._variance,
-            self.frame_duration,
-        )
-        return scaled.sample_frames(n_frames, rng)
+        with self.aggregate_span(n_frames, n_sources):
+            scaled = AR1Model(
+                self.phi,
+                n_sources * self._mean,
+                n_sources * self._variance,
+                self.frame_duration,
+            )
+            return scaled.sample_frames(n_frames, rng)
 
     def describe(self) -> dict:
         info = super().describe()

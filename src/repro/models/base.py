@@ -31,6 +31,7 @@ from typing import Sequence, Union
 import numpy as np
 
 from repro.constants import FRAME_DURATION
+from repro.obs.spans import span as _span
 from repro.utils.rng import RngLike, spawn_generators
 from repro.utils.validation import check_integer, check_positive
 
@@ -132,11 +133,25 @@ class TrafficModel(abc.ABC):
         """
         n_frames = check_integer(n_frames, "n_frames", minimum=1)
         n_sources = check_integer(n_sources, "n_sources", minimum=1)
-        generators = spawn_generators(rng, n_sources)
-        total = np.zeros(n_frames)
-        for source_rng in generators:
-            total += self.sample_frames(n_frames, source_rng)
-        return total
+        with self.aggregate_span(n_frames, n_sources):
+            generators = spawn_generators(rng, n_sources)
+            total = np.zeros(n_frames)
+            for source_rng in generators:
+                total += self.sample_frames(n_frames, source_rng)
+            return total
+
+    def aggregate_span(self, n_frames: int, n_sources: int):
+        """Telemetry span for one :meth:`sample_aggregate` call.
+
+        Overrides wrap their body in this so every model reports under
+        the same span name with the model class as an attribute.
+        """
+        return _span(
+            "model.sample_aggregate",
+            model=type(self).__name__,
+            n_frames=int(n_frames),
+            n_sources=int(n_sources),
+        )
 
     # -- misc ----------------------------------------------------------------
 

@@ -239,31 +239,36 @@ class DARModel(TrafficModel):
         """
         n_frames = check_integer(n_frames, "n_frames", minimum=1)
         n_sources = check_integer(n_sources, "n_sources", minimum=1)
-        generator = as_generator(rng)
-        if self.order == 1:
-            total = np.zeros(n_frames)
-            for _ in range(n_sources):
-                total += _dar1_run_length_path(
-                    self.rho, self.marginal, n_frames, generator
+        with self.aggregate_span(n_frames, n_sources):
+            generator = as_generator(rng)
+            if self.order == 1:
+                total = np.zeros(n_frames)
+                for _ in range(n_sources):
+                    total += _dar1_run_length_path(
+                        self.rho, self.marginal, n_frames, generator
+                    )
+                return total
+            p = self.order
+            warmup = min(int(64.0 / max(1.0 - self.rho, 1e-6)) + p, 100_000)
+            total_steps = n_frames + warmup
+            state = self.marginal.sample(p * n_sources, generator).reshape(
+                p, n_sources
+            )
+            out = np.empty((n_frames, n_sources))
+            lags = np.arange(1, p + 1)
+            for n in range(total_steps):
+                repeat = generator.random(n_sources) < self.rho
+                lag_choice = generator.choice(
+                    lags, size=n_sources, p=self.weights
                 )
-            return total
-        p = self.order
-        warmup = min(int(64.0 / max(1.0 - self.rho, 1e-6)) + p, 100_000)
-        total_steps = n_frames + warmup
-        state = self.marginal.sample(p * n_sources, generator).reshape(
-            p, n_sources
-        )
-        out = np.empty((n_frames, n_sources))
-        lags = np.arange(1, p + 1)
-        for n in range(total_steps):
-            repeat = generator.random(n_sources) < self.rho
-            lag_choice = generator.choice(lags, size=n_sources, p=self.weights)
-            fresh = self.marginal.sample(n_sources, generator)
-            new = np.where(repeat, state[p - lag_choice, np.arange(n_sources)], fresh)
-            state = np.vstack((state[1:], new))
-            if n >= warmup:
-                out[n - warmup] = new
-        return out.sum(axis=1)
+                fresh = self.marginal.sample(n_sources, generator)
+                new = np.where(
+                    repeat, state[p - lag_choice, np.arange(n_sources)], fresh
+                )
+                state = np.vstack((state[1:], new))
+                if n >= warmup:
+                    out[n - warmup] = new
+            return out.sum(axis=1)
 
     def describe(self) -> dict:
         info = super().describe()

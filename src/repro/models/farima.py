@@ -107,11 +107,12 @@ class FARIMAModel(TrafficModel):
         """Exact aggregate via Gaussian closure (same ACF, scaled variance)."""
         n_sources = check_integer(n_sources, "n_sources", minimum=1)
         n_frames = check_integer(n_frames, "n_frames", minimum=1)
-        acf = np.concatenate(([1.0], self.acf(n_frames - 1)))
-        path = sample_stationary_gaussian(acf, n_frames, rng)
-        return n_sources * self._mean + np.sqrt(
-            n_sources * self._variance
-        ) * path
+        with self.aggregate_span(n_frames, n_sources):
+            acf = np.concatenate(([1.0], self.acf(n_frames - 1)))
+            path = sample_stationary_gaussian(acf, n_frames, rng)
+            return n_sources * self._mean + np.sqrt(
+                n_sources * self._variance
+            ) * path
 
     def describe(self) -> dict:
         info = super().describe()

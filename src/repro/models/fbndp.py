@@ -383,8 +383,12 @@ class FBNDPModel(TrafficModel):
         self, n_frames: int, n_sources: int, rng: RngLike = None
     ) -> np.ndarray:
         """Exact aggregate: N i.i.d. FBNDPs = one FBNDP with N*M processes."""
+        n_frames = check_integer(n_frames, "n_frames", minimum=1)
         n_sources = check_integer(n_sources, "n_sources", minimum=1)
-        return self._sample_superposed(n_frames, self.n_onoff * n_sources, rng)
+        with self.aggregate_span(n_frames, n_sources):
+            return self._sample_superposed(
+                n_frames, self.n_onoff * n_sources, rng
+            )
 
     def _sample_superposed(
         self, n_frames: int, n_processes: int, rng: RngLike

@@ -111,7 +111,10 @@ class MGInfModel(TrafficModel):
     ) -> np.ndarray:
         """Exact aggregate: N independent M/G/inf systems merge into one
         with N-fold session rate (Poisson superposition)."""
-        return self._sample_occupancy(n_frames, n_sources, rng)
+        n_frames = check_integer(n_frames, "n_frames", minimum=1)
+        n_sources = check_integer(n_sources, "n_sources", minimum=1)
+        with self.aggregate_span(n_frames, n_sources):
+            return self._sample_occupancy(n_frames, n_sources, rng)
 
     def _sample_occupancy(
         self, n_frames: int, n_copies: int, rng: RngLike

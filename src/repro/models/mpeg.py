@@ -143,24 +143,25 @@ class MPEGModel(TrafficModel):
     ) -> np.ndarray:
         n_frames = check_integer(n_frames, "n_frames", minimum=1)
         n_sources = check_integer(n_sources, "n_sources", minimum=1)
-        generator = as_generator(rng)
-        if self.aligned_phases:
-            # GOP-synchronous sources share the gain sequence, so the
-            # aggregate is the pattern times the modulator aggregate —
-            # which may use the modulator's own superposition closure.
-            # NOTE: this models *dependent* sources; see class docs.
-            phase = int(generator.integers(self.gop_length))
-            base = self.modulator.sample_aggregate(
-                n_frames, n_sources, generator
-            )
-            gains = self.pattern[
-                (np.arange(n_frames) + phase) % self.gop_length
-            ]
-            return gains * base
-        total = np.zeros(n_frames)
-        for source_rng in spawn_generators(generator, n_sources):
-            total += self.sample_frames(n_frames, source_rng)
-        return total
+        with self.aggregate_span(n_frames, n_sources):
+            generator = as_generator(rng)
+            if self.aligned_phases:
+                # GOP-synchronous sources share the gain sequence, so the
+                # aggregate is the pattern times the modulator aggregate —
+                # which may use the modulator's own superposition closure.
+                # NOTE: this models *dependent* sources; see class docs.
+                phase = int(generator.integers(self.gop_length))
+                base = self.modulator.sample_aggregate(
+                    n_frames, n_sources, generator
+                )
+                gains = self.pattern[
+                    (np.arange(n_frames) + phase) % self.gop_length
+                ]
+                return gains * base
+            total = np.zeros(n_frames)
+            for source_rng in spawn_generators(generator, n_sources):
+                total += self.sample_frames(n_frames, source_rng)
+            return total
 
     def describe(self) -> dict:
         info = super().describe()

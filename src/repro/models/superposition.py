@@ -109,11 +109,14 @@ class SuperposedModel(TrafficModel):
         """
         n_frames = check_integer(n_frames, "n_frames", minimum=1)
         n_sources = check_integer(n_sources, "n_sources", minimum=1)
-        generators = spawn_generators(rng, len(self.components))
-        total = np.zeros(n_frames)
-        for component, component_rng in zip(self.components, generators):
-            total += component.sample_aggregate(n_frames, n_sources, component_rng)
-        return total
+        with self.aggregate_span(n_frames, n_sources):
+            generators = spawn_generators(rng, len(self.components))
+            total = np.zeros(n_frames)
+            for component, component_rng in zip(self.components, generators):
+                total += component.sample_aggregate(
+                    n_frames, n_sources, component_rng
+                )
+            return total
 
     def describe(self) -> dict:
         info = super().describe()

@@ -1,0 +1,270 @@
+"""Counters, gauges, and histograms for simulation accounting.
+
+The instruments answer the questions the paper's replication runs
+raise: how many frames were actually simulated, how many cells were
+offered and lost, how many RNG streams were spawned, how long the
+busy periods were.  All updates share the global on/off switch of
+:mod:`repro.obs.spans`, so the disabled cost of the module-level
+helpers is one attribute read and an early return::
+
+    from repro.obs import metrics
+
+    metrics.add("frames_simulated", n_frames)
+    metrics.observe_many("busy_period_frames", run_lengths)
+
+Histograms keep summary statistics plus geometric (power-of-two)
+buckets — the right resolution for heavy-tailed quantities like FBNDP
+busy periods, where linear bins either clip the tail or drown the
+body.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.obs import spans as _spans
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "add",
+    "counter",
+    "gauge",
+    "histogram",
+    "observe",
+    "observe_many",
+    "reset_metrics",
+    "set_gauge",
+    "snapshot",
+]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing sum (e.g. cells lost)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def add(self, value: Number = 1) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name!r}: increment must be >= 0")
+        with self._lock:
+            self._value += value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "name": self.name, "value": self._value}
+
+
+class Gauge:
+    """A last-value instrument (e.g. current utilization)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value: Optional[float] = None
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "name": self.name, "value": self._value}
+
+
+def _bucket_index(value: float) -> int:
+    """Geometric bucket index: 0 for values <= 1, else ceil(log2(v))."""
+    if value <= 1.0:
+        return 0
+    return max(0, math.ceil(math.log2(value)))
+
+
+class Histogram:
+    """Summary stats + power-of-two buckets of observed values.
+
+    Bucket ``i`` counts observations in ``(2^(i-1), 2^i]`` (bucket 0
+    holds everything <= 1).  Exposed as ``{upper_bound: count}``.
+    """
+
+    __slots__ = ("name", "_lock", "_count", "_sum", "_min", "_max", "_buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._buckets: Dict[int, int] = {}
+
+    def observe(self, value: Number) -> None:
+        self.observe_many((value,))
+
+    def observe_many(self, values: Iterable[Number]) -> None:
+        vals = [float(v) for v in values]
+        if not vals:
+            return
+        with self._lock:
+            for v in vals:
+                self._count += 1
+                self._sum += v
+                if v < self._min:
+                    self._min = v
+                if v > self._max:
+                    self._max = v
+                idx = _bucket_index(v)
+                self._buckets[idx] = self._buckets.get(idx, 0) + 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else math.nan
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else math.nan
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else math.nan
+
+    def buckets(self) -> Dict[float, int]:
+        """Counts keyed by bucket upper bound (2^i), ascending."""
+        with self._lock:
+            return {float(2**i): n for i, n in sorted(self._buckets.items())}
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            buckets = {str(2**i): n for i, n in sorted(self._buckets.items())}
+            return {
+                "type": "histogram",
+                "name": self.name,
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min if self._count else None,
+                "max": self._max if self._count else None,
+                "buckets": buckets,
+            }
+
+
+class MetricsRegistry:
+    """A named collection of instruments, created on first use."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, cls: type):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> List[dict]:
+        """All instruments as plain dicts, sorted by (type, name)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return sorted(
+            (m.to_dict() for m in metrics),
+            key=lambda d: (d["type"], d["name"]),
+        )
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-wide registry used by the module-level helpers.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return REGISTRY.histogram(name)
+
+
+def add(name: str, value: Number = 1) -> None:
+    """Increment counter ``name``; no-op while telemetry is disabled."""
+    if not _spans._ENABLED:
+        return
+    REGISTRY.counter(name).add(value)
+
+
+def set_gauge(name: str, value: Number) -> None:
+    """Set gauge ``name``; no-op while telemetry is disabled."""
+    if not _spans._ENABLED:
+        return
+    REGISTRY.gauge(name).set(value)
+
+
+def observe(name: str, value: Number) -> None:
+    """Record one histogram observation; no-op while disabled."""
+    if not _spans._ENABLED:
+        return
+    REGISTRY.histogram(name).observe(value)
+
+
+def observe_many(name: str, values: Iterable[Number]) -> None:
+    """Record many histogram observations; no-op while disabled."""
+    if not _spans._ENABLED:
+        return
+    REGISTRY.histogram(name).observe_many(values)
+
+
+def snapshot() -> List[dict]:
+    """All metrics in the global registry as plain dicts."""
+    return REGISTRY.snapshot()
+
+
+def reset_metrics() -> None:
+    """Clear the global registry."""
+    REGISTRY.reset()

@@ -1,0 +1,191 @@
+"""Replication progress reporting with ETA.
+
+Paper-scale runs (60 replications x 500k frames per model) take long
+enough that a silent process is indistinguishable from a hung one —
+and heavy-tailed FBNDP ON/OFF times make per-replication wall time
+itself highly variable.  The reporter prints one line per update at a
+bounded rate::
+
+    [fig08 Z^0.975] 12/60 replications | elapsed 94s | eta 6m16s
+
+ETA is the textbook estimate ``elapsed * remaining / completed`` —
+kept deliberately simple (and exposed as :func:`eta_seconds` for
+testing) because replication durations are i.i.d. by construction.
+
+Progress is opt-in and separate from trace collection: enable it with
+``REPRO_PROGRESS=1``, :func:`enable_progress`, or the runner's
+``--trace`` flag.  When disabled, :func:`reporter` returns a shared
+no-op object so call sites stay unconditional.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from typing import Callable, Optional, TextIO
+
+__all__ = [
+    "ProgressReporter",
+    "disable_progress",
+    "enable_progress",
+    "eta_seconds",
+    "format_seconds",
+    "progress_enabled",
+    "reporter",
+]
+
+_PROGRESS_ENV_VAR = "REPRO_PROGRESS"
+_enabled = os.environ.get(_PROGRESS_ENV_VAR, "") not in ("", "0")
+
+
+def enable_progress() -> None:
+    """Turn progress reporting on for subsequently created reporters."""
+    global _enabled
+    _enabled = True
+
+
+def disable_progress() -> None:
+    """Turn progress reporting off."""
+    global _enabled
+    _enabled = False
+
+
+def progress_enabled() -> bool:
+    return _enabled
+
+
+def eta_seconds(completed: int, total: int, elapsed: float) -> Optional[float]:
+    """Remaining seconds estimated from completed work; None if unknown.
+
+    ``elapsed * (total - completed) / completed`` — undefined until at
+    least one unit completed, 0 once everything has.
+    """
+    if completed <= 0 or total <= 0:
+        return None
+    if completed >= total:
+        return 0.0
+    return elapsed * (total - completed) / completed
+
+
+def format_seconds(seconds: float) -> str:
+    """Compact duration: ``42s``, ``6m16s``, ``2h03m``."""
+    seconds = max(0.0, float(seconds))
+    if seconds < 60.0:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressReporter:
+    """Counts completed units and prints rate-limited ETA lines.
+
+    Parameters
+    ----------
+    total:
+        Number of units (replications) expected.
+    label:
+        Prefix for every line, e.g. ``"fig08 Z^0.975"``.
+    stream:
+        Output stream; defaults to ``sys.stderr`` so progress never
+        pollutes result tables on stdout.
+    min_interval:
+        Minimum seconds between printed lines (the final
+        :meth:`finish` line always prints).
+    clock:
+        Monotonic time source; injectable for tests.
+    unit:
+        Noun used in the lines (default ``"replications"``).
+    """
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "",
+        *,
+        stream: Optional[TextIO] = None,
+        min_interval: float = 0.5,
+        clock: Callable[[], float] = time.perf_counter,
+        unit: str = "replications",
+    ):
+        if total < 1:
+            raise ValueError(f"total must be >= 1, got {total}")
+        self.total = int(total)
+        self.label = label
+        self.unit = unit
+        self._stream = stream
+        self._min_interval = min_interval
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.completed = 0
+        self._started = clock()
+        self._last_emit = -float("inf")
+
+    @property
+    def elapsed(self) -> float:
+        return self._clock() - self._started
+
+    def advance(self, n: int = 1) -> None:
+        """Mark ``n`` more units complete and maybe print a line."""
+        with self._lock:
+            self.completed += n
+            now = self._clock()
+            if now - self._last_emit >= self._min_interval:
+                self._last_emit = now
+                self._emit(now - self._started)
+
+    def finish(self) -> None:
+        """Print the final line unconditionally."""
+        with self._lock:
+            self._emit(self._clock() - self._started, final=True)
+
+    def _emit(self, elapsed: float, final: bool = False) -> None:
+        stream = self._stream if self._stream is not None else sys.stderr
+        prefix = f"[{self.label}] " if self.label else ""
+        if final:
+            line = (
+                f"{prefix}{self.completed}/{self.total} {self.unit} "
+                f"done in {format_seconds(elapsed)}"
+            )
+        else:
+            remaining = eta_seconds(self.completed, self.total, elapsed)
+            eta = "?" if remaining is None else format_seconds(remaining)
+            line = (
+                f"{prefix}{self.completed}/{self.total} {self.unit} | "
+                f"elapsed {format_seconds(elapsed)} | eta {eta}"
+            )
+        stream.write(line + "\n")
+        flush = getattr(stream, "flush", None)
+        if flush is not None:
+            flush()
+
+
+class _NullReporter:
+    """No-op stand-in so call sites never branch on enablement."""
+
+    __slots__ = ()
+    total = 0
+    completed = 0
+    elapsed = 0.0
+
+    def advance(self, n: int = 1) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+
+_NULL_REPORTER = _NullReporter()
+
+
+def reporter(
+    total: int, label: str = "", **kwargs: object
+) -> "ProgressReporter":
+    """A live reporter when progress is enabled, else a shared no-op."""
+    if not _enabled:
+        return _NULL_REPORTER  # type: ignore[return-value]
+    return ProgressReporter(total, label, **kwargs)  # type: ignore[arg-type]

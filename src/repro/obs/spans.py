@@ -1,0 +1,175 @@
+"""Hierarchical timing spans.
+
+A *span* measures one named region of work with ``perf_counter_ns``
+resolution.  Spans nest: entering a span while another is open on the
+same thread records the parent-child edge, so a finished run yields a
+forest (usually a tree per experiment) that :mod:`repro.obs.export`
+can serialize and summarize.
+
+Telemetry is **off by default** and the disabled path is built to cost
+one module-attribute read plus one call returning a shared no-op
+context manager — cheap enough to leave ``with span(...)`` in hot
+paths permanently::
+
+    from repro.obs import span
+
+    with span("fig08.replication", rep=i):
+        ...
+
+Thread safety: each thread keeps its own stack of open spans (so
+nesting is resolved per thread), and finished spans are appended to
+one shared, lock-protected buffer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "SpanRecord",
+    "disable",
+    "enable",
+    "is_enabled",
+    "records",
+    "reset_spans",
+    "span",
+]
+
+#: Global telemetry switch, read directly (``spans._ENABLED``) by the
+#: sibling modules so every subsystem shares one on/off state.
+_ENABLED = False
+
+_lock = threading.Lock()
+_records: List["SpanRecord"] = []
+_ids = itertools.count(1)  # next() is atomic under the GIL
+
+
+class _ThreadState(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[int] = []
+
+
+_state = _ThreadState()
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span: identity, timing, and free-form attributes."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start_ns: int
+    duration_ns: int
+    thread_id: int
+    status: str = "ok"
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.duration_ns * 1e-9
+
+
+class _NullSpan:
+    """Shared no-op span returned while telemetry is disabled."""
+
+    __slots__ = ()
+
+    #: Matches :class:`_Span`; ``None`` signals "no timing captured".
+    duration_ns: Optional[int] = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span; use via :func:`span`, not directly."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "start_ns", "duration_ns")
+
+    def __init__(self, name: str, attrs: Dict[str, object]):
+        self.name = name
+        self.attrs = attrs
+        self.duration_ns: Optional[int] = None
+
+    def __enter__(self) -> "_Span":
+        stack = _state.stack
+        self.parent_id = stack[-1] if stack else None
+        self.span_id = next(_ids)
+        stack.append(self.span_id)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> bool:
+        self.duration_ns = time.perf_counter_ns() - self.start_ns
+        stack = _state.stack
+        # The span may close on a different nesting level only through
+        # misuse (generators suspending mid-span); recover by searching.
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        elif self.span_id in stack:
+            stack.remove(self.span_id)
+        record = SpanRecord(
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            name=self.name,
+            start_ns=self.start_ns,
+            duration_ns=self.duration_ns,
+            thread_id=threading.get_ident(),
+            status="error" if exc_type is not None else "ok",
+            attrs=self.attrs,
+        )
+        with _lock:
+            _records.append(record)
+        return False
+
+
+def span(name: str, **attrs: object):
+    """Open a timing span named ``name`` with optional attributes.
+
+    Returns a context manager.  When telemetry is disabled this is a
+    shared no-op object; when enabled the span records its duration
+    and its parent (the innermost open span on this thread).
+    """
+    if not _ENABLED:
+        return _NULL_SPAN
+    return _Span(name, attrs)
+
+
+def is_enabled() -> bool:
+    """Whether telemetry collection is currently on."""
+    return _ENABLED
+
+
+def enable() -> None:
+    """Turn telemetry collection on (spans *and* metrics)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn telemetry collection off; collected data is kept."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def records() -> Tuple[SpanRecord, ...]:
+    """Snapshot of all finished spans, in completion order."""
+    with _lock:
+        return tuple(_records)
+
+
+def reset_spans() -> None:
+    """Discard all finished spans (open spans are unaffected)."""
+    with _lock:
+        _records.clear()

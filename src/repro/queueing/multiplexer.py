@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.exceptions import ParameterError
 from repro.models.base import TrafficModel
+from repro.obs.spans import span
 from repro.queueing.workload import (
     FiniteBufferResult,
     InfiniteBufferResult,
@@ -24,7 +25,11 @@ from repro.queueing.workload import (
 )
 from repro.utils.rng import RngLike
 from repro.utils.units import buffer_cells_to_delay, delay_to_buffer_cells
-from repro.utils.validation import check_integer, check_positive
+from repro.utils.validation import (
+    check_integer,
+    check_nonnegative_array,
+    check_positive,
+)
 
 
 class ATMMultiplexer:
@@ -90,10 +95,14 @@ class ATMMultiplexer:
         self, n_frames: int, rng: RngLike = None
     ) -> FiniteBufferResult:
         """One finite-buffer replication; ``.clr`` gives the loss rate."""
-        arrivals = self.model.sample_aggregate(n_frames, self.n_sources, rng)
-        return simulate_finite_buffer(
-            arrivals, self.capacity, self.buffer_cells
-        )
+        n_frames = check_integer(n_frames, "n_frames", minimum=1)
+        with span("mux.simulate_clr", n_frames=n_frames):
+            arrivals = self.model.sample_aggregate(
+                n_frames, self.n_sources, rng
+            )
+            return simulate_finite_buffer(
+                arrivals, self.capacity, self.buffer_cells
+            )
 
     def simulate_workload(
         self, n_frames: int, rng: RngLike = None
@@ -103,8 +112,12 @@ class ATMMultiplexer:
         The configured buffer size plays no role here; use
         ``.overflow_probability(thresholds)`` on the result.
         """
-        arrivals = self.model.sample_aggregate(n_frames, self.n_sources, rng)
-        return simulate_infinite_buffer(arrivals, self.capacity)
+        n_frames = check_integer(n_frames, "n_frames", minimum=1)
+        with span("mux.simulate_workload", n_frames=n_frames):
+            arrivals = self.model.sample_aggregate(
+                n_frames, self.n_sources, rng
+            )
+            return simulate_infinite_buffer(arrivals, self.capacity)
 
     def clr_for_buffers(
         self,
@@ -119,11 +132,19 @@ class ATMMultiplexer:
         numbers): the paper's Figs. 8-9 vary only B.
         """
         n_frames = check_integer(n_frames, "n_frames", minimum=1)
-        arrivals = self.model.sample_aggregate(n_frames, self.n_sources, rng)
-        out = np.empty(len(buffer_values))
-        for i, b in enumerate(np.asarray(buffer_values, dtype=float)):
-            out[i] = simulate_finite_buffer(arrivals, self.capacity, b).clr
-        return out
+        buffers = check_nonnegative_array(buffer_values, "buffer_values")
+        with span(
+            "mux.clr_for_buffers", n_frames=n_frames, n_buffers=buffers.size
+        ):
+            arrivals = self.model.sample_aggregate(
+                n_frames, self.n_sources, rng
+            )
+            out = np.empty(buffers.size)
+            for i, b in enumerate(buffers):
+                out[i] = simulate_finite_buffer(
+                    arrivals, self.capacity, b
+                ).clr
+            return out
 
     def __repr__(self) -> str:
         return (

@@ -15,6 +15,10 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.exceptions import SimulationError
+from repro.obs import metrics as _metrics
+from repro.obs import progress as _progress
+from repro.obs.spans import span
 from repro.queueing.multiplexer import ATMMultiplexer
 from repro.queueing.statistics import (
     ReplicatedEstimate,
@@ -23,7 +27,7 @@ from repro.queueing.statistics import (
 )
 from repro.queueing.workload import simulate_finite_buffer
 from repro.utils.rng import RngLike, spawn_generators
-from repro.utils.validation import check_integer
+from repro.utils.validation import check_integer, check_nonnegative_array
 
 
 @dataclass(frozen=True)
@@ -60,10 +64,16 @@ def replicated_clr(
     )
     lost = np.empty(n_replications)
     arrived = np.empty(n_replications)
+    reporter = _progress.reporter(n_replications, label="replicated_clr")
     for i, rep_rng in enumerate(spawn_generators(rng, n_replications)):
-        result = multiplexer.simulate_clr(n_frames, rep_rng)
+        with span("replication", index=i, n_frames=n_frames):
+            result = multiplexer.simulate_clr(n_frames, rep_rng)
         lost[i] = result.total_lost
         arrived[i] = result.arrived_cells
+        _metrics.add("replications_completed")
+        reporter.advance()
+    reporter.finish()
+    _check_arrivals(arrived)
     per_rep = replicated_estimate(lost / arrived, confidence)
     return CLRReplicationSummary(
         clr=pooled_clr(lost, arrived),
@@ -71,6 +81,22 @@ def replicated_clr(
         total_lost=float(lost.sum()),
         total_arrived=float(arrived.sum()),
     )
+
+
+def _check_arrivals(arrived: np.ndarray) -> None:
+    """Reject replications that offered no cells.
+
+    ``lost / arrived`` over a zero-arrival replication yields NaN
+    (with a runtime warning at best) and silently poisons the pooled
+    confidence interval — surface it as a configuration error instead.
+    """
+    zero = np.flatnonzero(arrived <= 0)
+    if zero.size:
+        raise SimulationError(
+            f"replication(s) {zero.tolist()} produced no arrivals; "
+            "the traffic model offered zero cells, so the CLR is "
+            "undefined (check the model's mean rate and n_frames)"
+        )
 
 
 @dataclass(frozen=True)
@@ -109,18 +135,37 @@ def replicated_clr_curve(
     n_replications = check_integer(
         n_replications, "n_replications", minimum=1
     )
-    buffers = np.asarray(buffer_values, dtype=float)
+    buffers = check_nonnegative_array(buffer_values, "buffer_values")
     lost = np.zeros(buffers.shape[0])
     arrived_total = 0.0
-    for rep_rng in spawn_generators(rng, n_replications):
-        arrivals = multiplexer.model.sample_aggregate(
-            n_frames, multiplexer.n_sources, rep_rng
+    reporter = _progress.reporter(
+        n_replications, label=label or "clr_curve"
+    )
+    for rep_index, rep_rng in enumerate(spawn_generators(rng, n_replications)):
+        with span(
+            "replication",
+            index=rep_index,
+            n_frames=n_frames,
+            n_buffers=int(buffers.size),
+            label=label,
+        ):
+            arrivals = multiplexer.model.sample_aggregate(
+                n_frames, multiplexer.n_sources, rep_rng
+            )
+            arrived_total += float(arrivals.sum())
+            for i, b in enumerate(buffers):
+                lost[i] += simulate_finite_buffer(
+                    arrivals, multiplexer.capacity, float(b)
+                ).total_lost
+        _metrics.add("replications_completed")
+        reporter.advance()
+    reporter.finish()
+    if arrived_total <= 0:
+        raise SimulationError(
+            f"no cells arrived across {n_replications} replication(s) of "
+            f"{n_frames} frames; the CLR curve is undefined "
+            "(check the model's mean rate)"
         )
-        arrived_total += float(arrivals.sum())
-        for i, b in enumerate(buffers):
-            lost[i] += simulate_finite_buffer(
-                arrivals, multiplexer.capacity, float(b)
-            ).total_lost
     capacity = multiplexer.capacity
     frame_duration = multiplexer.model.frame_duration
     return CLRCurve(

@@ -36,6 +36,8 @@ from itertools import accumulate
 import numpy as np
 
 from repro.exceptions import SimulationError
+from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
 from repro.utils.validation import check_positive
 
 
@@ -100,9 +102,36 @@ def simulate_finite_buffer(
     )
     workload = after[:-1]  # W_n at frame start
     lost = np.maximum(workload + x - capacity - buffer_size, 0.0)
+    if _spans._ENABLED:
+        _record_run_telemetry(x, lost, after[1:])
     return FiniteBufferResult(
         workload=workload, lost_cells=lost, arrived_cells=float(x.sum())
     )
+
+
+def _busy_period_lengths(busy: np.ndarray) -> np.ndarray:
+    """Lengths (frames) of maximal runs of True in a boolean array."""
+    padded = np.concatenate(([False], busy, [False]))
+    edges = np.flatnonzero(np.diff(padded.astype(np.int8)))
+    return edges[1::2] - edges[::2]
+
+
+def _record_run_telemetry(
+    x: np.ndarray, lost: np.ndarray, end_workload: np.ndarray
+) -> None:
+    """Telemetry for one finite-buffer run (only called when enabled).
+
+    Busy periods are maximal runs of frames ending with a non-empty
+    buffer — for heavy-tailed inputs their length distribution is the
+    quantity that controls estimator variance.
+    """
+    _metrics.add("frames_simulated", int(x.size))
+    _metrics.add("cells_arrived", float(x.sum()))
+    _metrics.add("cells_lost", float(lost.sum()))
+    _metrics.add("loss_frames", int(np.count_nonzero(lost)))
+    lengths = _busy_period_lengths(end_workload > 0.0)
+    if lengths.size:
+        _metrics.observe_many("busy_period_frames", lengths)
 
 
 @dataclass(frozen=True)
@@ -134,6 +163,9 @@ def simulate_infinite_buffer(
     x = np.asarray(arrivals, dtype=float)
     if x.ndim != 1 or x.size == 0:
         raise SimulationError("arrivals must be a non-empty 1-D array")
+    if _spans._ENABLED:
+        _metrics.add("frames_simulated", int(x.size))
+        _metrics.add("cells_arrived", float(x.sum()))
     s = np.concatenate(([0.0], np.cumsum(x - capacity)))
     running_min = np.minimum.accumulate(s)
     return InfiniteBufferResult(workload=s - running_min)

@@ -15,6 +15,8 @@ from typing import List, Union
 
 import numpy as np
 
+from repro.obs import metrics as _metrics
+
 RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
 
 
@@ -41,6 +43,7 @@ def spawn_generators(rng: RngLike, count: int) -> List[np.random.Generator]:
     """
     if count < 0:
         raise ValueError(f"count must be >= 0, got {count}")
+    _metrics.add("rng_streams_spawned", count)
     if isinstance(rng, np.random.Generator):
         try:
             return list(rng.spawn(count))

@@ -13,6 +13,8 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
+
 from repro.exceptions import ParameterError
 
 
@@ -94,6 +96,32 @@ def check_integer(
     if maximum is not None and as_int > maximum:
         raise ParameterError(f"{name} must be <= {maximum}, got {as_int}")
     return as_int
+
+
+def check_nonnegative_array(values: object, name: str) -> np.ndarray:
+    """Validate a non-empty 1-D array of finite, non-negative numbers.
+
+    Used for buffer-size grids and similar sweep inputs so a bad grid
+    fails at the API boundary with the offending parameter named,
+    instead of deep inside a simulator loop.  Returns a float array.
+    """
+    try:
+        arr = np.asarray(values, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(
+            f"{name} must be an array of numbers, got {values!r}"
+        ) from exc
+    if arr.ndim != 1 or arr.size == 0:
+        raise ParameterError(
+            f"{name} must be a non-empty 1-D array, got shape {arr.shape}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ParameterError(f"{name} must contain only finite values")
+    if np.any(arr < 0):
+        raise ParameterError(
+            f"{name} must be >= 0 everywhere, got minimum {float(arr.min())!r}"
+        )
+    return arr
 
 
 def _check_finite_number(value: float, name: str) -> float:

@@ -1,10 +1,22 @@
 """Tests for the experiment CLI runner."""
 
+import json
+
 import pytest
 
+import repro.obs as obs
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.experiments.runner import main
 from repro.exceptions import ParameterError
+
+
+@pytest.fixture(autouse=True)
+def _restore_telemetry():
+    """main(--trace/...) flips global telemetry; undo after each test."""
+    yield
+    obs.disable()
+    obs.progress.disable_progress()
+    obs.reset()
 
 
 class TestRegistry:
@@ -45,3 +57,86 @@ class TestCLI:
         assert main(["fig04", "fig05"]) == 0
         out = capsys.readouterr().out
         assert "fig04" in out and "fig05" in out
+
+
+class TestTelemetryFlags:
+    @pytest.fixture
+    def tiny_scale(self, monkeypatch):
+        """Register a sub-smoke scale so the e2e test stays fast."""
+        from repro.experiments.config import SCALES, SimulationScale
+
+        monkeypatch.setitem(
+            SCALES, "tiny", SimulationScale("tiny", 300, 2)
+        )
+        return "tiny"
+
+    def test_trace_and_metrics_out_end_to_end(
+        self, capsys, tmp_path, tiny_scale
+    ):
+        assert (
+            main(
+                [
+                    "fig08",
+                    "--scale",
+                    tiny_scale,
+                    "--trace",
+                    "--metrics-out",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "span" in out
+        assert "experiment.fig08" in out
+        assert "frames_simulated" in out
+        assert "cells_lost" in out
+
+        path = tmp_path / "fig08.jsonl"
+        assert path.exists()
+        lines = [
+            json.loads(line)
+            for line in path.read_text().strip().splitlines()
+        ]
+        kinds = {obj["type"] for obj in lines}
+        assert {"meta", "span", "counter"} <= kinds
+
+        dump = obs.read_jsonl(path)
+        # span tree: runner root -> experiment -> replications
+        roots = [s for s in dump.spans if s.parent_id is None]
+        assert [s.name for s in roots] == ["runner.fig08"]
+        names = {s.name for s in dump.spans}
+        assert "experiment.fig08" in names
+        assert "replication" in names
+        assert "model.sample_aggregate" in names
+        # counters the acceptance criteria call out
+        assert dump.counters["frames_simulated"] > 0
+        assert "cells_lost" in dump.counters
+        assert dump.counters["replications_completed"] > 0
+
+    def test_metrics_out_without_trace_collects_quietly(
+        self, capsys, tmp_path
+    ):
+        assert main(["fig04", "--metrics-out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert (tmp_path / "fig04.jsonl").exists()
+        assert "metrics\n" not in out  # summary only under --trace
+
+    def test_trace_env_toggle(self):
+        import os
+        import subprocess
+        import sys
+
+        env = dict(os.environ, REPRO_TRACE="1")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.runner", "fig04"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "experiment.fig04" in proc.stdout
+
+    def test_duration_line_still_printed(self, capsys):
+        assert main(["fig04", "--trace"]) == 0
+        assert "completed in" in capsys.readouterr().out

@@ -1,0 +1,17 @@
+"""Fixtures for telemetry tests: enable, hand over, restore."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture
+def telemetry():
+    """Telemetry enabled and empty; disabled and cleared afterwards."""
+    obs.reset()
+    obs.enable()
+    yield obs
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,141 @@
+"""Tests for repro.obs.metrics: instruments, registry, no-op path."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import metrics
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    _bucket_index,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("frames")
+        c.add()
+        c.add(41)
+        assert c.value == 42
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            Counter("x").add(-1)
+
+    def test_to_dict(self):
+        c = Counter("frames")
+        c.add(7)
+        assert c.to_dict() == {
+            "type": "counter",
+            "name": "frames",
+            "value": 7.0,
+        }
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        g = Gauge("util")
+        assert g.value is None
+        g.set(0.5)
+        g.set(0.87)
+        assert g.value == 0.87
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        h = Histogram("busy")
+        h.observe_many([1, 2, 3, 10])
+        assert h.count == 4
+        assert h.sum == 16.0
+        assert h.mean == 4.0
+        assert h.min == 1.0
+        assert h.max == 10.0
+
+    def test_empty_stats_are_nan(self):
+        h = Histogram("busy")
+        assert math.isnan(h.mean)
+        assert math.isnan(h.min)
+
+    def test_power_of_two_buckets(self):
+        assert _bucket_index(0.5) == 0
+        assert _bucket_index(1.0) == 0
+        assert _bucket_index(2.0) == 1
+        assert _bucket_index(3.0) == 2
+        assert _bucket_index(1024.0) == 10
+        h = Histogram("busy")
+        h.observe_many([1, 2, 2, 3, 100])
+        assert h.buckets() == {1.0: 1, 2.0: 2, 4.0: 1, 128.0: 1}
+
+    def test_to_dict_buckets_are_json_keys(self):
+        h = Histogram("busy")
+        h.observe(5)
+        d = h.to_dict()
+        assert d["buckets"] == {"8": 1}
+        assert d["count"] == 1
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("a")
+
+    def test_snapshot_sorted_and_plain(self):
+        reg = MetricsRegistry()
+        reg.counter("b").add(1)
+        reg.counter("a").add(2)
+        reg.gauge("z").set(3)
+        snap = reg.snapshot()
+        assert [m["name"] for m in snap] == ["a", "b", "z"]
+        assert all(isinstance(m, dict) for m in snap)
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("a").add(1)
+        reg.reset()
+        assert reg.snapshot() == []
+
+
+class TestModuleHelpers:
+    def test_disabled_helpers_record_nothing(self):
+        assert not obs.is_enabled()
+        metrics.reset_metrics()
+        metrics.add("frames", 100)
+        metrics.set_gauge("util", 0.9)
+        metrics.observe("busy", 4)
+        metrics.observe_many("busy", [1, 2])
+        assert metrics.snapshot() == []
+
+    def test_enabled_helpers_record(self, telemetry):
+        metrics.add("frames", 100)
+        metrics.add("frames", 20)
+        metrics.set_gauge("util", 0.9)
+        metrics.observe_many("busy", [1, 8])
+        snap = {m["name"]: m for m in metrics.snapshot()}
+        assert snap["frames"]["value"] == 120
+        assert snap["util"]["value"] == 0.9
+        assert snap["busy"]["count"] == 2
+
+    def test_counter_thread_safety(self, telemetry):
+        def work():
+            for _ in range(1000):
+                metrics.add("hits")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert metrics.counter("hits").value == 4000

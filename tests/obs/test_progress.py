@@ -1,0 +1,97 @@
+"""Tests for repro.obs.progress: ETA math and the reporter."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.obs import progress
+from repro.obs.progress import (
+    ProgressReporter,
+    eta_seconds,
+    format_seconds,
+    reporter,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestEtaMath:
+    def test_linear_extrapolation(self):
+        # 10 of 60 units in 100s -> 50 remaining at 10 s/unit
+        assert eta_seconds(10, 60, 100.0) == pytest.approx(500.0)
+
+    def test_unknown_before_first_completion(self):
+        assert eta_seconds(0, 60, 5.0) is None
+
+    def test_zero_once_done(self):
+        assert eta_seconds(60, 60, 600.0) == 0.0
+        assert eta_seconds(61, 60, 600.0) == 0.0
+
+    def test_format_seconds(self):
+        assert format_seconds(42.4) == "42s"
+        assert format_seconds(376) == "6m16s"
+        assert format_seconds(7380) == "2h03m"
+
+
+class TestProgressReporter:
+    def test_emits_progress_and_eta(self):
+        clock = FakeClock()
+        out = io.StringIO()
+        rep = ProgressReporter(
+            4, "fig08", stream=out, min_interval=0.0, clock=clock
+        )
+        clock.now = 10.0
+        rep.advance()
+        line = out.getvalue().strip()
+        assert line.startswith("[fig08] 1/4 replications")
+        assert "elapsed 10s" in line
+        assert "eta 30s" in line
+
+    def test_rate_limited(self):
+        clock = FakeClock()
+        out = io.StringIO()
+        rep = ProgressReporter(
+            100, stream=out, min_interval=1.0, clock=clock
+        )
+        clock.now = 2.0
+        rep.advance()  # emits (first past interval)
+        clock.now = 2.5
+        rep.advance()  # suppressed: only 0.5s since last emit
+        assert len(out.getvalue().splitlines()) == 1
+
+    def test_finish_always_emits(self):
+        clock = FakeClock()
+        out = io.StringIO()
+        rep = ProgressReporter(2, stream=out, min_interval=60.0, clock=clock)
+        clock.now = 0.1
+        rep.advance(2)
+        rep.finish()
+        assert "2/2 replications done in" in out.getvalue()
+
+    def test_total_must_be_positive(self):
+        with pytest.raises(ValueError, match="total must be >= 1"):
+            ProgressReporter(0)
+
+
+class TestReporterFactory:
+    def test_disabled_returns_noop(self):
+        assert not progress.progress_enabled()
+        rep = reporter(10, "x")
+        rep.advance()
+        rep.finish()  # must not raise or write anywhere
+
+    def test_enabled_returns_live_reporter(self):
+        progress.enable_progress()
+        try:
+            rep = reporter(10, "x", stream=io.StringIO())
+            assert isinstance(rep, ProgressReporter)
+        finally:
+            progress.disable_progress()

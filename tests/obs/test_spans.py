@@ -1,0 +1,135 @@
+"""Tests for repro.obs.spans: nesting, no-op path, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import spans as spans_mod
+from repro.obs.spans import span
+
+
+class TestDisabledPath:
+    def test_disabled_returns_shared_noop(self):
+        assert not obs.is_enabled()
+        s1 = span("a")
+        s2 = span("b", rep=1)
+        assert s1 is s2  # one shared object, no allocation per call
+
+    def test_disabled_records_nothing(self):
+        obs.reset()
+        with span("invisible"):
+            pass
+        assert obs.records() == ()
+
+    def test_noop_span_reports_no_duration(self):
+        with span("invisible") as s:
+            pass
+        assert s.duration_ns is None
+
+
+class TestEnabledSpans:
+    def test_records_name_and_duration(self, telemetry):
+        with span("work", rep=3):
+            pass
+        (record,) = telemetry.records()
+        assert record.name == "work"
+        assert record.attrs == {"rep": 3}
+        assert record.duration_ns > 0
+        assert record.parent_id is None
+        assert record.status == "ok"
+
+    def test_nesting_records_parent_edges(self, telemetry):
+        with span("outer"):
+            with span("inner"):
+                pass
+            with span("inner"):
+                pass
+        records = telemetry.records()
+        # children close before the parent
+        inner1, inner2, outer = records
+        assert outer.name == "outer" and outer.parent_id is None
+        assert inner1.parent_id == outer.span_id
+        assert inner2.parent_id == outer.span_id
+        assert inner1.span_id != inner2.span_id
+
+    def test_parent_duration_covers_children(self, telemetry):
+        with span("outer"):
+            with span("inner"):
+                pass
+        inner, outer = telemetry.records()
+        assert outer.duration_ns >= inner.duration_ns
+
+    def test_exception_marks_status_error(self, telemetry):
+        with pytest.raises(RuntimeError):
+            with span("failing"):
+                raise RuntimeError("boom")
+        (record,) = telemetry.records()
+        assert record.status == "error"
+
+    def test_exception_does_not_break_nesting(self, telemetry):
+        with span("outer"):
+            with pytest.raises(ValueError):
+                with span("bad"):
+                    raise ValueError()
+            with span("after"):
+                pass
+        by_name = {r.name: r for r in telemetry.records()}
+        assert by_name["after"].parent_id == by_name["outer"].span_id
+
+    def test_live_span_exposes_duration_after_exit(self, telemetry):
+        with span("timed") as s:
+            pass
+        assert s.duration_ns is not None and s.duration_ns > 0
+
+    def test_reset_discards_records(self, telemetry):
+        with span("x"):
+            pass
+        telemetry.reset()
+        assert telemetry.records() == ()
+
+    def test_threads_get_independent_stacks(self, telemetry):
+        ready = threading.Barrier(2)
+
+        def work(tag):
+            ready.wait()
+            with span(f"root.{tag}"):
+                with span(f"leaf.{tag}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        by_name = {r.name: r for r in telemetry.records()}
+        assert len(by_name) == 4
+        for tag in ("a", "b"):
+            leaf, root = by_name[f"leaf.{tag}"], by_name[f"root.{tag}"]
+            assert leaf.parent_id == root.span_id
+            assert leaf.thread_id == root.thread_id
+        assert by_name["root.a"].thread_id != by_name["root.b"].thread_id
+
+
+class TestEnableDisable:
+    def test_enable_disable_roundtrip(self):
+        assert not obs.is_enabled()
+        obs.enable()
+        try:
+            assert obs.is_enabled()
+        finally:
+            obs.disable()
+        assert not obs.is_enabled()
+
+    def test_disable_keeps_collected_spans(self, telemetry):
+        with span("kept"):
+            pass
+        spans_mod.disable()
+        try:
+            assert len(telemetry.records()) == 1
+        finally:
+            spans_mod.enable()

@@ -64,3 +64,19 @@ class TestSimulation:
         a = mux.simulate_clr(500, rng=5)
         b = mux.simulate_clr(500, rng=5)
         assert a.clr == b.clr
+
+    def test_clr_for_buffers_rejects_empty(self, mux):
+        with pytest.raises(ParameterError, match="buffer_values"):
+            mux.clr_for_buffers(100, np.array([]), rng=1)
+
+    def test_clr_for_buffers_rejects_negative(self, mux):
+        with pytest.raises(ParameterError, match="buffer_values"):
+            mux.clr_for_buffers(100, np.array([10.0, -5.0]), rng=1)
+
+    def test_clr_for_buffers_rejects_non_finite(self, mux):
+        with pytest.raises(ParameterError, match="finite"):
+            mux.clr_for_buffers(100, np.array([10.0, np.inf]), rng=1)
+
+    def test_clr_for_buffers_rejects_2d(self, mux):
+        with pytest.raises(ParameterError, match="1-D"):
+            mux.clr_for_buffers(100, np.array([[1.0, 2.0]]), rng=1)

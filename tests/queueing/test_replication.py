@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
+from repro.exceptions import ParameterError, SimulationError
 from repro.models import AR1Model
+from repro.models.base import TrafficModel
 from repro.queueing.multiplexer import ATMMultiplexer
 from repro.queueing.replication import replicated_clr, replicated_clr_curve
 
@@ -13,6 +15,19 @@ def mux():
     # High utilization so losses are plentiful at test scale.
     model = AR1Model(0.5, 500.0, 5000.0)
     return ATMMultiplexer(model, 10, 515.0, buffer_cells=200.0)
+
+
+class _SilentModel(TrafficModel):
+    """A degenerate model that never emits a cell (zero arrivals)."""
+
+    mean = 0.0
+    variance = 1.0
+
+    def autocorrelation(self, lags):
+        return np.ones(np.atleast_1d(np.asarray(lags)).shape)
+
+    def sample_frames(self, n_frames, rng=None):
+        return np.zeros(int(n_frames))
 
 
 class TestReplicatedCLR:
@@ -80,3 +95,42 @@ class TestReplicatedCurve:
             stats.norm.pdf(z) - z * stats.norm.sf(z)
         ) / (n * 500.0)
         assert curve.clr[0] == pytest.approx(expected, rel=0.15)
+
+
+class TestZeroArrivalGuard:
+    @pytest.fixture
+    def silent_mux(self):
+        return ATMMultiplexer(
+            _SilentModel(), 5, 100.0, buffer_cells=50.0
+        )
+
+    def test_replicated_clr_raises_clearly(self, silent_mux):
+        with pytest.raises(SimulationError, match="no arrivals"):
+            replicated_clr(silent_mux, 100, 3, rng=1)
+
+    def test_no_nan_warning_leaks(self, silent_mux):
+        # The old code divided lost / arrived first: NaNs plus a
+        # runtime warning.  Now it must fail before the division.
+        with np.errstate(invalid="raise"):
+            with pytest.raises(SimulationError):
+                replicated_clr(silent_mux, 100, 2, rng=2)
+
+    def test_curve_raises_clearly(self, silent_mux):
+        with pytest.raises(SimulationError, match="no cells arrived"):
+            replicated_clr_curve(
+                silent_mux, np.array([0.0, 10.0]), 100, 2, rng=3
+            )
+
+
+class TestBufferValidation:
+    def test_empty_buffers_rejected(self, mux):
+        with pytest.raises(ParameterError, match="buffer_values"):
+            replicated_clr_curve(mux, [], 100, 1, rng=1)
+
+    def test_negative_buffers_rejected(self, mux):
+        with pytest.raises(ParameterError, match="buffer_values"):
+            replicated_clr_curve(mux, [100.0, -1.0], 100, 1, rng=1)
+
+    def test_nan_buffers_rejected(self, mux):
+        with pytest.raises(ParameterError, match="finite"):
+            replicated_clr_curve(mux, [0.0, np.nan], 100, 1, rng=1)

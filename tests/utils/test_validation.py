@@ -9,6 +9,7 @@ from repro.exceptions import ParameterError
 from repro.utils.validation import (
     check_in_range,
     check_integer,
+    check_nonnegative_array,
     check_positive,
     check_probability,
 )
@@ -108,3 +109,32 @@ class TestCheckInteger:
     def test_rejects_non_numeric(self):
         with pytest.raises(ParameterError):
             check_integer("many", "n")
+
+
+class TestCheckNonnegativeArray:
+    def test_accepts_list_and_returns_float_array(self):
+        out = check_nonnegative_array([0, 1, 2], "b")
+        assert out.dtype == float
+        assert np.array_equal(out, [0.0, 1.0, 2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError, match="non-empty"):
+            check_nonnegative_array([], "b")
+
+    def test_rejects_2d(self):
+        with pytest.raises(ParameterError, match="1-D"):
+            check_nonnegative_array([[1.0]], "b")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError, match=">= 0"):
+            check_nonnegative_array([1.0, -2.0], "b")
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ParameterError, match="finite"):
+            check_nonnegative_array([1.0, math.nan], "b")
+        with pytest.raises(ParameterError, match="finite"):
+            check_nonnegative_array([1.0, math.inf], "b")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ParameterError, match="numbers"):
+            check_nonnegative_array(["a", "b"], "b")
