@@ -16,7 +16,10 @@ The package answers the paper's question end to end:
   dimensioning built on the above;
 * :mod:`repro.experiments` — one module per table/figure of the paper;
 * :mod:`repro.obs`       — telemetry: timing spans, counters, JSONL
-  traces, and replication progress (off by default; ``REPRO_TRACE=1``).
+  traces, and replication progress (off by default; ``REPRO_TRACE=1``);
+* :mod:`repro.resilience` — fault-tolerant replication: per-replication
+  retry isolation, JSONL checkpoint/resume, deadline-bounded graceful
+  degradation, and deterministic fault injection.
 
 Quickstart::
 
@@ -39,6 +42,7 @@ from repro import (
     obs,
     plotting,
     queueing,
+    resilience,
 )
 from repro.core import (
     BOPCurve,
@@ -58,13 +62,17 @@ from repro.core import (
     weibull_bop_from_model,
 )
 from repro.exceptions import (
+    CheckpointError,
     ConvergenceError,
+    DegradedResultWarning,
     FittingError,
+    NumericalHealthError,
     ParameterError,
     ReproError,
     SimulationError,
     StabilityError,
 )
+from repro.resilience import ResiliencePolicy
 from repro.models import (
     AR1Model,
     DARModel,
@@ -108,7 +116,9 @@ __all__ = [
     "AR1Model",
     "BOPCurve",
     "BOPEstimate",
+    "CheckpointError",
     "ConvergenceError",
+    "DegradedResultWarning",
     "DARModel",
     "DelayStatistics",
     "FARIMAModel",
@@ -123,9 +133,11 @@ __all__ = [
     "MarkovArrivalChain",
     "MarkovModulatedSource",
     "NegativeBinomialMarginal",
+    "NumericalHealthError",
     "ParameterError",
     "QoSRequirement",
     "ReproError",
+    "ResiliencePolicy",
     "SimulationError",
     "StabilityError",
     "SuperposedModel",
@@ -163,6 +175,7 @@ __all__ = [
     "queueing",
     "rate_function",
     "replicated_clr",
+    "resilience",
     "replicated_clr_curve",
     "simulate_finite_buffer",
     "simulate_infinite_buffer",

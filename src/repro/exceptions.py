@@ -7,6 +7,8 @@ masking genuine programming errors (``TypeError`` etc. still surface).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -46,4 +48,42 @@ class StabilityError(ReproError):
 
 
 class SimulationError(ReproError):
-    """A simulation was configured inconsistently or produced no data."""
+    """A simulation was configured inconsistently or produced no data.
+
+    When the failure is attributable to specific replications of a
+    replicated experiment, their indices are carried in
+    :attr:`bad_replications` so supervisors (and callers) can react
+    programmatically instead of parsing the message.
+    """
+
+    def __init__(self, message: str, *, bad_replications: Sequence[int] = ()):
+        super().__init__(message)
+        self.bad_replications = tuple(int(i) for i in bad_replications)
+
+
+class NumericalHealthError(SimulationError):
+    """Simulation output is numerically unhealthy (NaN/inf/negative).
+
+    Raised by :func:`repro.utils.validation.check_simulation_health`
+    when loss or arrival counts would silently poison a pooled
+    estimate.  The resilience engine treats it as retryable.
+    """
+
+
+class CheckpointError(ReproError):
+    """A replication checkpoint file is corrupt, stale, or mismatched.
+
+    Raised when a checkpoint's recorded run fingerprint (model, scale,
+    seed identity) does not match the batch being resumed, so a stale
+    file can never contaminate a fresh run.
+    """
+
+
+class DegradedResultWarning(UserWarning):
+    """A pooled estimate covers fewer replications than requested.
+
+    Emitted by the resilience engine when replications were abandoned
+    (retry budget exhausted or deadline reached) and the result was
+    pooled over the completed subset; the corresponding summary carries
+    ``degraded=True`` and ``n_failed``.
+    """

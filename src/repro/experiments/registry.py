@@ -6,6 +6,7 @@ from typing import Callable, Dict, Optional
 
 from repro.exceptions import ParameterError
 from repro.obs.spans import span
+from repro.resilience.policy import ResiliencePolicy, use_policy
 from repro.experiments import (
     fig01,
     fig02,
@@ -39,8 +40,20 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
 SIMULATION_EXPERIMENTS = ("fig02", "fig08", "fig09", "fig10")
 
 
-def run_experiment(name: str, scale: Optional[object] = None) -> ExperimentResult:
-    """Run one registered experiment by id (e.g. ``"fig04"``)."""
+def run_experiment(
+    name: str,
+    scale: Optional[object] = None,
+    *,
+    policy: Optional[ResiliencePolicy] = None,
+) -> ExperimentResult:
+    """Run one registered experiment by id (e.g. ``"fig04"``).
+
+    When a :class:`~repro.resilience.policy.ResiliencePolicy` is given
+    it is installed as the process default for the duration, so every
+    replicated simulation inside the experiment runs under the
+    fault-tolerant engine (retries, checkpoints, deadline) without the
+    figure modules threading a parameter through.
+    """
     try:
         runner = EXPERIMENTS[name]
     except KeyError:
@@ -49,4 +62,7 @@ def run_experiment(name: str, scale: Optional[object] = None) -> ExperimentResul
         ) from None
     scale_name = getattr(scale, "name", scale if isinstance(scale, str) else None)
     with span(f"experiment.{name}", scale=scale_name):
-        return runner(scale)
+        if policy is None:
+            return runner(scale)
+        with use_policy(policy):
+            return runner(scale)

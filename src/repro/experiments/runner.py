@@ -6,12 +6,23 @@ Usage::
     python -m repro.experiments.runner --scale smoke all
     python -m repro.experiments.runner fig08 --scale smoke \\
         --trace --metrics-out /tmp/metrics
+    python -m repro.experiments.runner all --keep-going \\
+        --deadline 3600 --checkpoint-dir /tmp/ckpt
 
 Prints each experiment's formatted tables to stdout.  With ``--trace``
 (or ``REPRO_TRACE=1``) telemetry is collected and a span/metrics
 summary follows each experiment; ``--metrics-out DIR`` additionally
 writes one ``<experiment>.jsonl`` trace per experiment into DIR (see
 ``docs/OBSERVABILITY.md`` for the schema).
+
+Long batches are supervised by :mod:`repro.resilience` when any of
+``--deadline`` / ``--max-retries`` / ``--checkpoint-dir`` is given:
+failed replications retry on fresh RNG streams, completed ones
+checkpoint for resume, and past the deadline results degrade to
+partial pools (and remaining experiments are skipped) instead of
+dying.  ``--keep-going`` continues past a failing experiment, prints
+a pass/fail summary, and exits nonzero iff anything failed (see
+``docs/ROBUSTNESS.md``).
 """
 
 from __future__ import annotations
@@ -20,11 +31,31 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro import obs
 from repro.experiments.config import SCALES, get_scale
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.resilience.policy import ResiliencePolicy
+
+
+def _build_policy(args: argparse.Namespace) -> Optional[ResiliencePolicy]:
+    """A resilience policy when any supervision flag was given."""
+    if (
+        args.deadline is None
+        and args.max_retries is None
+        and args.checkpoint_dir is None
+    ):
+        return None
+    return ResiliencePolicy(
+        max_retries=2 if args.max_retries is None else args.max_retries,
+        deadline_at=(
+            None
+            if args.deadline is None
+            else time.monotonic() + args.deadline
+        ),
+        checkpoint_dir=args.checkpoint_dir,
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -72,6 +103,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="write per-experiment telemetry as DIR/<name>.jsonl "
         "(implies telemetry collection)",
     )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="continue past a failing experiment, print a pass/fail "
+        "summary at the end, and exit nonzero iff any experiment failed",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="wall-clock budget for the whole invocation: replicated "
+        "simulations degrade to partial pooled estimates at the "
+        "deadline, and experiments not yet started are skipped "
+        "(skips count as failures for the exit code)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        metavar="N",
+        default=None,
+        help="per-replication retry budget under the resilience engine "
+        "(default 2 when any supervision flag is given)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        default=None,
+        help="checkpoint completed replications to DIR for resume "
+        "(see docs/ROBUSTNESS.md for the file schema)",
+    )
     args = parser.parse_args(argv)
 
     names = list(args.experiments)
@@ -79,12 +141,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         names = sorted(EXPERIMENTS)
     scale = get_scale(args.scale)
 
-    if args.metrics_out is not None:
-        # Fail fast: a bad output path should not cost a simulation run.
-        try:
-            Path(args.metrics_out).mkdir(parents=True, exist_ok=True)
-        except OSError as exc:
-            parser.error(f"--metrics-out {args.metrics_out}: {exc}")
+    for flag, directory in (
+        ("--metrics-out", args.metrics_out),
+        ("--checkpoint-dir", args.checkpoint_dir),
+    ):
+        if directory is not None:
+            # Fail fast: a bad output path should not cost a simulation.
+            try:
+                Path(directory).mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                parser.error(f"{flag} {directory}: {exc}")
+    if args.max_retries is not None and args.max_retries < 0:
+        parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
+    if args.deadline is not None and args.deadline < 0:
+        parser.error(f"--deadline must be >= 0, got {args.deadline}")
+
+    policy = _build_policy(args)
 
     # REPRO_TRACE=1 behaves exactly like --trace; --metrics-out collects
     # without printing the summary unless --trace is also given.
@@ -95,12 +167,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     if trace:
         obs.progress.enable_progress()
 
+    statuses: List[Tuple[str, str, str]] = []  # (name, verdict, detail)
     for name in names:
+        if (
+            policy is not None
+            and policy.deadline_at is not None
+            and time.monotonic() >= policy.deadline_at
+        ):
+            print(f"[{name} skipped: deadline exceeded]")
+            statuses.append((name, "skipped", "deadline exceeded"))
+            continue
         if collect:
             obs.reset()  # one clean trace per experiment
         started = time.perf_counter()
-        with obs.span(f"runner.{name}", scale=scale.name) as root_span:
-            result = run_experiment(name, scale)
+        try:
+            with obs.span(f"runner.{name}", scale=scale.name) as root_span:
+                result = run_experiment(name, scale, policy=policy)
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:
+            if not args.keep_going:
+                raise
+            detail = f"{type(exc).__name__}: {exc}"
+            print(f"[{name} FAILED: {detail}]")
+            print()
+            statuses.append((name, "FAILED", detail))
+            continue
         elapsed = (
             root_span.duration_ns * 1e-9
             if root_span.duration_ns is not None
@@ -128,7 +220,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"[wrote {out}]")
         print(f"[{name} completed in {elapsed:.1f}s]")
         print()
-    return 0
+        statuses.append((name, "ok", f"{elapsed:.1f}s"))
+
+    incomplete = [s for s in statuses if s[1] != "ok"]
+    if args.keep_going or incomplete:
+        print("experiment summary:")
+        for name, verdict, detail in statuses:
+            mark = "ok  " if verdict == "ok" else verdict
+            print(f"  {name:<8} {mark}  ({detail})")
+        failed = sum(1 for s in statuses if s[1] == "FAILED")
+        skipped = sum(1 for s in statuses if s[1] == "skipped")
+        print(
+            f"  {len(statuses) - failed - skipped} ok, {failed} failed, "
+            f"{skipped} skipped"
+        )
+    return 1 if incomplete else 0
 
 
 if __name__ == "__main__":

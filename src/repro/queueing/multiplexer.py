@@ -29,6 +29,7 @@ from repro.utils.validation import (
     check_integer,
     check_nonnegative_array,
     check_positive,
+    check_simulation_health,
 )
 
 
@@ -100,9 +101,18 @@ class ATMMultiplexer:
             arrivals = self.model.sample_aggregate(
                 n_frames, self.n_sources, rng
             )
-            return simulate_finite_buffer(
+            result = simulate_finite_buffer(
                 arrivals, self.capacity, self.buffer_cells
             )
+            # A NaN sampled by the model propagates through the fluid
+            # recursion into every pooled estimate downstream; fail the
+            # replication here, where the supervisor can retry it.
+            check_simulation_health(
+                result.lost_cells,
+                result.arrived_cells,
+                context="simulate_clr",
+            )
+            return result
 
     def simulate_workload(
         self, n_frames: int, rng: RngLike = None

@@ -6,12 +6,25 @@ which may not be otherwise obtained due to the heavy-tailed ON/OFF
 times of the FBNDP model."  This module is that harness: independent
 seeded replications, pooled ratio-of-sums CLR estimates, and
 per-buffer curves.
+
+Both entry points accept an optional
+:class:`~repro.resilience.policy.ResiliencePolicy` (``resilience=``,
+or a process-wide default installed via
+:func:`repro.resilience.use_policy`).  With a policy, replications run
+under the fault-tolerant supervisor of :mod:`repro.resilience.engine`:
+failed replications are retried on fresh child streams, completed ones
+checkpoint to disk for resume, and a deadline degrades the batch to a
+pooled estimate over the completed subset (``degraded=True``) instead
+of discarding everything.  Without one, behaviour is the classic
+fail-fast loop — and a fault-free supervised run is bit-identical to
+it, because attempt-0 streams reuse the exact ``spawn_generators``
+derivation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,23 +39,70 @@ from repro.queueing.statistics import (
     replicated_estimate,
 )
 from repro.queueing.workload import simulate_finite_buffer
+from repro.resilience.engine import (
+    EngineResult,
+    FailureRecord,
+    run_replications,
+)
+from repro.resilience.policy import ResiliencePolicy, get_default_policy
 from repro.utils.rng import RngLike, spawn_generators
-from repro.utils.validation import check_integer, check_nonnegative_array
+from repro.utils.validation import (
+    check_integer,
+    check_nonnegative_array,
+    check_simulation_health,
+)
 
 
 @dataclass(frozen=True)
 class CLRReplicationSummary:
-    """Pooled CLR and per-replication spread for one buffer size."""
+    """Pooled CLR and per-replication spread for one buffer size.
+
+    ``degraded`` / ``n_failed`` flag partial pools produced by the
+    resilience engine (retry budget exhausted or deadline reached);
+    fail-fast runs always report a complete pool.
+    """
 
     clr: float
     per_replication: ReplicatedEstimate
     total_lost: float
     total_arrived: float
+    degraded: bool = False
+    n_failed: int = 0
+    n_retried: int = 0
+    n_resumed: int = 0
+    failures: Tuple[FailureRecord, ...] = ()
 
     @property
     def observed_loss(self) -> bool:
         """Whether any replication lost cells (CLR resolution check)."""
         return self.total_lost > 0
+
+
+def _resolve_policy(
+    resilience: Optional[ResiliencePolicy],
+) -> Optional[ResiliencePolicy]:
+    return resilience if resilience is not None else get_default_policy()
+
+
+def _fingerprint(
+    kind: str,
+    multiplexer: ATMMultiplexer,
+    n_frames: int,
+    buffers: Optional[np.ndarray] = None,
+) -> dict:
+    """Identity of one replicated batch, for checkpoint validation."""
+    fingerprint = {
+        "kind": kind,
+        "model": repr(multiplexer.model),
+        "n_sources": multiplexer.n_sources,
+        "c_per_source": multiplexer.c_per_source,
+        "n_frames": n_frames,
+    }
+    if buffers is None:
+        fingerprint["buffer_cells"] = multiplexer.buffer_cells
+    else:
+        fingerprint["buffer_values"] = [float(b) for b in buffers]
+    return fingerprint
 
 
 def replicated_clr(
@@ -52,27 +112,41 @@ def replicated_clr(
     rng: RngLike = None,
     *,
     confidence: float = 0.95,
+    resilience: Optional[ResiliencePolicy] = None,
 ) -> CLRReplicationSummary:
     """Estimate the CLR from independent replications.
 
     The headline estimate pools cells (total lost / total offered);
-    per-replication CLRs are kept for the confidence interval.
+    per-replication CLRs are kept for the confidence interval.  With a
+    resilience policy the batch survives per-replication faults,
+    checkpoints, and degrades gracefully past its deadline.
     """
     n_frames = check_integer(n_frames, "n_frames", minimum=1)
     n_replications = check_integer(
         n_replications, "n_replications", minimum=1
     )
+    policy = _resolve_policy(resilience)
+    if policy is not None:
+        return _replicated_clr_resilient(
+            multiplexer, n_frames, n_replications, rng, confidence, policy
+        )
     lost = np.empty(n_replications)
     arrived = np.empty(n_replications)
     reporter = _progress.reporter(n_replications, label="replicated_clr")
-    for i, rep_rng in enumerate(spawn_generators(rng, n_replications)):
-        with span("replication", index=i, n_frames=n_frames):
-            result = multiplexer.simulate_clr(n_frames, rep_rng)
-        lost[i] = result.total_lost
-        arrived[i] = result.arrived_cells
-        _metrics.add("replications_completed")
-        reporter.advance()
-    reporter.finish()
+    try:
+        for i, rep_rng in enumerate(
+            spawn_generators(rng, n_replications)
+        ):
+            with span("replication", index=i, n_frames=n_frames):
+                result = multiplexer.simulate_clr(n_frames, rep_rng)
+            lost[i] = result.total_lost
+            arrived[i] = result.arrived_cells
+            _metrics.add("replications_completed")
+            reporter.advance()
+    finally:
+        # Always close out the progress line — a replication that
+        # raises must not leave it dangling on stderr.
+        reporter.finish()
     _check_arrivals(arrived)
     per_rep = replicated_estimate(lost / arrived, confidence)
     return CLRReplicationSummary(
@@ -83,31 +157,85 @@ def replicated_clr(
     )
 
 
+def _replicated_clr_resilient(
+    multiplexer: ATMMultiplexer,
+    n_frames: int,
+    n_replications: int,
+    rng: RngLike,
+    confidence: float,
+    policy: ResiliencePolicy,
+) -> CLRReplicationSummary:
+    def task(index: int, generator: np.random.Generator):
+        result = multiplexer.simulate_clr(n_frames, generator)
+        return result.total_lost, result.arrived_cells
+
+    engine = run_replications(
+        task,
+        n_replications,
+        rng,
+        policy=policy,
+        fingerprint=_fingerprint("clr", multiplexer, n_frames),
+        label="replicated_clr",
+    )
+    return _summary_from_engine(engine, confidence)
+
+
+def _summary_from_engine(
+    engine: EngineResult, confidence: float
+) -> CLRReplicationSummary:
+    lost = np.array([o.lost for o in engine.outcomes], dtype=float)
+    arrived = np.array([o.arrived for o in engine.outcomes], dtype=float)
+    per_rep = replicated_estimate(lost / arrived, confidence)
+    return CLRReplicationSummary(
+        clr=pooled_clr(lost, arrived),
+        per_replication=per_rep,
+        total_lost=float(lost.sum()),
+        total_arrived=float(arrived.sum()),
+        degraded=engine.degraded,
+        n_failed=engine.n_failed,
+        n_retried=engine.n_retried,
+        n_resumed=engine.n_resumed,
+        failures=engine.failures,
+    )
+
+
 def _check_arrivals(arrived: np.ndarray) -> None:
     """Reject replications that offered no cells.
 
     ``lost / arrived`` over a zero-arrival replication yields NaN
     (with a runtime warning at best) and silently poisons the pooled
     confidence interval — surface it as a configuration error instead.
+    The offending indices travel on the exception
+    (``bad_replications``) so supervisors can react programmatically.
     """
     zero = np.flatnonzero(arrived <= 0)
     if zero.size:
         raise SimulationError(
             f"replication(s) {zero.tolist()} produced no arrivals; "
             "the traffic model offered zero cells, so the CLR is "
-            "undefined (check the model's mean rate and n_frames)"
+            "undefined (check the model's mean rate and n_frames)",
+            bad_replications=zero.tolist(),
         )
 
 
 @dataclass(frozen=True)
 class CLRCurve:
-    """Simulated CLR versus buffer size for one model (Figs. 8-9)."""
+    """Simulated CLR versus buffer size for one model (Figs. 8-9).
+
+    ``degraded`` / ``n_failed`` mirror
+    :class:`CLRReplicationSummary`: a resilience-supervised curve may
+    pool fewer replications than requested.
+    """
 
     label: str
     buffer_cells: np.ndarray
     delay_seconds: np.ndarray
     clr: np.ndarray
     total_arrived: float
+    degraded: bool = False
+    n_failed: int = 0
+    n_retried: int = 0
+    n_resumed: int = 0
 
     def log10_clr(self) -> np.ndarray:
         """log10 CLR with -inf where no loss was observed."""
@@ -123,6 +251,7 @@ def replicated_clr_curve(
     rng: RngLike = None,
     *,
     label: str = "",
+    resilience: Optional[ResiliencePolicy] = None,
 ) -> CLRCurve:
     """CLR at several buffer sizes, pooled over replications.
 
@@ -136,36 +265,109 @@ def replicated_clr_curve(
         n_replications, "n_replications", minimum=1
     )
     buffers = check_nonnegative_array(buffer_values, "buffer_values")
+    policy = _resolve_policy(resilience)
+    if policy is not None:
+        return _replicated_clr_curve_resilient(
+            multiplexer, buffers, n_frames, n_replications, rng,
+            label, policy,
+        )
     lost = np.zeros(buffers.shape[0])
     arrived_total = 0.0
     reporter = _progress.reporter(
         n_replications, label=label or "clr_curve"
     )
-    for rep_index, rep_rng in enumerate(spawn_generators(rng, n_replications)):
-        with span(
-            "replication",
-            index=rep_index,
-            n_frames=n_frames,
-            n_buffers=int(buffers.size),
-            label=label,
+    try:
+        for rep_index, rep_rng in enumerate(
+            spawn_generators(rng, n_replications)
         ):
-            arrivals = multiplexer.model.sample_aggregate(
-                n_frames, multiplexer.n_sources, rep_rng
-            )
-            arrived_total += float(arrivals.sum())
-            for i, b in enumerate(buffers):
-                lost[i] += simulate_finite_buffer(
-                    arrivals, multiplexer.capacity, float(b)
-                ).total_lost
-        _metrics.add("replications_completed")
-        reporter.advance()
-    reporter.finish()
+            with span(
+                "replication",
+                index=rep_index,
+                n_frames=n_frames,
+                n_buffers=int(buffers.size),
+                label=label,
+            ):
+                arrivals = multiplexer.model.sample_aggregate(
+                    n_frames, multiplexer.n_sources, rep_rng
+                )
+                arrived_total += float(arrivals.sum())
+                for i, b in enumerate(buffers):
+                    lost[i] += simulate_finite_buffer(
+                        arrivals, multiplexer.capacity, float(b)
+                    ).total_lost
+            _metrics.add("replications_completed")
+            reporter.advance()
+    finally:
+        reporter.finish()
+    check_simulation_health(lost, arrived_total, context="clr_curve")
     if arrived_total <= 0:
         raise SimulationError(
             f"no cells arrived across {n_replications} replication(s) of "
             f"{n_frames} frames; the CLR curve is undefined "
             "(check the model's mean rate)"
         )
+    return _make_curve(multiplexer, buffers, lost, arrived_total, label)
+
+
+def _replicated_clr_curve_resilient(
+    multiplexer: ATMMultiplexer,
+    buffers: np.ndarray,
+    n_frames: int,
+    n_replications: int,
+    rng: RngLike,
+    label: str,
+    policy: ResiliencePolicy,
+) -> CLRCurve:
+    def task(index: int, generator: np.random.Generator):
+        arrivals = multiplexer.model.sample_aggregate(
+            n_frames, multiplexer.n_sources, generator
+        )
+        per_buffer = np.empty(buffers.shape[0])
+        for i, b in enumerate(buffers):
+            per_buffer[i] = simulate_finite_buffer(
+                arrivals, multiplexer.capacity, float(b)
+            ).total_lost
+        return per_buffer, float(arrivals.sum())
+
+    engine = run_replications(
+        task,
+        n_replications,
+        rng,
+        policy=policy,
+        fingerprint=_fingerprint(
+            "clr_curve", multiplexer, n_frames, buffers=buffers
+        ),
+        label=label or "clr_curve",
+    )
+    # Accumulate in replication-index order — the same float-addition
+    # order as the fail-fast loop — so a resumed batch reproduces an
+    # uninterrupted run bit for bit.
+    lost = np.zeros(buffers.shape[0])
+    arrived_total = 0.0
+    for outcome in engine.outcomes:
+        lost += np.asarray(outcome.lost, dtype=float)
+        arrived_total += outcome.arrived
+    return _make_curve(
+        multiplexer,
+        buffers,
+        lost,
+        arrived_total,
+        label,
+        degraded=engine.degraded,
+        n_failed=engine.n_failed,
+        n_retried=engine.n_retried,
+        n_resumed=engine.n_resumed,
+    )
+
+
+def _make_curve(
+    multiplexer: ATMMultiplexer,
+    buffers: np.ndarray,
+    lost: np.ndarray,
+    arrived_total: float,
+    label: str,
+    **resilience_fields: object,
+) -> CLRCurve:
     capacity = multiplexer.capacity
     frame_duration = multiplexer.model.frame_duration
     return CLRCurve(
@@ -174,4 +376,5 @@ def replicated_clr_curve(
         delay_seconds=buffers * frame_duration / capacity,
         clr=lost / arrived_total,
         total_arrived=arrived_total,
+        **resilience_fields,
     )

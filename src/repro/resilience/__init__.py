@@ -1,0 +1,83 @@
+"""repro.resilience — fault-tolerant replicated simulation.
+
+The paper's estimates rest on 60 replications of half a million frames
+per model; at that depth a batch is an operational artifact, not a
+loop.  This package gives the replication harness the checkpoint /
+retry / deadline discipline production traffic simulators use:
+
+* :mod:`repro.resilience.policy`     — :class:`ResiliencePolicy`
+  (retry budget, deadlines, checkpoint location) and the process-wide
+  default used by the experiment runner's flags;
+* :mod:`repro.resilience.seeding`    — deterministic per-replication,
+  per-attempt RNG streams from the SeedSequence spawn tree;
+* :mod:`repro.resilience.checkpoint` — append-only JSONL checkpoints
+  validated against a run fingerprint;
+* :mod:`repro.resilience.engine`     — the supervisor:
+  :func:`run_replications` with per-replication fault isolation,
+  resume, and deadline-bounded graceful degradation;
+* :mod:`repro.resilience.faults`     — deterministic fault injection
+  (fail / crash / NaN-poison / hang) for testing every recovery path.
+
+Quickstart::
+
+    from repro.resilience import ResiliencePolicy
+    from repro.queueing import replicated_clr
+
+    policy = ResiliencePolicy(max_retries=3,
+                              deadline_seconds=3600.0,
+                              checkpoint_dir="checkpoints")
+    summary = replicated_clr(mux, 500_000, 60, rng=19960826,
+                             resilience=policy)
+    if summary.degraded:
+        print(f"partial pool: {summary.n_failed} replication(s) lost")
+
+See ``docs/ROBUSTNESS.md`` for the checkpoint schema and semantics.
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointFile,
+    ReplicationRecord,
+    fingerprint_digest,
+)
+from repro.resilience.engine import (
+    EngineResult,
+    FailureRecord,
+    ReplicationOutcome,
+    run_replications,
+)
+from repro.resilience.faults import (
+    FaultInjectedModel,
+    FaultInjector,
+    InjectedCrash,
+    InjectedFault,
+    inject_faults,
+)
+from repro.resilience.policy import (
+    ResiliencePolicy,
+    get_default_policy,
+    set_default_policy,
+    use_policy,
+)
+from repro.resilience.seeding import ReplicationSeeder
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointFile",
+    "EngineResult",
+    "FailureRecord",
+    "FaultInjectedModel",
+    "FaultInjector",
+    "InjectedCrash",
+    "InjectedFault",
+    "ReplicationOutcome",
+    "ReplicationRecord",
+    "ReplicationSeeder",
+    "ResiliencePolicy",
+    "fingerprint_digest",
+    "get_default_policy",
+    "inject_faults",
+    "run_replications",
+    "set_default_policy",
+    "use_policy",
+]

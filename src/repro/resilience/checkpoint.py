@@ -1,0 +1,211 @@
+"""JSONL checkpointing of completed replications.
+
+A checkpoint file makes a long replicated batch restartable: every
+completed replication is appended (and flushed) as one JSON line, so
+a batch killed at replication 47 of 60 resumes with 47 results loaded
+from disk and produces the bit-identical pooled estimate an
+uninterrupted run would have (floats round-trip exactly through JSON,
+and the engine replays records in replication-index order).
+
+File layout (one object per line)::
+
+    {"type": "header", "version": 1, "fingerprint": {...}}
+    {"type": "replication", "index": 0, "lost": 123.0, "arrived": ...,
+     "attempts": 1, "spawn_key": [0]}
+    ...
+
+The header's *fingerprint* pins the run identity — model repr,
+multiplexer geometry, frames/replications, seed entropy — and a
+checkpoint whose fingerprint does not match the batch being resumed
+is refused with :class:`~repro.exceptions.CheckpointError`: a stale
+file can never leak foreign samples into a fresh estimate.  A
+truncated final line (the process died mid-write) is tolerated and
+discarded; any other corruption is an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import CheckpointError
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointFile",
+    "ReplicationRecord",
+    "fingerprint_digest",
+]
+
+CHECKPOINT_VERSION = 1
+
+LostLike = Union[float, Tuple[float, ...]]
+
+
+@dataclass(frozen=True)
+class ReplicationRecord:
+    """One completed replication: its pooled inputs and seed path.
+
+    ``lost`` is a scalar for plain CLR batches and a per-buffer tuple
+    for CLR-curve batches; ``spawn_key`` is the SeedSequence spawn key
+    of the stream that produced the result (None when the batch was
+    driven by a caller-supplied Generator with no seed identity).
+    """
+
+    index: int
+    lost: LostLike
+    arrived: float
+    attempts: int = 1
+    spawn_key: Optional[Tuple[int, ...]] = None
+
+    def to_json(self) -> dict:
+        if isinstance(self.lost, (int, float)):
+            lost = float(self.lost)
+        else:
+            lost = [float(x) for x in self.lost]
+        return {
+            "type": "replication",
+            "index": self.index,
+            "lost": lost,
+            "arrived": self.arrived,
+            "attempts": self.attempts,
+            "spawn_key": (
+                None if self.spawn_key is None else list(self.spawn_key)
+            ),
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "ReplicationRecord":
+        try:
+            lost = obj["lost"]
+            if isinstance(lost, list):
+                lost = tuple(float(x) for x in lost)
+            else:
+                lost = float(lost)
+            spawn_key = obj.get("spawn_key")
+            return cls(
+                index=int(obj["index"]),
+                lost=lost,
+                arrived=float(obj["arrived"]),
+                attempts=int(obj.get("attempts", 1)),
+                spawn_key=(
+                    None
+                    if spawn_key is None
+                    else tuple(int(k) for k in spawn_key)
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"malformed replication record {obj!r}: {exc}"
+            ) from exc
+
+
+def fingerprint_digest(fingerprint: dict) -> str:
+    """Short stable digest of a fingerprint (for auto-named files)."""
+    canonical = json.dumps(fingerprint, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+
+class CheckpointFile:
+    """Append-only JSONL checkpoint bound to one run fingerprint.
+
+    Opening an existing file validates its header against
+    ``fingerprint`` and loads all completed records; opening a fresh
+    path writes the header.  :meth:`append` flushes and fsyncs each
+    record so a hard kill loses at most the in-flight replication.
+    """
+
+    def __init__(self, path: Union[str, Path], fingerprint: dict):
+        self.path = Path(path)
+        self.fingerprint = dict(fingerprint)
+        self.records: Dict[int, ReplicationRecord] = {}
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self._load()
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            header = {
+                "type": "header",
+                "version": CHECKPOINT_VERSION,
+                "fingerprint": self.fingerprint,
+            }
+            with open(self.path, "w") as fh:
+                fh.write(json.dumps(header) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def _load(self) -> None:
+        text = self.path.read_text()
+        # A process killed mid-append leaves a partial final line with
+        # no terminating newline; only that exact shape is forgivable.
+        truncated_tail = not text.endswith("\n")
+        lines = text.splitlines()
+        header = self._parse_header(lines[0])
+        self._check_fingerprint(header.get("fingerprint"))
+        for lineno, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(lines) and truncated_tail:
+                    # Interrupted mid-write: the final partial line is
+                    # exactly the replication that was lost to the kill.
+                    break
+                raise CheckpointError(
+                    f"{self.path}: corrupt record on line {lineno}"
+                ) from None
+            if obj.get("type") != "replication":
+                raise CheckpointError(
+                    f"{self.path}: unexpected entry type "
+                    f"{obj.get('type')!r} on line {lineno}"
+                )
+            record = ReplicationRecord.from_json(obj)
+            self.records[record.index] = record
+
+    def _parse_header(self, line: str) -> dict:
+        try:
+            header = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"{self.path}: unreadable checkpoint header"
+            ) from exc
+        if header.get("type") != "header":
+            raise CheckpointError(
+                f"{self.path}: first line is not a checkpoint header"
+            )
+        if header.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"{self.path}: checkpoint version {header.get('version')!r} "
+                f"!= supported version {CHECKPOINT_VERSION}"
+            )
+        return header
+
+    def _check_fingerprint(self, stored: Optional[dict]) -> None:
+        if stored == self.fingerprint:
+            return
+        stored = stored or {}
+        mismatched = sorted(
+            key
+            for key in set(stored) | set(self.fingerprint)
+            if stored.get(key) != self.fingerprint.get(key)
+        )
+        raise CheckpointError(
+            f"{self.path}: stale checkpoint — fingerprint mismatch on "
+            f"{mismatched}; refusing to resume a different run "
+            "(delete the file or point the policy elsewhere)"
+        )
+
+    def completed_indices(self) -> Sequence[int]:
+        return sorted(self.records)
+
+    def append(self, record: ReplicationRecord) -> None:
+        """Durably append one completed replication."""
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(record.to_json()) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self.records[record.index] = record

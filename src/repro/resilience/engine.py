@@ -1,0 +1,306 @@
+"""The fault-tolerant replication supervisor.
+
+:func:`run_replications` runs ``n_replications`` of a caller-supplied
+task under the paper's replication discipline (Section 5.5: pooled
+estimates over independent seeded replications) with three layers of
+protection a production batch needs:
+
+* **per-replication isolation** — a replication that raises a library
+  error (:class:`~repro.exceptions.ReproError`), a floating-point trap,
+  or fails the :func:`~repro.utils.validation.check_simulation_health`
+  guard is retried on a freshly spawned child RNG stream, up to the
+  policy's budget; other exceptions (bugs, ``KeyboardInterrupt``)
+  propagate untouched;
+* **checkpoint/resume** — completed replications append to a JSONL
+  checkpoint validated against the run fingerprint, so an interrupted
+  batch resumes exactly where it stopped and reproduces the pooled
+  estimate bit for bit;
+* **deadline-bounded graceful degradation** — past the policy
+  deadline (or once a replication exhausts its retries) the engine
+  stops launching work and returns the completed subset flagged
+  ``degraded`` with a :class:`~repro.exceptions.DegradedResultWarning`,
+  raising only when *nothing* completed.
+
+Telemetry counters (no-ops unless :mod:`repro.obs` is enabled):
+``replications_completed``, ``replications_retried``,
+``replications_failed``, ``checkpoint_resumed``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import (
+    DegradedResultWarning,
+    ReproError,
+    SimulationError,
+)
+from repro.obs import metrics as _metrics
+from repro.obs import progress as _progress
+from repro.obs.spans import span
+from repro.resilience.checkpoint import (
+    CheckpointFile,
+    ReplicationRecord,
+    fingerprint_digest,
+)
+from repro.resilience.policy import ResiliencePolicy
+from repro.resilience.seeding import ReplicationSeeder
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_integer, check_simulation_health
+
+__all__ = [
+    "EngineResult",
+    "FailureRecord",
+    "ReplicationOutcome",
+    "ReplicationTask",
+    "run_replications",
+]
+
+#: A replication body: ``(index, generator) -> (lost, arrived)`` where
+#: ``lost`` is a scalar or per-buffer vector of lost cells and
+#: ``arrived`` the total offered cells.
+ReplicationTask = Callable[
+    [int, np.random.Generator], Tuple[Union[float, np.ndarray], float]
+]
+
+#: Exceptions the supervisor treats as retryable replication faults.
+RETRYABLE_EXCEPTIONS = (ReproError, FloatingPointError)
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One failed attempt: which replication, which try, what broke."""
+
+    index: int
+    attempt: int
+    kind: str
+    message: str
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class ReplicationOutcome:
+    """One completed replication's contribution to the pooled estimate."""
+
+    index: int
+    lost: Union[float, np.ndarray]
+    arrived: float
+    attempts: int
+    resumed: bool
+
+
+@dataclass(frozen=True)
+class EngineResult:
+    """Everything the supervisor knows after a batch finishes."""
+
+    n_replications: int
+    outcomes: Tuple[ReplicationOutcome, ...]
+    failures: Tuple[FailureRecord, ...]
+    degraded: bool
+    deadline_hit: bool
+    n_resumed: int
+    n_retried: int
+    checkpoint_path: Optional[str] = None
+
+    @property
+    def n_completed(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def n_failed(self) -> int:
+        """Replications missing from the pool (abandoned or never run)."""
+        return self.n_replications - self.n_completed
+
+
+def _resolve_checkpoint(
+    policy: ResiliencePolicy, fingerprint: dict, label: str
+) -> Optional[CheckpointFile]:
+    if policy.checkpoint_path is not None:
+        return CheckpointFile(policy.checkpoint_path, fingerprint)
+    if policy.checkpoint_dir is not None:
+        stem = "".join(
+            ch if ch.isalnum() or ch in "._-" else "_" for ch in label
+        ) or "replications"
+        name = f"{stem}-{fingerprint_digest(fingerprint)}.jsonl"
+        return CheckpointFile(Path(policy.checkpoint_dir) / name, fingerprint)
+    return None
+
+
+def run_replications(
+    task: ReplicationTask,
+    n_replications: int,
+    rng: RngLike = None,
+    *,
+    policy: Optional[ResiliencePolicy] = None,
+    fingerprint: Optional[dict] = None,
+    label: str = "",
+) -> EngineResult:
+    """Supervise ``n_replications`` runs of ``task`` under ``policy``.
+
+    ``fingerprint`` identifies the batch for checkpoint validation
+    (model, geometry, depth); the engine adds ``n_replications`` and
+    the seed entropy itself.  Raises
+    :class:`~repro.exceptions.SimulationError` only if no replication
+    at all completed; otherwise degraded batches return partial
+    results flagged via :attr:`EngineResult.degraded`.
+    """
+    n_replications = check_integer(
+        n_replications, "n_replications", minimum=1
+    )
+    if policy is None:
+        policy = ResiliencePolicy()
+    seeder = ReplicationSeeder(rng, n_replications)
+    fingerprint = dict(fingerprint or {})
+    fingerprint.setdefault("n_replications", n_replications)
+    fingerprint.setdefault(
+        "entropy", None if seeder.entropy is None else str(seeder.entropy)
+    )
+    checkpoint = _resolve_checkpoint(policy, fingerprint, label)
+
+    completed: dict = {}
+    if checkpoint is not None and checkpoint.records:
+        for index in checkpoint.completed_indices():
+            if index >= n_replications:
+                continue
+            record = checkpoint.records[index]
+            lost = (
+                record.lost
+                if isinstance(record.lost, float)
+                else np.asarray(record.lost, dtype=float)
+            )
+            completed[index] = ReplicationOutcome(
+                index=index,
+                lost=lost,
+                arrived=record.arrived,
+                attempts=record.attempts,
+                resumed=True,
+            )
+        _metrics.add("checkpoint_resumed", len(completed))
+    n_resumed = len(completed)
+
+    started = policy.clock()
+    deadline = policy.deadline(started)
+    failures = []
+    n_retried = 0
+    deadline_hit = False
+    reporter = _progress.reporter(
+        n_replications, label=label or "resilient_replications"
+    )
+    try:
+        if completed:
+            reporter.advance(len(completed))
+        for index in range(n_replications):
+            if index in completed:
+                continue
+            while True:
+                if deadline is not None and policy.clock() >= deadline:
+                    deadline_hit = True
+                    break
+                attempt = seeder.attempts(index)
+                generator = seeder.generator(index)
+                try:
+                    with span(
+                        "replication",
+                        index=index,
+                        attempt=attempt,
+                        label=label,
+                    ):
+                        lost, arrived = task(index, generator)
+                    arrived = float(arrived)
+                    check_simulation_health(
+                        lost, arrived, context=f"replication {index}"
+                    )
+                    if arrived <= 0:
+                        raise SimulationError(
+                            f"replication {index} offered no cells; "
+                            "its CLR contribution is undefined",
+                            bad_replications=(index,),
+                        )
+                except RETRYABLE_EXCEPTIONS as exc:
+                    failures.append(
+                        FailureRecord(
+                            index=index,
+                            attempt=attempt,
+                            kind=type(exc).__name__,
+                            message=str(exc),
+                            elapsed_seconds=policy.clock() - started,
+                        )
+                    )
+                    if attempt >= policy.max_retries:
+                        _metrics.add("replications_failed")
+                        break
+                    _metrics.add("replications_retried")
+                    n_retried += 1
+                    continue
+                lost_value = (
+                    float(lost)
+                    if np.ndim(lost) == 0
+                    else np.asarray(lost, dtype=float)
+                )
+                completed[index] = ReplicationOutcome(
+                    index=index,
+                    lost=lost_value,
+                    arrived=arrived,
+                    attempts=attempt + 1,
+                    resumed=False,
+                )
+                _metrics.add("replications_completed")
+                if checkpoint is not None:
+                    checkpoint.append(
+                        ReplicationRecord(
+                            index=index,
+                            lost=(
+                                lost_value
+                                if isinstance(lost_value, float)
+                                else tuple(float(x) for x in lost_value)
+                            ),
+                            arrived=arrived,
+                            attempts=attempt + 1,
+                            spawn_key=seeder.spawn_key(index),
+                        )
+                    )
+                reporter.advance()
+                break
+            if deadline_hit:
+                break
+    finally:
+        reporter.finish()
+
+    outcomes = tuple(completed[i] for i in sorted(completed))
+    if not outcomes:
+        missing = sorted(set(range(n_replications)) - set(completed))
+        raise SimulationError(
+            f"no replication completed out of {n_replications} "
+            f"({len(failures)} failed attempt(s)"
+            + (", deadline exceeded" if deadline_hit else "")
+            + "); nothing to pool",
+            bad_replications=missing,
+        )
+    degraded = len(outcomes) < n_replications
+    if degraded:
+        warnings.warn(
+            DegradedResultWarning(
+                f"{label or 'replicated batch'}: pooled estimate covers "
+                f"{len(outcomes)}/{n_replications} replications "
+                f"({'deadline exceeded' if deadline_hit else 'retry budget exhausted'}); "
+                "treat confidence intervals accordingly"
+            ),
+            stacklevel=2,
+        )
+    return EngineResult(
+        n_replications=n_replications,
+        outcomes=outcomes,
+        failures=tuple(failures),
+        degraded=degraded,
+        deadline_hit=deadline_hit,
+        n_resumed=n_resumed,
+        n_retried=n_retried,
+        checkpoint_path=(
+            None if checkpoint is None else str(checkpoint.path)
+        ),
+    )

@@ -1,0 +1,151 @@
+"""Deterministic fault injection for the replication engine.
+
+Proving the recovery paths of :mod:`repro.resilience.engine` needs
+faults that arrive on schedule, not by luck.  :func:`inject_faults`
+wraps an :class:`~repro.queueing.multiplexer.ATMMultiplexer` so that
+chosen ``sample_aggregate`` calls — the single choke point both
+:meth:`~repro.queueing.multiplexer.ATMMultiplexer.simulate_clr` and
+the CLR-curve path go through, one call per replication attempt —
+misbehave in one of four ways:
+
+* ``fail``  — raise :class:`InjectedFault` (a retryable
+  :class:`~repro.exceptions.SimulationError`);
+* ``crash`` — raise :class:`InjectedCrash` (a ``RuntimeError`` the
+  engine deliberately does *not* catch: it simulates a killed batch,
+  leaving the checkpoint behind for resume);
+* ``nan``   — poison the returned arrivals with a NaN, exercising the
+  :func:`~repro.utils.validation.check_simulation_health` guard;
+* ``hang``  — sleep for a configured duration before proceeding,
+  exercising deadline-bounded degradation.
+
+Call numbers are 1-based and count every ``sample_aggregate`` call on
+the wrapped multiplexer, retries included — so a schedule like
+``fail={1, 2}`` means "replication 0 fails on its first attempt and
+on its first retry", deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.queueing.multiplexer import ATMMultiplexer
+
+__all__ = [
+    "FaultInjector",
+    "FaultInjectedModel",
+    "InjectedCrash",
+    "InjectedFault",
+    "inject_faults",
+]
+
+
+class InjectedFault(SimulationError):
+    """A scheduled, retryable failure raised by the fault injector."""
+
+
+class InjectedCrash(RuntimeError):
+    """A scheduled crash the resilience engine must NOT absorb.
+
+    Stands in for a SIGKILL / OOM / power loss in tests: it aborts the
+    batch mid-run while the checkpoint file keeps the completed
+    replications for a later resume.
+    """
+
+
+class FaultInjector:
+    """Shared call counter plus the schedule of misbehaviours."""
+
+    def __init__(
+        self,
+        *,
+        fail: Iterable[int] = (),
+        crash: Iterable[int] = (),
+        nan: Iterable[int] = (),
+        hang: Optional[Mapping[int, float]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.fail = frozenset(int(c) for c in fail)
+        self.crash = frozenset(int(c) for c in crash)
+        self.nan = frozenset(int(c) for c in nan)
+        self.hang = {int(c): float(s) for c, s in (hang or {}).items()}
+        self._sleep = sleep
+        self.calls = 0
+
+    def begin_call(self) -> int:
+        """Register one replication attempt; hang/fail/crash on cue."""
+        self.calls += 1
+        call = self.calls
+        if call in self.hang:
+            self._sleep(self.hang[call])
+        if call in self.crash:
+            raise InjectedCrash(f"injected crash on call {call}")
+        if call in self.fail:
+            raise InjectedFault(f"injected failure on call {call}")
+        return call
+
+    def maybe_poison(self, arrivals: np.ndarray, call: int) -> np.ndarray:
+        """NaN-poison the arrivals of a scheduled call."""
+        if call not in self.nan:
+            return arrivals
+        poisoned = np.array(arrivals, dtype=float, copy=True)
+        poisoned[poisoned.shape[0] // 2] = np.nan
+        return poisoned
+
+
+class FaultInjectedModel:
+    """Delegating traffic-model proxy that routes sampling via a
+    :class:`FaultInjector`.  Everything except ``sample_aggregate``
+    (statistics, frame duration, repr) is forwarded to the wrapped
+    model, so fingerprints and multiplexer geometry are unchanged —
+    a checkpoint written under injection resumes cleanly without it.
+    """
+
+    def __init__(self, model: object, injector: FaultInjector):
+        self._model = model
+        self.injector = injector
+
+    def sample_aggregate(
+        self, n_frames: int, n_sources: int, rng=None
+    ) -> np.ndarray:
+        call = self.injector.begin_call()
+        arrivals = self._model.sample_aggregate(n_frames, n_sources, rng)
+        return self.injector.maybe_poison(arrivals, call)
+
+    def __getattr__(self, name: str):
+        return getattr(self._model, name)
+
+    def __repr__(self) -> str:
+        return repr(self._model)
+
+
+def inject_faults(
+    multiplexer: ATMMultiplexer,
+    *,
+    fail: Iterable[int] = (),
+    crash: Iterable[int] = (),
+    nan: Iterable[int] = (),
+    hang: Optional[Mapping[int, float]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Tuple[ATMMultiplexer, FaultInjector]:
+    """A faulty clone of ``multiplexer`` plus its injector.
+
+    The clone shares the original's geometry (sources, bandwidth,
+    buffer) but samples through a :class:`FaultInjectedModel`; the
+    returned :class:`FaultInjector` exposes the live call count for
+    assertions.
+    """
+    injector = FaultInjector(
+        fail=fail, crash=crash, nan=nan, hang=hang, sleep=sleep
+    )
+    model = FaultInjectedModel(multiplexer.model, injector)
+    faulty = ATMMultiplexer(
+        model,
+        multiplexer.n_sources,
+        multiplexer.c_per_source,
+        buffer_cells=multiplexer.buffer_cells,
+    )
+    return faulty, injector

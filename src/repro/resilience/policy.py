@@ -1,0 +1,119 @@
+"""Resilience policy: retry budgets, deadlines, checkpoint locations.
+
+A :class:`ResiliencePolicy` is the single knob bundle the fault-
+tolerant replication engine (:mod:`repro.resilience.engine`) consults:
+how many times a failed replication may be retried, how long the whole
+batch may run before degrading to a partial pooled estimate, and where
+completed replications are checkpointed.
+
+Policies can be passed explicitly to
+:func:`repro.queueing.replication.replicated_clr` /
+:func:`~repro.queueing.replication.replicated_clr_curve`, or installed
+as a process-wide default (:func:`use_policy`) so the experiment
+runner's ``--deadline`` / ``--checkpoint-dir`` flags reach every
+replicated simulation without threading a parameter through each
+figure module.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.exceptions import ParameterError
+
+__all__ = [
+    "ResiliencePolicy",
+    "get_default_policy",
+    "set_default_policy",
+    "use_policy",
+]
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How a replicated batch survives faults.
+
+    Parameters
+    ----------
+    max_retries:
+        Retry budget *per replication*.  Each retry runs on a freshly
+        spawned child RNG stream (see
+        :class:`repro.resilience.seeding.ReplicationSeeder`), so the
+        surviving estimate stays reproducible and independent.  Once a
+        replication exhausts the budget it is abandoned and the batch
+        degrades instead of raising.
+    deadline_seconds:
+        Wall-clock budget for one engine run, relative to its start.
+    deadline_at:
+        Absolute deadline on the ``clock`` timebase (default
+        ``time.monotonic``).  Used by the runner to bound a whole
+        multi-experiment invocation; when both deadlines are set the
+        earlier one wins.
+    checkpoint_path:
+        Exact JSONL checkpoint file for this batch.
+    checkpoint_dir:
+        Directory for auto-named checkpoints
+        (``<label>-<fingerprint digest>.jsonl``); ignored when
+        ``checkpoint_path`` is set.
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    max_retries: int = 2
+    deadline_seconds: Optional[float] = None
+    deadline_at: Optional[float] = None
+    checkpoint_path: Optional[str] = None
+    checkpoint_dir: Optional[str] = None
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
+
+    def __post_init__(self) -> None:
+        if int(self.max_retries) != self.max_retries or self.max_retries < 0:
+            raise ParameterError(
+                f"max_retries must be a non-negative integer, "
+                f"got {self.max_retries!r}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ParameterError(
+                f"deadline_seconds must be > 0, got {self.deadline_seconds!r}"
+            )
+
+    def deadline(self, started: float) -> Optional[float]:
+        """Absolute deadline for a run that started at ``started``.
+
+        ``None`` when the policy sets no time bound; otherwise the
+        earlier of the relative and absolute deadlines.
+        """
+        candidates = []
+        if self.deadline_seconds is not None:
+            candidates.append(started + self.deadline_seconds)
+        if self.deadline_at is not None:
+            candidates.append(self.deadline_at)
+        return min(candidates) if candidates else None
+
+
+_default_policy: Optional[ResiliencePolicy] = None
+
+
+def set_default_policy(policy: Optional[ResiliencePolicy]) -> None:
+    """Install ``policy`` as the process-wide default (None clears it)."""
+    global _default_policy
+    _default_policy = policy
+
+
+def get_default_policy() -> Optional[ResiliencePolicy]:
+    """The installed default policy, or None (legacy fail-fast mode)."""
+    return _default_policy
+
+
+@contextmanager
+def use_policy(policy: Optional[ResiliencePolicy]) -> Iterator[None]:
+    """Temporarily install ``policy`` as the default; restores on exit."""
+    previous = get_default_policy()
+    set_default_policy(policy)
+    try:
+        yield
+    finally:
+        set_default_policy(previous)

@@ -5,6 +5,7 @@ from repro.utils.validation import (
     check_integer,
     check_positive,
     check_probability,
+    check_simulation_health,
 )
 from repro.utils.rng import as_generator, spawn_generators
 from repro.utils.mathx import (
@@ -27,6 +28,7 @@ __all__ = [
     "check_integer",
     "check_positive",
     "check_probability",
+    "check_simulation_health",
     "delay_to_buffer_cells",
     "kappa",
     "mbps_to_cells_per_frame",

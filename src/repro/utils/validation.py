@@ -15,7 +15,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.exceptions import ParameterError
+from repro.exceptions import NumericalHealthError, ParameterError
 
 
 def check_positive(value: float, name: str, *, strict: bool = True) -> float:
@@ -122,6 +122,41 @@ def check_nonnegative_array(values: object, name: str) -> np.ndarray:
             f"{name} must be >= 0 everywhere, got minimum {float(arr.min())!r}"
         )
     return arr
+
+
+def check_simulation_health(
+    lost: object, arrived: object, *, context: str = ""
+) -> None:
+    """Reject numerically unhealthy loss/arrival counts.
+
+    A NaN or infinite cell count anywhere in a replication silently
+    poisons every pooled estimate downstream (ratio-of-sums CLR,
+    confidence intervals), and a negative count means the recursion
+    itself went wrong.  Raises :class:`NumericalHealthError` naming
+    the offending quantity; ``context`` prefixes the message (e.g.
+    ``"replication 47"``).
+    """
+    lost_arr = np.asarray(lost, dtype=float)
+    problems = []
+    if not np.all(np.isfinite(lost_arr)):
+        problems.append("non-finite (NaN/inf) lost-cell count")
+    elif lost_arr.size and float(lost_arr.min()) < 0:
+        problems.append(f"negative lost-cell count ({float(lost_arr.min())!r})")
+    try:
+        arrived_f = float(arrived)
+    except (TypeError, ValueError):
+        problems.append(f"non-numeric arrived-cell count ({arrived!r})")
+    else:
+        if math.isnan(arrived_f) or math.isinf(arrived_f):
+            problems.append(f"non-finite arrived-cell count ({arrived_f!r})")
+        elif arrived_f < 0:
+            problems.append(f"negative arrived-cell count ({arrived_f!r})")
+    if problems:
+        prefix = f"{context}: " if context else ""
+        raise NumericalHealthError(
+            prefix + "; ".join(problems) + " — the simulation output is "
+            "numerically unhealthy and would poison pooled estimates"
+        )
 
 
 def _check_finite_number(value: float, name: str) -> float:

@@ -140,3 +140,74 @@ class TestTelemetryFlags:
     def test_duration_line_still_printed(self, capsys):
         assert main(["fig04", "--trace"]) == 0
         assert "completed in" in capsys.readouterr().out
+
+
+class TestRobustnessFlags:
+    @pytest.fixture
+    def failing_experiment(self, monkeypatch):
+        def boom(scale=None):
+            raise RuntimeError("kaboom")
+
+        monkeypatch.setitem(EXPERIMENTS, "boom", boom)
+        return "boom"
+
+    @pytest.fixture
+    def tiny_scale(self, monkeypatch):
+        from repro.experiments.config import SCALES, SimulationScale
+
+        monkeypatch.setitem(
+            SCALES, "tiny", SimulationScale("tiny", 300, 2)
+        )
+        return "tiny"
+
+    def test_keep_going_continues_and_exits_nonzero(
+        self, capsys, failing_experiment
+    ):
+        assert main([failing_experiment, "fig04", "--keep-going"]) == 1
+        out = capsys.readouterr().out
+        assert "[boom FAILED: RuntimeError: kaboom]" in out
+        assert "fig04 completed" in out  # later experiment still ran
+        assert "experiment summary:" in out
+        assert "1 ok, 1 failed, 0 skipped" in out
+
+    def test_failure_without_keep_going_raises(self, failing_experiment):
+        with pytest.raises(RuntimeError, match="kaboom"):
+            main([failing_experiment, "fig04"])
+
+    def test_keep_going_all_ok_exits_zero(self, capsys):
+        assert main(["fig04", "--keep-going"]) == 0
+        out = capsys.readouterr().out
+        assert "1 ok, 0 failed, 0 skipped" in out
+
+    def test_deadline_zero_skips_experiments(self, capsys):
+        assert main(["fig04", "--deadline", "0"]) == 1
+        out = capsys.readouterr().out
+        assert "[fig04 skipped: deadline exceeded]" in out
+        assert "0 ok, 0 failed, 1 skipped" in out
+
+    def test_checkpoint_dir_end_to_end(self, capsys, tmp_path, tiny_scale):
+        ckpt = tmp_path / "ckpt"
+        assert (
+            main(
+                [
+                    "fig08",
+                    "--scale",
+                    tiny_scale,
+                    "--checkpoint-dir",
+                    str(ckpt),
+                ]
+            )
+            == 0
+        )
+        files = sorted(ckpt.glob("*.jsonl"))
+        assert files, "supervised run should leave checkpoint files"
+        header = json.loads(files[0].read_text().splitlines()[0])
+        assert header["type"] == "header"
+
+    def test_negative_max_retries_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig04", "--max-retries", "-1"])
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig04", "--deadline", "-5"])

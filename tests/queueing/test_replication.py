@@ -97,6 +97,92 @@ class TestReplicatedCurve:
         assert curve.clr[0] == pytest.approx(expected, rel=0.15)
 
 
+class TestProgressFinishOnFailure:
+    """The progress line must be closed out even when a replication
+    raises mid-loop (regression: ``finish()`` was skipped on error)."""
+
+    class _ExplodingModel(TrafficModel):
+        mean = 500.0
+        variance = 5000.0
+
+        def __init__(self):
+            super().__init__()
+            self.calls = 0
+
+        def autocorrelation(self, lags):
+            return np.ones(np.atleast_1d(np.asarray(lags)).shape)
+
+        def sample_frames(self, n_frames, rng=None):
+            return np.full(int(n_frames), 500.0)
+
+        def sample_aggregate(self, n_frames, n_sources, rng=None):
+            self.calls += 1
+            if self.calls >= 2:
+                raise SimulationError("boom on replication 2")
+            return np.full(int(n_frames), 500.0 * n_sources)
+
+    @pytest.fixture
+    def progress_lines(self):
+        import io
+
+        from repro.obs import progress
+
+        stream = io.StringIO()
+        original = progress.ProgressReporter.__init__
+
+        def patched(self, total, label="", *, stream_=stream, **kwargs):
+            kwargs["stream"] = stream_
+            original(self, total, label, **kwargs)
+
+        progress.enable_progress()
+        progress.ProgressReporter.__init__ = patched
+        yield stream
+        progress.ProgressReporter.__init__ = original
+        progress.disable_progress()
+
+    def test_replicated_clr_finishes_reporter(self, progress_lines):
+        mux = ATMMultiplexer(
+            self._ExplodingModel(), 5, 510.0, buffer_cells=100.0
+        )
+        with pytest.raises(SimulationError, match="boom"):
+            replicated_clr(mux, 100, 3, rng=1)
+        assert "done in" in progress_lines.getvalue()
+
+    def test_replicated_clr_curve_finishes_reporter(self, progress_lines):
+        mux = ATMMultiplexer(
+            self._ExplodingModel(), 5, 510.0, buffer_cells=100.0
+        )
+        with pytest.raises(SimulationError, match="boom"):
+            replicated_clr_curve(mux, np.array([0.0]), 100, 3, rng=1)
+        assert "done in" in progress_lines.getvalue()
+
+
+class TestResilienceIntegration:
+    def test_summary_defaults_not_degraded(self, mux):
+        summary = replicated_clr(mux, 500, 2, rng=1)
+        assert summary.degraded is False
+        assert summary.n_failed == 0
+        assert summary.n_retried == 0
+        assert summary.n_resumed == 0
+        assert summary.failures == ()
+
+    def test_resilience_kwarg_matches_legacy(self, mux):
+        from repro.resilience import ResiliencePolicy
+
+        legacy = replicated_clr(mux, 500, 2, rng=3)
+        supervised = replicated_clr(
+            mux, 500, 2, rng=3, resilience=ResiliencePolicy()
+        )
+        assert supervised.clr == legacy.clr
+
+    def test_curve_defaults_not_degraded(self, mux):
+        curve = replicated_clr_curve(
+            mux, np.array([0.0, 100.0]), 500, 2, rng=2
+        )
+        assert curve.degraded is False
+        assert curve.n_failed == 0
+
+
 class TestZeroArrivalGuard:
     @pytest.fixture
     def silent_mux(self):

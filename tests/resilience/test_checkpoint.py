@@ -1,0 +1,132 @@
+"""Tests for the JSONL checkpoint file format and validation."""
+
+import json
+
+import pytest
+
+from repro.exceptions import CheckpointError
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointFile,
+    ReplicationRecord,
+    fingerprint_digest,
+)
+
+FP = {"kind": "clr", "model": "M()", "n_frames": 100, "entropy": "42"}
+
+
+class TestRoundTrip:
+    def test_fresh_file_writes_header(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        CheckpointFile(path, FP)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["type"] == "header"
+        assert header["version"] == CHECKPOINT_VERSION
+        assert header["fingerprint"] == FP
+
+    def test_append_and_reload(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        ck = CheckpointFile(path, FP)
+        ck.append(
+            ReplicationRecord(
+                index=0, lost=12.5, arrived=1e6, attempts=2, spawn_key=(0,)
+            )
+        )
+        ck.append(ReplicationRecord(index=1, lost=0.25, arrived=2e6))
+        reloaded = CheckpointFile(path, FP)
+        assert reloaded.completed_indices() == [0, 1]
+        assert reloaded.records[0].lost == 12.5
+        assert reloaded.records[0].attempts == 2
+        assert reloaded.records[0].spawn_key == (0,)
+        assert reloaded.records[1].spawn_key is None
+
+    def test_floats_round_trip_exactly(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        value = 0.1 + 0.2  # not exactly representable in decimal
+        CheckpointFile(path, FP).append(
+            ReplicationRecord(index=0, lost=value, arrived=value * 3)
+        )
+        record = CheckpointFile(path, FP).records[0]
+        assert record.lost == value
+        assert record.arrived == value * 3
+
+    def test_vector_lost_round_trips(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        CheckpointFile(path, FP).append(
+            ReplicationRecord(index=0, lost=(1.5, 0.0, 7.25), arrived=9.0)
+        )
+        assert CheckpointFile(path, FP).records[0].lost == (1.5, 0.0, 7.25)
+
+
+class TestValidation:
+    def test_fingerprint_mismatch_refused(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        CheckpointFile(path, FP)
+        stale = dict(FP, n_frames=999)
+        with pytest.raises(CheckpointError, match="n_frames"):
+            CheckpointFile(path, stale)
+
+    def test_entropy_mismatch_refused(self, tmp_path):
+        # A checkpoint from a different seed must never be pooled.
+        path = tmp_path / "ck.jsonl"
+        CheckpointFile(path, FP)
+        with pytest.raises(CheckpointError, match="entropy"):
+            CheckpointFile(path, dict(FP, entropy="43"))
+
+    def test_missing_header_refused(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        path.write_text('{"type": "replication", "index": 0}\n')
+        with pytest.raises(CheckpointError, match="header"):
+            CheckpointFile(path, FP)
+
+    def test_wrong_version_refused(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        path.write_text(
+            json.dumps(
+                {"type": "header", "version": 99, "fingerprint": FP}
+            )
+            + "\n"
+        )
+        with pytest.raises(CheckpointError, match="version"):
+            CheckpointFile(path, FP)
+
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        # A kill mid-write loses exactly the in-flight replication.
+        path = tmp_path / "ck.jsonl"
+        ck = CheckpointFile(path, FP)
+        ck.append(ReplicationRecord(index=0, lost=1.0, arrived=2.0))
+        with open(path, "a") as fh:
+            fh.write('{"type": "replication", "index": 1, "lo')
+        reloaded = CheckpointFile(path, FP)
+        assert reloaded.completed_indices() == [0]
+
+    def test_corrupt_middle_line_refused(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        ck = CheckpointFile(path, FP)
+        ck.append(ReplicationRecord(index=0, lost=1.0, arrived=2.0))
+        lines = path.read_text().splitlines()
+        lines[1] = "garbage"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            CheckpointFile(path, FP)
+
+    def test_malformed_record_refused(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        CheckpointFile(path, FP)
+        with open(path, "a") as fh:
+            fh.write('{"type": "replication", "index": "x"}\n')
+            fh.write('{"type": "replication", "index": 1, '
+                     '"lost": 0.0, "arrived": 1.0}\n')
+        with pytest.raises(CheckpointError, match="malformed"):
+            CheckpointFile(path, FP)
+
+
+class TestDigest:
+    def test_digest_stable_and_order_insensitive(self):
+        a = fingerprint_digest({"a": 1, "b": 2})
+        b = fingerprint_digest({"b": 2, "a": 1})
+        assert a == b
+        assert len(a) == 12
+
+    def test_digest_differs_on_content(self):
+        assert fingerprint_digest({"a": 1}) != fingerprint_digest({"a": 2})

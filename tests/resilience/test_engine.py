@@ -1,0 +1,287 @@
+"""Tests for the fault-tolerant replication supervisor.
+
+These drive :func:`run_replications` with synthetic tasks (no
+multiplexer) so every recovery path is exercised in milliseconds;
+the end-to-end simulator paths live in ``test_resume_integration``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    DegradedResultWarning,
+    NumericalHealthError,
+    SimulationError,
+)
+from repro.resilience import ResiliencePolicy, run_replications
+
+
+def draw_task(index, generator):
+    """A deterministic healthy task: pool-able numbers from the stream."""
+    value = float(generator.random())
+    return value, 1.0 + value
+
+
+class FlakyTask:
+    """Fails (or misbehaves) on scheduled calls, 1-based like faults."""
+
+    def __init__(self, schedule):
+        self.schedule = dict(schedule)
+        self.calls = 0
+
+    def __call__(self, index, generator):
+        self.calls += 1
+        action = self.schedule.get(self.calls)
+        if action == "fail":
+            raise SimulationError(f"scheduled failure on call {self.calls}")
+        if action == "crash":
+            raise RuntimeError("not a library error")
+        if action == "nan":
+            return float("nan"), 1.0
+        if action == "negative":
+            return -1.0, 1.0
+        if action == "zero-arrivals":
+            return 0.0, 0.0
+        return draw_task(index, generator)
+
+
+class TestHappyPath:
+    def test_outcomes_sorted_and_complete(self):
+        result = run_replications(draw_task, 5, rng=1)
+        assert [o.index for o in result.outcomes] == [0, 1, 2, 3, 4]
+        assert result.n_completed == 5
+        assert result.n_failed == 0
+        assert not result.degraded
+        assert not result.deadline_hit
+        assert result.failures == ()
+
+    def test_deterministic_across_runs(self):
+        a = run_replications(draw_task, 4, rng=3)
+        b = run_replications(draw_task, 4, rng=3)
+        assert [o.lost for o in a.outcomes] == [o.lost for o in b.outcomes]
+
+    def test_streams_match_legacy_spawn(self):
+        from repro.utils.rng import spawn_generators
+
+        result = run_replications(draw_task, 3, rng=11)
+        expected = [float(g.random()) for g in spawn_generators(11, 3)]
+        assert [o.lost for o in result.outcomes] == expected
+
+
+class TestRetry:
+    def test_failed_attempt_is_retried(self):
+        task = FlakyTask({1: "fail"})
+        result = run_replications(task, 3, rng=2)
+        assert result.n_completed == 3
+        assert result.n_retried == 1
+        assert not result.degraded
+        assert result.outcomes[0].attempts == 2
+        assert result.failures[0].index == 0
+        assert result.failures[0].kind == "SimulationError"
+
+    def test_retry_result_deterministic(self):
+        a = run_replications(FlakyTask({1: "fail"}), 3, rng=2)
+        b = run_replications(FlakyTask({1: "fail"}), 3, rng=2)
+        assert [o.lost for o in a.outcomes] == [o.lost for o in b.outcomes]
+
+    def test_unhealthy_output_is_retried(self):
+        for mode in ("nan", "negative", "zero-arrivals"):
+            task = FlakyTask({2: mode})
+            result = run_replications(task, 3, rng=4)
+            assert result.n_completed == 3, mode
+            assert result.n_retried == 1, mode
+            if mode in ("nan", "negative"):
+                assert result.failures[0].kind == "NumericalHealthError"
+
+    def test_budget_exhaustion_degrades(self):
+        task = FlakyTask({1: "fail", 2: "fail"})
+        with pytest.warns(DegradedResultWarning, match="2/3"):
+            result = run_replications(
+                task, 3, rng=5, policy=ResiliencePolicy(max_retries=1)
+            )
+        assert result.degraded
+        assert result.n_failed == 1
+        assert [o.index for o in result.outcomes] == [1, 2]
+
+    def test_later_replications_survive_earlier_permanent_failure(self):
+        task = FlakyTask({1: "fail"})
+        with pytest.warns(DegradedResultWarning):
+            result = run_replications(
+                task, 4, rng=6, policy=ResiliencePolicy(max_retries=0)
+            )
+        assert result.n_failed == 1
+        assert [o.index for o in result.outcomes] == [1, 2, 3]
+
+    def test_zero_retries_is_fail_fast_per_replication(self):
+        task = FlakyTask({2: "fail"})
+        with pytest.warns(DegradedResultWarning):
+            result = run_replications(
+                task, 3, rng=7, policy=ResiliencePolicy(max_retries=0)
+            )
+        assert result.n_retried == 0
+        assert result.n_failed == 1
+
+    def test_all_failed_raises_with_indices(self):
+        task = FlakyTask({1: "fail", 2: "fail", 3: "fail"})
+        with pytest.raises(SimulationError, match="no replication") as info:
+            run_replications(
+                task, 3, rng=8, policy=ResiliencePolicy(max_retries=0)
+            )
+        assert info.value.bad_replications == (0, 1, 2)
+
+    def test_non_library_errors_propagate(self):
+        task = FlakyTask({2: "crash"})
+        with pytest.raises(RuntimeError, match="not a library error"):
+            run_replications(task, 3, rng=9)
+
+
+class TestDeadline:
+    def make_clock(self, *ticks):
+        values = list(ticks)
+
+        def clock():
+            return values.pop(0) if len(values) > 1 else values[0]
+
+        return clock
+
+    def test_deadline_stops_launching_work(self):
+        # start=0, deadline checks: rep0 at t=1 (ok), rep1 at t=10 (late).
+        clock = self.make_clock(0.0, 1.0, 10.0)
+        policy = ResiliencePolicy(deadline_seconds=5.0, clock=clock)
+        with pytest.warns(DegradedResultWarning, match="deadline"):
+            result = run_replications(draw_task, 3, rng=1, policy=policy)
+        assert result.deadline_hit
+        assert result.degraded
+        assert result.n_completed == 1
+
+    def test_absolute_deadline_wins_when_earlier(self):
+        clock = self.make_clock(0.0, 1.0, 4.0)
+        policy = ResiliencePolicy(
+            deadline_seconds=100.0, deadline_at=3.0, clock=clock
+        )
+        with pytest.warns(DegradedResultWarning):
+            result = run_replications(draw_task, 3, rng=1, policy=policy)
+        assert result.n_completed == 1
+
+    def test_deadline_before_any_completion_raises(self):
+        clock = self.make_clock(0.0, 10.0)
+        policy = ResiliencePolicy(deadline_seconds=5.0, clock=clock)
+        with pytest.raises(SimulationError, match="deadline"):
+            run_replications(draw_task, 2, rng=1, policy=policy)
+
+    def test_no_deadline_by_default(self):
+        result = run_replications(draw_task, 2, rng=1)
+        assert not result.deadline_hit
+
+
+class TestCheckpointIntegration:
+    def test_checkpoint_written_and_resumed(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        policy = ResiliencePolicy(checkpoint_path=str(path))
+        first = run_replications(
+            draw_task, 3, rng=12, policy=policy, fingerprint={"k": "v"}
+        )
+        assert path.exists()
+        resumed = run_replications(
+            draw_task, 3, rng=12, policy=policy, fingerprint={"k": "v"}
+        )
+        assert resumed.n_resumed == 3
+        assert [o.lost for o in resumed.outcomes] == [
+            o.lost for o in first.outcomes
+        ]
+        assert all(o.resumed for o in resumed.outcomes)
+
+    def test_crash_then_resume_matches_uninterrupted(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        policy = ResiliencePolicy(checkpoint_path=str(path))
+        uninterrupted = run_replications(draw_task, 4, rng=13)
+        with pytest.raises(RuntimeError):
+            run_replications(
+                FlakyTask({3: "crash"}), 4, rng=13, policy=policy
+            )
+        resumed = run_replications(draw_task, 4, rng=13, policy=policy)
+        assert resumed.n_resumed == 2
+        assert [o.lost for o in resumed.outcomes] == [
+            o.lost for o in uninterrupted.outcomes
+        ]
+
+    def test_stale_fingerprint_refused(self, tmp_path):
+        from repro.exceptions import CheckpointError
+
+        path = tmp_path / "ck.jsonl"
+        policy = ResiliencePolicy(checkpoint_path=str(path))
+        run_replications(
+            draw_task, 2, rng=1, policy=policy, fingerprint={"n": 100}
+        )
+        with pytest.raises(CheckpointError, match="stale"):
+            run_replications(
+                draw_task, 2, rng=1, policy=policy, fingerprint={"n": 200}
+            )
+
+    def test_different_seed_refused(self, tmp_path):
+        from repro.exceptions import CheckpointError
+
+        path = tmp_path / "ck.jsonl"
+        policy = ResiliencePolicy(checkpoint_path=str(path))
+        run_replications(draw_task, 2, rng=1, policy=policy)
+        with pytest.raises(CheckpointError, match="entropy"):
+            run_replications(draw_task, 2, rng=2, policy=policy)
+
+    def test_auto_named_checkpoint_in_dir(self, tmp_path):
+        policy = ResiliencePolicy(checkpoint_dir=str(tmp_path))
+        result = run_replications(
+            draw_task, 2, rng=1, policy=policy, label="fig08 Z^0.975"
+        )
+        assert result.checkpoint_path is not None
+        files = list(tmp_path.glob("*.jsonl"))
+        assert len(files) == 1
+        assert files[0].name.startswith("fig08_Z_0.975-")
+
+
+class TestMetrics:
+    def test_counters_recorded_when_enabled(self, tmp_path):
+        import repro.obs as obs
+
+        obs.enable()
+        try:
+            obs.reset()
+            path = tmp_path / "ck.jsonl"
+            policy = ResiliencePolicy(
+                max_retries=1, checkpoint_path=str(path)
+            )
+            run_replications(FlakyTask({1: "fail"}), 3, rng=1, policy=policy)
+            with pytest.warns(DegradedResultWarning):
+                run_replications(
+                    FlakyTask({i: "fail" for i in range(1, 3)}),
+                    3,
+                    rng=1,
+                    policy=ResiliencePolicy(max_retries=1),
+                )
+            run_replications(draw_task, 3, rng=1, policy=policy)
+            counters = {
+                m["name"]: m["value"]
+                for m in obs.snapshot()
+                if m["type"] == "counter"
+            }
+            assert counters["replications_retried"] >= 1
+            assert counters["replications_failed"] >= 1
+            assert counters["checkpoint_resumed"] >= 3
+        finally:
+            obs.disable()
+            obs.reset()
+
+
+class TestNoSilentNaN:
+    def test_pooled_inputs_never_nan_under_warning_as_error(self):
+        # The CI fault-injection job runs with -W error::RuntimeWarning;
+        # this asserts the engine's outputs stay NaN-free even when
+        # replications emit NaN (they are caught and retried instead).
+        import warnings
+
+        task = FlakyTask({1: "nan", 3: "nan"})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            result = run_replications(task, 3, rng=1)
+        lost = np.array([o.lost for o in result.outcomes])
+        arrived = np.array([o.arrived for o in result.outcomes])
+        assert np.all(np.isfinite(lost / arrived))

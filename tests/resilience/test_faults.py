@@ -1,0 +1,89 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NumericalHealthError
+from repro.models import AR1Model
+from repro.queueing import ATMMultiplexer
+from repro.resilience import (
+    FaultInjector,
+    InjectedCrash,
+    InjectedFault,
+    inject_faults,
+)
+
+
+@pytest.fixture
+def mux():
+    model = AR1Model(0.5, 500.0, 5000.0)
+    return ATMMultiplexer(model, 10, 515.0, buffer_cells=200.0)
+
+
+class TestFaultInjector:
+    def test_call_counter(self):
+        injector = FaultInjector()
+        assert injector.begin_call() == 1
+        assert injector.begin_call() == 2
+        assert injector.calls == 2
+
+    def test_fail_on_schedule(self):
+        injector = FaultInjector(fail={2})
+        injector.begin_call()
+        with pytest.raises(InjectedFault, match="call 2"):
+            injector.begin_call()
+
+    def test_crash_on_schedule(self):
+        injector = FaultInjector(crash={1})
+        with pytest.raises(InjectedCrash):
+            injector.begin_call()
+
+    def test_hang_calls_sleep(self):
+        slept = []
+        injector = FaultInjector(hang={1: 2.5}, sleep=slept.append)
+        injector.begin_call()
+        injector.begin_call()
+        assert slept == [2.5]
+
+    def test_poison_only_scheduled_calls(self):
+        injector = FaultInjector(nan={2})
+        arrivals = np.ones(10)
+        clean = injector.maybe_poison(arrivals, 1)
+        assert clean is arrivals  # untouched, not copied
+        poisoned = injector.maybe_poison(arrivals, 2)
+        assert np.isnan(poisoned).sum() == 1
+        assert not np.isnan(arrivals).any()  # original unharmed
+
+
+class TestInjectedMultiplexer:
+    def test_geometry_preserved(self, mux):
+        faulty, _ = inject_faults(mux)
+        assert faulty.n_sources == mux.n_sources
+        assert faulty.capacity == mux.capacity
+        assert faulty.buffer_cells == mux.buffer_cells
+        assert repr(faulty.model) == repr(mux.model)
+
+    def test_clean_calls_match_unwrapped(self, mux):
+        faulty, injector = inject_faults(mux)
+        a = mux.simulate_clr(300, rng=np.random.default_rng(5))
+        b = faulty.simulate_clr(300, rng=np.random.default_rng(5))
+        assert a.total_lost == b.total_lost
+        assert injector.calls == 1
+
+    def test_injected_fault_surfaces_through_simulate_clr(self, mux):
+        faulty, _ = inject_faults(mux, fail={1})
+        with pytest.raises(InjectedFault):
+            faulty.simulate_clr(100, rng=1)
+
+    def test_nan_poison_trips_health_guard(self, mux):
+        # The multiplexer's check_simulation_health must catch the NaN
+        # before it reaches any pooled estimate.
+        faulty, _ = inject_faults(mux, nan={1})
+        with pytest.raises(NumericalHealthError, match="non-finite"):
+            faulty.simulate_clr(100, rng=1)
+
+    def test_statistics_delegate_to_wrapped_model(self, mux):
+        faulty, _ = inject_faults(mux)
+        assert faulty.model.mean == mux.model.mean
+        assert faulty.model.frame_duration == mux.model.frame_duration
+        assert faulty.utilization == mux.utilization

@@ -1,0 +1,175 @@
+"""End-to-end recovery tests: the ISSUE's acceptance criteria.
+
+A batch killed mid-run (simulated via fault injection) must resume
+from its checkpoint and produce the bit-identical pooled CLR of an
+uninterrupted run with the same seed; a batch with failures past the
+retry budget must return a ``degraded=True`` summary over the
+completed subset instead of raising.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DegradedResultWarning
+from repro.models import AR1Model
+from repro.queueing import ATMMultiplexer, replicated_clr, replicated_clr_curve
+from repro.resilience import (
+    InjectedCrash,
+    ResiliencePolicy,
+    inject_faults,
+    use_policy,
+)
+
+N_FRAMES = 400
+SEED = 1996
+
+
+@pytest.fixture
+def mux():
+    model = AR1Model(0.5, 500.0, 5000.0)
+    return ATMMultiplexer(model, 10, 515.0, buffer_cells=200.0)
+
+
+class TestSupervisedEqualsLegacy:
+    def test_clr_bit_identical_without_faults(self, mux):
+        legacy = replicated_clr(mux, N_FRAMES, 3, rng=SEED)
+        supervised = replicated_clr(
+            mux, N_FRAMES, 3, rng=SEED, resilience=ResiliencePolicy()
+        )
+        assert supervised.clr == legacy.clr
+        assert supervised.total_lost == legacy.total_lost
+        assert supervised.total_arrived == legacy.total_arrived
+        assert np.array_equal(
+            supervised.per_replication.values,
+            legacy.per_replication.values,
+        )
+        assert not supervised.degraded
+
+    def test_curve_bit_identical_without_faults(self, mux):
+        buffers = np.array([0.0, 100.0, 500.0])
+        legacy = replicated_clr_curve(mux, buffers, N_FRAMES, 3, rng=SEED)
+        supervised = replicated_clr_curve(
+            mux, buffers, N_FRAMES, 3, rng=SEED,
+            resilience=ResiliencePolicy(),
+        )
+        assert np.array_equal(supervised.clr, legacy.clr)
+        assert supervised.total_arrived == legacy.total_arrived
+
+    def test_default_policy_context_applies(self, mux):
+        legacy = replicated_clr(mux, N_FRAMES, 2, rng=SEED)
+        with use_policy(ResiliencePolicy()):
+            supervised = replicated_clr(mux, N_FRAMES, 2, rng=SEED)
+        assert supervised.clr == legacy.clr
+        assert supervised.n_failed == 0
+
+
+class TestKillAndResume:
+    def test_clr_resumes_bit_identical(self, mux, tmp_path):
+        path = str(tmp_path / "clr.jsonl")
+        uninterrupted = replicated_clr(mux, N_FRAMES, 4, rng=SEED)
+
+        faulty, _ = inject_faults(mux, crash={3})
+        with pytest.raises(InjectedCrash):
+            replicated_clr(
+                faulty, N_FRAMES, 4, rng=SEED,
+                resilience=ResiliencePolicy(checkpoint_path=path),
+            )
+
+        resumed = replicated_clr(
+            mux, N_FRAMES, 4, rng=SEED,
+            resilience=ResiliencePolicy(checkpoint_path=path),
+        )
+        assert resumed.n_resumed == 2
+        assert not resumed.degraded
+        assert resumed.clr == uninterrupted.clr
+        assert resumed.total_lost == uninterrupted.total_lost
+        assert resumed.total_arrived == uninterrupted.total_arrived
+
+    def test_curve_resumes_bit_identical(self, mux, tmp_path):
+        path = str(tmp_path / "curve.jsonl")
+        buffers = np.array([0.0, 200.0, 1000.0])
+        uninterrupted = replicated_clr_curve(
+            mux, buffers, N_FRAMES, 4, rng=SEED, label="curve"
+        )
+
+        faulty, _ = inject_faults(mux, crash={4})
+        with pytest.raises(InjectedCrash):
+            replicated_clr_curve(
+                faulty, buffers, N_FRAMES, 4, rng=SEED, label="curve",
+                resilience=ResiliencePolicy(checkpoint_path=path),
+            )
+
+        resumed = replicated_clr_curve(
+            mux, buffers, N_FRAMES, 4, rng=SEED, label="curve",
+            resilience=ResiliencePolicy(checkpoint_path=path),
+        )
+        assert resumed.n_resumed == 3
+        assert np.array_equal(resumed.clr, uninterrupted.clr)
+        assert resumed.total_arrived == uninterrupted.total_arrived
+
+    def test_checkpoint_of_other_config_refused(self, mux, tmp_path):
+        from repro.exceptions import CheckpointError
+
+        path = str(tmp_path / "clr.jsonl")
+        replicated_clr(
+            mux, N_FRAMES, 2, rng=SEED,
+            resilience=ResiliencePolicy(checkpoint_path=path),
+        )
+        with pytest.raises(CheckpointError, match="stale"):
+            replicated_clr(
+                mux, 2 * N_FRAMES, 2, rng=SEED,
+                resilience=ResiliencePolicy(checkpoint_path=path),
+            )
+
+
+class TestGracefulDegradation:
+    def test_retry_budget_exhaustion_returns_partial_pool(self, mux):
+        # Replication 0 fails its first attempt and its only retry.
+        faulty, _ = inject_faults(mux, fail={1, 2})
+        with pytest.warns(DegradedResultWarning, match="3/4"):
+            summary = replicated_clr(
+                faulty, N_FRAMES, 4, rng=SEED,
+                resilience=ResiliencePolicy(max_retries=1),
+            )
+        assert summary.degraded
+        assert summary.n_failed == 1
+        assert summary.n_retried == 1
+        assert summary.per_replication.n_replications == 3
+        assert 0.0 <= summary.clr < 1.0
+        assert len(summary.failures) == 2
+
+    def test_retried_batch_reproducible(self, mux):
+        results = []
+        for _ in range(2):
+            faulty, _ = inject_faults(mux, fail={2})
+            results.append(
+                replicated_clr(
+                    faulty, N_FRAMES, 3, rng=SEED,
+                    resilience=ResiliencePolicy(max_retries=2),
+                )
+            )
+        assert results[0].clr == results[1].clr
+        assert results[0].n_retried == results[1].n_retried == 1
+
+    def test_hang_past_deadline_degrades(self, mux):
+        faulty, _ = inject_faults(mux, hang={2: 0.25})
+        with pytest.warns(DegradedResultWarning, match="deadline"):
+            summary = replicated_clr(
+                faulty, N_FRAMES, 4, rng=SEED,
+                resilience=ResiliencePolicy(deadline_seconds=0.1),
+            )
+        assert summary.degraded
+        assert summary.n_failed >= 1
+        assert np.isfinite(summary.clr)
+
+    def test_degraded_curve(self, mux):
+        buffers = np.array([0.0, 300.0])
+        faulty, _ = inject_faults(mux, fail={1, 2})
+        with pytest.warns(DegradedResultWarning):
+            curve = replicated_clr_curve(
+                faulty, buffers, N_FRAMES, 3, rng=SEED,
+                resilience=ResiliencePolicy(max_retries=1),
+            )
+        assert curve.degraded
+        assert curve.n_failed == 1
+        assert np.all(np.isfinite(curve.clr))

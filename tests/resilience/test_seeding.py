@@ -1,0 +1,98 @@
+"""Tests for per-replication, per-attempt seed bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.seeding import ReplicationSeeder
+from repro.utils.rng import spawn_generators
+
+
+class TestAttemptZero:
+    def test_matches_spawn_generators_for_int_seed(self):
+        seeder = ReplicationSeeder(42, 4)
+        legacy = spawn_generators(42, 4)
+        for i, gen in enumerate(legacy):
+            assert np.array_equal(
+                seeder.generator(i).random(5), gen.random(5)
+            )
+
+    def test_matches_spawn_generators_for_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        seeder = ReplicationSeeder(np.random.SeedSequence(7), 3)
+        legacy = spawn_generators(seq, 3)
+        for i, gen in enumerate(legacy):
+            assert np.array_equal(
+                seeder.generator(i).random(4), gen.random(4)
+            )
+
+    def test_entropy_recorded(self):
+        assert ReplicationSeeder(42, 2).entropy == 42
+        assert ReplicationSeeder(np.random.default_rng(1), 2).entropy is None
+
+    def test_seedable_flag(self):
+        assert ReplicationSeeder(0, 1).seedable
+        assert not ReplicationSeeder(np.random.default_rng(0), 1).seedable
+
+
+class TestRetryStreams:
+    def test_retry_streams_deterministic(self):
+        a = ReplicationSeeder(9, 3)
+        b = ReplicationSeeder(9, 3)
+        a.generator(1)  # attempt 0
+        b.generator(1)
+        assert np.array_equal(
+            a.generator(1).random(6), b.generator(1).random(6)
+        )
+
+    def test_retry_independent_of_other_replications(self):
+        # Replication 2's first retry stream must not depend on how
+        # many retries replication 0 burned.
+        a = ReplicationSeeder(9, 3)
+        for _ in range(4):
+            a.generator(0)
+        a.generator(2)
+        retry_a = a.generator(2).random(6)
+
+        b = ReplicationSeeder(9, 3)
+        b.generator(2)
+        retry_b = b.generator(2).random(6)
+        assert np.array_equal(retry_a, retry_b)
+
+    def test_retry_differs_from_all_attempt_zero_streams(self):
+        seeder = ReplicationSeeder(5, 3)
+        first = [seeder.generator(i).random(8) for i in range(3)]
+        retry = seeder.generator(1).random(8)
+        for draws in first:
+            assert not np.array_equal(retry, draws)
+
+    def test_attempt_counter(self):
+        seeder = ReplicationSeeder(5, 2)
+        assert seeder.attempts(0) == 0
+        seeder.generator(0)
+        seeder.generator(0)
+        assert seeder.attempts(0) == 2
+        assert seeder.attempts(1) == 0
+
+    def test_generator_mode_retry_is_fresh_stream(self):
+        seeder = ReplicationSeeder(np.random.default_rng(3), 2)
+        first = seeder.generator(0)
+        retry = seeder.generator(0)
+        assert retry is not first
+        assert not np.array_equal(first.random(8), retry.random(8))
+
+
+class TestSpawnKeys:
+    def test_spawn_key_is_child_index(self):
+        seeder = ReplicationSeeder(11, 3)
+        assert seeder.spawn_key(0) == (0,)
+        assert seeder.spawn_key(2) == (2,)
+
+    def test_spawn_key_none_for_generator_mode(self):
+        seeder = ReplicationSeeder(np.random.default_rng(1), 2)
+        assert seeder.spawn_key(0) is None
+
+    def test_index_bounds_checked(self):
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError):
+            ReplicationSeeder(1, 2).generator(2)

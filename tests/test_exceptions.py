@@ -3,8 +3,11 @@
 import pytest
 
 from repro.exceptions import (
+    CheckpointError,
     ConvergenceError,
+    DegradedResultWarning,
     FittingError,
+    NumericalHealthError,
     ParameterError,
     ReproError,
     SimulationError,
@@ -39,6 +42,33 @@ class TestHierarchy:
 
     def test_convergence_error_default_last_value(self):
         assert ConvergenceError("x").last_value is None
+
+    def test_resilience_errors_derive_from_repro_error(self):
+        assert issubclass(NumericalHealthError, SimulationError)
+        assert issubclass(CheckpointError, ReproError)
+
+    def test_simulation_error_carries_bad_replications(self):
+        error = SimulationError("3 bad pools", bad_replications=[4, 7])
+        assert error.bad_replications == (4, 7)
+        assert "3 bad pools" in str(error)
+
+    def test_bad_replications_defaults_empty(self):
+        assert SimulationError("x").bad_replications == ()
+
+    def test_bad_replications_coerced_to_ints(self):
+        import numpy as np
+
+        error = SimulationError(
+            "x", bad_replications=np.array([1, 2], dtype=np.int64)
+        )
+        assert error.bad_replications == (1, 2)
+        assert all(type(i) is int for i in error.bad_replications)
+
+    def test_degraded_warning_is_user_warning_not_runtime(self):
+        # CI runs fault-injection with -W error::RuntimeWarning; the
+        # intentional degradation signal must not trip that tripwire.
+        assert issubclass(DegradedResultWarning, UserWarning)
+        assert not issubclass(DegradedResultWarning, RuntimeWarning)
 
     def test_one_catch_covers_the_library(self):
         # The advertised pattern: except ReproError around library use.

@@ -5,13 +5,14 @@ import math
 import numpy as np
 import pytest
 
-from repro.exceptions import ParameterError
+from repro.exceptions import NumericalHealthError, ParameterError
 from repro.utils.validation import (
     check_in_range,
     check_integer,
     check_nonnegative_array,
     check_positive,
     check_probability,
+    check_simulation_health,
 )
 
 
@@ -138,3 +139,50 @@ class TestCheckNonnegativeArray:
     def test_rejects_non_numeric(self):
         with pytest.raises(ParameterError, match="numbers"):
             check_nonnegative_array(["a", "b"], "b")
+
+
+class TestCheckSimulationHealth:
+    def test_healthy_scalar_passes(self):
+        check_simulation_health(12.5, 1e6)
+
+    def test_healthy_vector_passes(self):
+        check_simulation_health(np.array([0.0, 3.0]), 1e6)
+
+    def test_zero_arrivals_allowed(self):
+        # Zero offered cells is a configuration problem, reported
+        # separately with its own message — not a numerical fault.
+        check_simulation_health(0.0, 0.0)
+
+    def test_nan_lost_rejected(self):
+        with pytest.raises(NumericalHealthError, match="non-finite"):
+            check_simulation_health(math.nan, 1.0)
+
+    def test_inf_lost_rejected(self):
+        with pytest.raises(NumericalHealthError, match="non-finite"):
+            check_simulation_health(math.inf, 1.0)
+
+    def test_nan_in_vector_rejected(self):
+        with pytest.raises(NumericalHealthError, match="lost"):
+            check_simulation_health(np.array([1.0, math.nan]), 1.0)
+
+    def test_negative_lost_rejected(self):
+        with pytest.raises(NumericalHealthError, match="negative"):
+            check_simulation_health(-1.0, 1.0)
+
+    def test_nan_arrived_rejected(self):
+        with pytest.raises(NumericalHealthError, match="arrived"):
+            check_simulation_health(1.0, math.nan)
+
+    def test_negative_arrived_rejected(self):
+        with pytest.raises(NumericalHealthError, match="negative"):
+            check_simulation_health(1.0, -5.0)
+
+    def test_context_prefixes_message(self):
+        with pytest.raises(NumericalHealthError, match="replication 47"):
+            check_simulation_health(math.nan, 1.0, context="replication 47")
+
+    def test_is_catchable_as_simulation_error(self):
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError):
+            check_simulation_health(math.nan, 1.0)
