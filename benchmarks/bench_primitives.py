@@ -3,13 +3,26 @@
 Genuine timing benchmarks (multiple rounds): the rate-function
 infimum search, a full B-R curve, and the traffic samplers.  These
 are the knobs that decide whether paper-scale simulation is feasible.
+
+The replication-scaling benchmarks time the same replicated-CLR batch
+serially and across a process pool; each run appends a row with its
+``jobs`` count to ``benchmarks/results/timings.jsonl``, so the
+serial/parallel trajectory accumulates per commit.  The speedup
+*assertion* only runs on machines with enough cores to honestly show
+one (see ``docs/PERFORMANCE.md``); the timing rows are recorded
+everywhere.
 """
+
+import os
 
 import numpy as np
 import pytest
 
+from conftest import _append_timing
 from repro.core import bop_curve, rate_function
 from repro.models import make_s, make_z
+from repro.queueing.multiplexer import ATMMultiplexer
+from repro.queueing.replication import replicated_clr
 
 
 @pytest.fixture(scope="module")
@@ -64,3 +77,49 @@ def test_finite_buffer_recursion_throughput(benchmark):
     arrivals = rng.uniform(0, 1200, size=100_000)
     result = benchmark(simulate_finite_buffer, arrivals, 600.0, 2000.0)
     assert result.arrived_cells > 0
+
+
+def _scaling_mux():
+    return ATMMultiplexer(make_s(1, 0.975), 30, 18.0, buffer_cells=500.0)
+
+
+_SCALING_FRAMES = 5_000
+_SCALING_REPS = 6
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+def test_replicated_clr_backend_scaling(benchmark, jobs):
+    """The same batch serially and on 2/4 workers; rows share a seed,
+    so the timings are comparable and the results must be identical."""
+    mux = _scaling_mux()
+    summary = benchmark.pedantic(
+        replicated_clr,
+        args=(mux, _SCALING_FRAMES, _SCALING_REPS),
+        kwargs={"rng": 7, "jobs": jobs},
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert summary.total_arrived > 0
+    _append_timing(
+        "replicated_clr_scaling", None, benchmark, rounds=1, jobs=jobs
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="speedup assertion needs >= 4 physical cores to be honest; "
+    "timing rows are still recorded by the scaling benchmark above",
+)
+def test_parallel_speedup_at_jobs4():
+    import time as _time
+
+    mux = _scaling_mux()
+    started = _time.perf_counter()
+    serial = replicated_clr(mux, _SCALING_FRAMES, 8, rng=7)
+    t_serial = _time.perf_counter() - started
+    started = _time.perf_counter()
+    parallel = replicated_clr(mux, _SCALING_FRAMES, 8, rng=7, jobs=4)
+    t_parallel = _time.perf_counter() - started
+    assert parallel.clr == serial.clr  # speed must not change the science
+    assert t_serial / t_parallel >= 2.5

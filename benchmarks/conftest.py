@@ -40,8 +40,15 @@ def scale():
     return get_scale()
 
 
-def _append_timing(name: str, scale, benchmark, rounds: int) -> None:
-    """One JSON line per benchmarked experiment run."""
+def _append_timing(
+    name: str, scale, benchmark, rounds: int, jobs: int = 1
+) -> None:
+    """One JSON line per benchmarked experiment run.
+
+    ``jobs`` records the execution-backend worker count the run used
+    (1 = serial), so serial/parallel timings of the same experiment
+    are comparable rows in the same file.
+    """
     stats = getattr(getattr(benchmark, "stats", None), "stats", None)
     if stats is None:
         return
@@ -49,6 +56,7 @@ def _append_timing(name: str, scale, benchmark, rounds: int) -> None:
         "experiment": name,
         "scale": getattr(scale, "name", None),
         "rounds": rounds,
+        "jobs": jobs,
         "mean_s": stats.mean,
         "min_s": stats.min,
         "max_s": stats.max,

@@ -87,3 +87,21 @@ class DegradedResultWarning(UserWarning):
     pooled over the completed subset; the corresponding summary carries
     ``degraded=True`` and ``n_failed``.
     """
+
+
+class UndefinedCIWarning(UserWarning):
+    """A confidence interval was requested from a single replication.
+
+    One replication has no spread, so the standard error and Student-t
+    half width are undefined.  Exporters emit ``null`` bounds together
+    with this warning instead of letting ``NaN`` leak into JSONL
+    (``NaN`` is not valid JSON and silently poisons downstream
+    consumers that parse leniently).
+    """
+
+
+#: Exceptions treated as retryable replication faults by the
+#: resilience engine and the parallel worker wrapper: library errors
+#: and floating-point traps may be sampling accidents worth a fresh
+#: RNG stream; anything else is a bug and propagates.
+RETRYABLE_EXCEPTIONS = (ReproError, FloatingPointError)

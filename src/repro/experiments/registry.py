@@ -4,8 +4,11 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+from contextlib import ExitStack
+
 from repro.exceptions import ParameterError
 from repro.obs.spans import span
+from repro.parallel.backends import Backend, use_backend
 from repro.resilience.policy import ResiliencePolicy, use_policy
 from repro.experiments import (
     fig01,
@@ -45,6 +48,7 @@ def run_experiment(
     scale: Optional[object] = None,
     *,
     policy: Optional[ResiliencePolicy] = None,
+    backend: Optional[Backend] = None,
 ) -> ExperimentResult:
     """Run one registered experiment by id (e.g. ``"fig04"``).
 
@@ -52,7 +56,10 @@ def run_experiment(
     it is installed as the process default for the duration, so every
     replicated simulation inside the experiment runs under the
     fault-tolerant engine (retries, checkpoints, deadline) without the
-    figure modules threading a parameter through.
+    figure modules threading a parameter through.  A
+    :class:`~repro.parallel.Backend` installs the same way (the
+    runner's ``--jobs N``): replications fan out across workers with
+    results bit-identical to serial.
     """
     try:
         runner = EXPERIMENTS[name]
@@ -61,8 +68,10 @@ def run_experiment(
             f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
     scale_name = getattr(scale, "name", scale if isinstance(scale, str) else None)
-    with span(f"experiment.{name}", scale=scale_name):
-        if policy is None:
-            return runner(scale)
-        with use_policy(policy):
-            return runner(scale)
+    with ExitStack() as stack:
+        stack.enter_context(span(f"experiment.{name}", scale=scale_name))
+        if policy is not None:
+            stack.enter_context(use_policy(policy))
+        if backend is not None:
+            stack.enter_context(use_backend(backend))
+        return runner(scale)

@@ -15,6 +15,11 @@ summary follows each experiment; ``--metrics-out DIR`` additionally
 writes one ``<experiment>.jsonl`` trace per experiment into DIR (see
 ``docs/OBSERVABILITY.md`` for the schema).
 
+``--jobs N`` (or ``REPRO_JOBS=N``) fans the replicated simulations of
+each experiment out across ``N`` worker processes — results are
+bit-identical to serial runs on the same seed, only faster (see
+``docs/PERFORMANCE.md``).  The default is 1 (serial).
+
 Long batches are supervised by :mod:`repro.resilience` when any of
 ``--deadline`` / ``--max-retries`` / ``--checkpoint-dir`` is given:
 failed replications retry on fresh RNG streams, completed ones
@@ -28,6 +33,7 @@ a pass/fail summary, and exits nonzero iff anything failed (see
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
@@ -36,7 +42,29 @@ from typing import List, Optional, Tuple
 from repro import obs
 from repro.experiments.config import SCALES, get_scale
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.parallel.backends import Backend, ProcessPoolBackend
 from repro.resilience.policy import ResiliencePolicy
+
+
+def _resolve_jobs(
+    parser: argparse.ArgumentParser, jobs: Optional[int]
+) -> int:
+    """The worker count: ``--jobs`` beats ``REPRO_JOBS``, default 1."""
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            parser.error(f"REPRO_JOBS must be an integer, got {raw!r}")
+    if jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _build_backend(jobs: int) -> Optional[Backend]:
+    return None if jobs <= 1 else ProcessPoolBackend(jobs)
 
 
 def _build_policy(args: argparse.Namespace) -> Optional[ResiliencePolicy]:
@@ -134,6 +162,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="checkpoint completed replications to DIR for resume "
         "(see docs/ROBUSTNESS.md for the file schema)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=None,
+        help="run replicated simulations across N worker processes "
+        "(default: $REPRO_JOBS or 1); results are bit-identical to "
+        "serial runs (see docs/PERFORMANCE.md)",
+    )
     args = parser.parse_args(argv)
 
     names = list(args.experiments)
@@ -157,6 +194,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--deadline must be >= 0, got {args.deadline}")
 
     policy = _build_policy(args)
+    backend = _build_backend(_resolve_jobs(parser, args.jobs))
 
     # REPRO_TRACE=1 behaves exactly like --trace; --metrics-out collects
     # without printing the summary unless --trace is also given.
@@ -182,7 +220,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         started = time.perf_counter()
         try:
             with obs.span(f"runner.{name}", scale=scale.name) as root_span:
-                result = run_experiment(name, scale, policy=policy)
+                result = run_experiment(
+                    name, scale, policy=policy, backend=backend
+                )
         except KeyboardInterrupt:
             raise
         except Exception as exc:

@@ -251,21 +251,27 @@ class DARModel(TrafficModel):
             p = self.order
             warmup = min(int(64.0 / max(1.0 - self.rho, 1e-6)) + p, 100_000)
             total_steps = n_frames + warmup
+            # Ring buffer over the last p states: row (head + p - k) % p
+            # holds the value lagged k frames.  Initially head = 0, so
+            # row p - k is lag k — the same layout the old np.vstack
+            # shift maintained, without its O(p N) copy every frame.
             state = self.marginal.sample(p * n_sources, generator).reshape(
                 p, n_sources
             )
+            head = 0  # row holding the oldest state (lag p)
             out = np.empty((n_frames, n_sources))
             lags = np.arange(1, p + 1)
+            columns = np.arange(n_sources)
             for n in range(total_steps):
                 repeat = generator.random(n_sources) < self.rho
                 lag_choice = generator.choice(
                     lags, size=n_sources, p=self.weights
                 )
                 fresh = self.marginal.sample(n_sources, generator)
-                new = np.where(
-                    repeat, state[p - lag_choice, np.arange(n_sources)], fresh
-                )
-                state = np.vstack((state[1:], new))
+                rows = (head + p - lag_choice) % p
+                new = np.where(repeat, state[rows, columns], fresh)
+                state[head] = new
+                head = (head + 1) % p
                 if n >= warmup:
                     out[n - warmup] = new
             return out.sum(axis=1)

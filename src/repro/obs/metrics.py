@@ -35,6 +35,7 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "merge_snapshot",
     "observe",
     "observe_many",
     "reset_metrics",
@@ -172,6 +173,26 @@ class Histogram:
                 "buckets": buckets,
             }
 
+    def merge_dict(self, data: dict) -> None:
+        """Fold a ``to_dict`` snapshot (e.g. from a worker) into this
+        histogram: counts and sums add, extrema widen, buckets add."""
+        count = int(data.get("count", 0))
+        if count == 0:
+            return
+        with self._lock:
+            self._count += count
+            self._sum += float(data.get("sum", 0.0))
+            low = data.get("min")
+            high = data.get("max")
+            if low is not None and float(low) < self._min:
+                self._min = float(low)
+            if high is not None and float(high) > self._max:
+                self._max = float(high)
+            for bound, n in (data.get("buckets") or {}).items():
+                # Bucket keys serialize as str(2**i); invert exactly.
+                idx = max(0, int(bound).bit_length() - 1)
+                self._buckets[idx] = self._buckets.get(idx, 0) + int(n)
+
 
 class MetricsRegistry:
     """A named collection of instruments, created on first use."""
@@ -263,6 +284,32 @@ def observe_many(name: str, values: Iterable[Number]) -> None:
 def snapshot() -> List[dict]:
     """All metrics in the global registry as plain dicts."""
     return REGISTRY.snapshot()
+
+
+def merge_snapshot(metric_dicts: Iterable[dict]) -> None:
+    """Fold a :func:`snapshot` from another process into the registry.
+
+    Used by the parallel backends to merge per-worker metric buffers
+    into the parent exporter: counters add, gauges adopt the shipped
+    value (last write wins, as for local sets), histograms merge
+    counts/sums/extrema/buckets.  No-op while telemetry is disabled.
+    """
+    if not _spans._ENABLED:
+        return
+    for data in metric_dicts:
+        kind = data.get("type")
+        name = data.get("name")
+        if not name:
+            continue
+        if kind == "counter":
+            value = float(data.get("value") or 0.0)
+            if value > 0:
+                REGISTRY.counter(name).add(value)
+        elif kind == "gauge":
+            if data.get("value") is not None:
+                REGISTRY.gauge(name).set(data["value"])
+        elif kind == "histogram":
+            REGISTRY.histogram(name).merge_dict(data)
 
 
 def reset_metrics() -> None:

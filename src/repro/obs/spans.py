@@ -33,6 +33,7 @@ __all__ = [
     "SpanRecord",
     "disable",
     "enable",
+    "ingest",
     "is_enabled",
     "records",
     "reset_spans",
@@ -167,6 +168,55 @@ def records() -> Tuple[SpanRecord, ...]:
     """Snapshot of all finished spans, in completion order."""
     with _lock:
         return tuple(_records)
+
+
+def ingest(foreign: Tuple[SpanRecord, ...]) -> int:
+    """Merge spans captured in another process into this collector.
+
+    Worker processes of the parallel backends collect spans into their
+    own (process-local) buffer; the parent calls ``ingest`` with the
+    shipped records.  Every record is re-numbered from this process's
+    id counter (worker ids would collide with local ones) with
+    parent-child edges *within* the batch preserved; records whose
+    parent is not part of the batch are attached to the innermost span
+    currently open on the calling thread, so a merged trace renders as
+    one coherent tree under the supervising span.  ``start_ns`` values
+    keep the worker's ``perf_counter_ns`` timebase — durations are
+    comparable, absolute starts are per-process.
+
+    Returns the number of records merged.
+    """
+    if not foreign:
+        return 0
+    stack = _state.stack
+    local_parent = stack[-1] if stack else None
+    # Two passes: spans complete children-first, so the full id map
+    # must exist before parent links are remapped.
+    id_map: Dict[int, int] = {
+        record.span_id: next(_ids) for record in foreign
+    }
+    merged = []
+    for record in foreign:
+        new_id = id_map[record.span_id]
+        if record.parent_id is not None and record.parent_id in id_map:
+            parent = id_map[record.parent_id]
+        else:
+            parent = local_parent
+        merged.append(
+            SpanRecord(
+                span_id=new_id,
+                parent_id=parent,
+                name=record.name,
+                start_ns=record.start_ns,
+                duration_ns=record.duration_ns,
+                thread_id=record.thread_id,
+                status=record.status,
+                attrs=record.attrs,
+            )
+        )
+    with _lock:
+        _records.extend(merged)
+    return len(merged)
 
 
 def reset_spans() -> None:

@@ -1,0 +1,42 @@
+"""Execution backends: run replications serially or across processes.
+
+The package is deliberately below :mod:`repro.resilience` in the
+layering — backends know how to *run payloads*, not what a retry or a
+checkpoint is.  The resilience engine composes a backend with its own
+supervision; the plain fail-fast loops in
+:mod:`repro.queueing.replication` use one directly.
+"""
+
+from repro.parallel.backends import (
+    Backend,
+    BackendSession,
+    ProcessPoolBackend,
+    SerialBackend,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.parallel.worker import (
+    WorkerPayload,
+    WorkerResult,
+    execute_payload,
+    merge_result_telemetry,
+    pool_entry,
+)
+
+__all__ = [
+    "Backend",
+    "BackendSession",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "WorkerPayload",
+    "WorkerResult",
+    "execute_payload",
+    "get_default_backend",
+    "merge_result_telemetry",
+    "pool_entry",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
+]

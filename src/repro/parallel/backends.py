@@ -1,0 +1,251 @@
+"""Execution backends for replicated simulations.
+
+A *backend* decides where replication payloads run: inline in the
+calling process (:class:`SerialBackend`) or across a spawn-safe
+process pool (:class:`ProcessPoolBackend`).  Both speak the same
+session protocol —
+
+    with backend.session() as session:
+        session.submit(payload)          # any number of times
+        result = session.next_completed()  # blocks; completion order
+
+— and both return :class:`~repro.parallel.worker.WorkerResult`
+objects, so every consumer (the fail-fast replication loops, the
+resilience engine) is written once against the protocol and collects
+results **in completion order, pooling in replication-index order**.
+That discipline is the determinism contract: the pooled CLR, the
+summary fields, and the checkpoint file of a parallel run are
+bit-identical to a serial run on the same seed, regardless of which
+worker finishes first (see ``docs/PERFORMANCE.md``).
+
+The process pool uses the ``spawn`` start method by default: workers
+import the library fresh, which is safe under every platform and
+never inherits half-initialized state through ``fork``.  Payloads and
+results must pickle; the replication tasks in
+:mod:`repro.queueing.replication` are module-level classes for
+exactly this reason.
+
+A process-wide default backend can be installed (:func:`use_backend`)
+so the experiment runner's ``--jobs N`` flag reaches every replicated
+simulation without threading a parameter through the figure modules —
+the same pattern :mod:`repro.resilience.policy` uses.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+from collections import deque
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.exceptions import ParameterError
+from repro.parallel.worker import (
+    WorkerPayload,
+    WorkerResult,
+    execute_payload,
+    pool_entry,
+)
+from repro.utils.validation import check_integer
+
+__all__ = [
+    "Backend",
+    "BackendSession",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "get_default_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
+]
+
+
+class BackendSession:
+    """Protocol for one batch of payloads (duck-typed, not enforced)."""
+
+    def submit(self, payload: WorkerPayload) -> None:
+        raise NotImplementedError
+
+    def next_completed(self) -> WorkerResult:
+        raise NotImplementedError
+
+    @property
+    def pending(self) -> int:
+        raise NotImplementedError
+
+
+class Backend:
+    """Protocol: an execution venue for replication payloads.
+
+    Implementations expose ``jobs`` (worker parallelism, >= 1),
+    ``name`` (for logs and benchmarks), and ``session()`` — a context
+    manager yielding a :class:`BackendSession`.
+    """
+
+    jobs: int = 1
+    name: str = "backend"
+
+    @contextmanager
+    def session(self) -> Iterator[BackendSession]:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+class _SerialSession(BackendSession):
+    """FIFO inline execution: payloads run lazily on collection."""
+
+    def __init__(self) -> None:
+        self._queue: deque = deque()
+
+    def submit(self, payload: WorkerPayload) -> None:
+        self._queue.append(payload)
+
+    def next_completed(self) -> WorkerResult:
+        if not self._queue:
+            raise RuntimeError("no payloads pending in this session")
+        return execute_payload(self._queue.popleft())
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class SerialBackend(Backend):
+    """Run payloads inline, in submission order.
+
+    Exercises the identical collection/pooling code path as the
+    process pool — with deterministic completion order and no pickling
+    — which makes it the reference implementation the pool is tested
+    against, and a sensible explicit choice for debugging.
+    """
+
+    jobs = 1
+    name = "serial"
+
+    @contextmanager
+    def session(self) -> Iterator[_SerialSession]:
+        yield _SerialSession()
+
+
+class _PoolSession(BackendSession):
+    """Futures bookkeeping over a live ProcessPoolExecutor."""
+
+    def __init__(self, executor: concurrent.futures.Executor):
+        self._executor = executor
+        self._futures: set = set()
+
+    def submit(self, payload: WorkerPayload) -> None:
+        self._futures.add(self._executor.submit(pool_entry, payload))
+
+    def next_completed(self) -> WorkerResult:
+        if not self._futures:
+            raise RuntimeError("no payloads pending in this session")
+        done, _ = concurrent.futures.wait(
+            self._futures,
+            return_when=concurrent.futures.FIRST_COMPLETED,
+        )
+        future = done.pop()
+        self._futures.discard(future)
+        return future.result()
+
+    @property
+    def pending(self) -> int:
+        return len(self._futures)
+
+
+class ProcessPoolBackend(Backend):
+    """Run payloads across ``jobs`` worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count (>= 1).  Speedup saturates at the number
+        of physical cores; replication counts need not divide evenly.
+    start_method:
+        ``multiprocessing`` start method; the default ``spawn`` is
+        safe everywhere (workers import the library fresh).  ``fork``
+        trades that safety for faster worker start on POSIX.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, jobs: int, *, start_method: str = "spawn"):
+        self.jobs = check_integer(jobs, "jobs", minimum=1)
+        if start_method not in multiprocessing.get_all_start_methods():
+            raise ParameterError(
+                f"start_method {start_method!r} not available on this "
+                f"platform; choose from "
+                f"{multiprocessing.get_all_start_methods()}"
+            )
+        self.start_method = start_method
+
+    @contextmanager
+    def session(self) -> Iterator[_PoolSession]:
+        executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.jobs,
+            mp_context=multiprocessing.get_context(self.start_method),
+        )
+        try:
+            yield _PoolSession(executor)
+        finally:
+            # Cancel whatever never started (deadline hit, error
+            # propagating); tasks already running finish and are
+            # discarded, so workers never outlive the session.
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"ProcessPoolBackend(jobs={self.jobs}, "
+            f"start_method={self.start_method!r})"
+        )
+
+
+_default_backend: Optional[Backend] = None
+
+
+def set_default_backend(backend: Optional[Backend]) -> None:
+    """Install ``backend`` as the process-wide default (None clears)."""
+    global _default_backend
+    _default_backend = backend
+
+
+def get_default_backend() -> Optional[Backend]:
+    """The installed default backend, or None (inline serial loops)."""
+    return _default_backend
+
+
+@contextmanager
+def use_backend(backend: Optional[Backend]) -> Iterator[None]:
+    """Temporarily install ``backend`` as the default; restores on exit."""
+    previous = get_default_backend()
+    set_default_backend(backend)
+    try:
+        yield
+    finally:
+        set_default_backend(previous)
+
+
+def resolve_backend(
+    backend: Optional[Backend] = None, jobs: Optional[int] = None
+) -> Optional[Backend]:
+    """The backend a replicated call should use, or None for inline.
+
+    Precedence: an explicit ``backend`` wins; else ``jobs`` builds one
+    (1 -> inline legacy loop, N > 1 -> spawn process pool); else the
+    process-wide default installed via :func:`use_backend` applies.
+    Passing both ``backend`` and ``jobs`` is ambiguous and rejected.
+    """
+    if backend is not None and jobs is not None:
+        raise ParameterError(
+            "pass either backend= or jobs=, not both "
+            f"(got backend={backend!r}, jobs={jobs!r})"
+        )
+    if backend is not None:
+        return backend
+    if jobs is not None:
+        jobs = check_integer(jobs, "jobs", minimum=1)
+        return None if jobs == 1 else ProcessPoolBackend(jobs)
+    return get_default_backend()

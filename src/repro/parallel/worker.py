@@ -1,0 +1,203 @@
+"""The unit of work a backend ships to a worker, and its execution.
+
+A :class:`WorkerPayload` is one replication attempt: the picklable
+task object, the replication's own RNG stream, and flags describing
+what the worker must do around it (telemetry capture, the engine's
+health checks).  :func:`execute_payload` runs one payload *in the
+current process* — the serial backend calls it directly, so inline
+execution writes spans and metrics straight into the ambient
+collectors.  :func:`pool_entry` is the function a process pool
+actually executes: it configures process-local telemetry to mirror
+the parent's, runs the payload, and captures the spans/metrics the
+attempt produced so the parent can merge them into its exporter.
+
+Failure transport is structured rather than exception-propagating:
+the worker catches every :class:`Exception`, classifies it against
+:data:`repro.exceptions.RETRYABLE_EXCEPTIONS`, and returns it inside
+the :class:`WorkerResult` together with the post-run generator state.
+The supervisor needs all three — the classification to decide on a
+retry, the exception to re-raise non-retryable bugs untouched, and
+the generator so that retry streams spawned from a caller-supplied
+``Generator`` (no seed identity) derive from exactly the state a
+serial run would have left behind.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import RETRYABLE_EXCEPTIONS, SimulationError
+from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
+from repro.obs.spans import span
+from repro.utils.replication_context import replication_attempt
+from repro.utils.validation import check_simulation_health
+
+__all__ = [
+    "WorkerPayload",
+    "WorkerResult",
+    "execute_payload",
+    "merge_result_telemetry",
+    "pool_entry",
+]
+
+#: A replication body: ``(index, generator) -> (lost, arrived)``.
+PayloadTask = Callable[
+    [int, np.random.Generator], Tuple[Union[float, np.ndarray], float]
+]
+
+
+@dataclass(frozen=True)
+class WorkerPayload:
+    """One replication attempt, ready to ship to any backend.
+
+    Everything here must pickle under the ``spawn`` start method:
+    ``task`` should be a module-level callable or instance of a
+    module-level class (closures are rejected by pickle).
+    """
+
+    index: int
+    attempt: int
+    task: PayloadTask
+    generator: np.random.Generator
+    label: str = ""
+    telemetry: bool = False
+    health_check: bool = True
+
+
+@dataclass(frozen=True)
+class WorkerResult:
+    """What came back: a result or a classified, transportable failure."""
+
+    index: int
+    attempt: int
+    lost: Union[None, float, np.ndarray] = None
+    arrived: Optional[float] = None
+    error: Optional[BaseException] = None
+    error_kind: str = ""
+    error_message: str = ""
+    retryable: bool = False
+    #: Post-run stream state; lets the supervisor reproduce serial
+    #: retry derivation when streams have no seed identity.
+    generator: Optional[np.random.Generator] = None
+    span_records: Tuple = ()
+    metric_dicts: Tuple[dict, ...] = field(default_factory=tuple)
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+
+def _transportable(exc: Exception) -> Exception:
+    """``exc`` if it survives pickling, else a faithful stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def execute_payload(payload: WorkerPayload) -> WorkerResult:
+    """Run one payload in the current process.
+
+    Mirrors the resilience engine's per-attempt discipline exactly:
+    the task runs under a ``replication`` span with the attempt
+    published to :mod:`repro.utils.replication_context`, then (when
+    ``health_check``) the result must be numerically healthy and
+    non-empty.  Any :class:`Exception` is returned, classified, inside
+    the result — never raised — so completion order can be decoupled
+    from error handling.
+    """
+    generator = payload.generator
+    try:
+        with replication_attempt(payload.index, payload.attempt):
+            with span(
+                "replication",
+                index=payload.index,
+                attempt=payload.attempt,
+                label=payload.label,
+            ):
+                lost, arrived = payload.task(payload.index, generator)
+            arrived = float(arrived)
+            if payload.health_check:
+                check_simulation_health(
+                    lost, arrived, context=f"replication {payload.index}"
+                )
+                if arrived <= 0:
+                    raise SimulationError(
+                        f"replication {payload.index} offered no cells; "
+                        "its CLR contribution is undefined",
+                        bad_replications=(payload.index,),
+                    )
+    except Exception as exc:
+        return WorkerResult(
+            index=payload.index,
+            attempt=payload.attempt,
+            error=_transportable(exc),
+            error_kind=type(exc).__name__,
+            error_message=str(exc),
+            retryable=isinstance(exc, RETRYABLE_EXCEPTIONS),
+            generator=generator,
+        )
+    lost_value = (
+        float(lost) if np.ndim(lost) == 0 else np.asarray(lost, dtype=float)
+    )
+    return WorkerResult(
+        index=payload.index,
+        attempt=payload.attempt,
+        lost=lost_value,
+        arrived=arrived,
+        generator=generator,
+    )
+
+
+def pool_entry(payload: WorkerPayload) -> WorkerResult:
+    """Process-pool entry point: telemetry bracketing around execution.
+
+    Worker processes are reused across payloads, so the process-local
+    collectors are reset per payload; whatever the attempt recorded is
+    captured onto the result for the parent to merge.  Telemetry is
+    enabled in the worker exactly when the parent had it enabled at
+    submit time (``payload.telemetry``).
+    """
+    if payload.telemetry:
+        _spans.enable()
+        _spans.reset_spans()
+        _metrics.reset_metrics()
+    else:
+        _spans.disable()
+    result = execute_payload(payload)
+    if not payload.telemetry:
+        return result
+    return WorkerResult(
+        index=result.index,
+        attempt=result.attempt,
+        lost=result.lost,
+        arrived=result.arrived,
+        error=result.error,
+        error_kind=result.error_kind,
+        error_message=result.error_message,
+        retryable=result.retryable,
+        generator=result.generator,
+        span_records=_spans.records(),
+        metric_dicts=tuple(_metrics.snapshot()),
+    )
+
+
+def merge_result_telemetry(result: WorkerResult) -> None:
+    """Fold a worker's captured spans/metrics into this process.
+
+    Inline (serial-backend) results carry no captured telemetry —
+    their spans already landed in the ambient collectors — so this is
+    a no-op for them, and for any result while telemetry is disabled.
+    """
+    if not _spans.is_enabled():
+        return
+    if result.span_records:
+        _spans.ingest(tuple(result.span_records))
+    if result.metric_dicts:
+        _metrics.merge_snapshot(result.metric_dicts)

@@ -19,6 +19,13 @@ of discarding everything.  Without one, behaviour is the classic
 fail-fast loop — and a fault-free supervised run is bit-identical to
 it, because attempt-0 streams reuse the exact ``spawn_generators``
 derivation.
+
+Both entry points also accept an execution backend (``jobs=N`` or an
+explicit ``backend=``, see :mod:`repro.parallel`): replications are
+independent, so they parallelize across worker processes.  Results
+are pooled in replication-index order no matter which worker finishes
+first, so the pooled CLR, every summary field, and any checkpoint
+file are bit-identical to a serial run on the same seed.
 """
 
 from __future__ import annotations
@@ -31,7 +38,13 @@ import numpy as np
 from repro.exceptions import SimulationError
 from repro.obs import metrics as _metrics
 from repro.obs import progress as _progress
+from repro.obs import spans as _spans
 from repro.obs.spans import span
+from repro.parallel.backends import Backend, resolve_backend
+from repro.parallel.worker import (
+    WorkerPayload,
+    merge_result_telemetry,
+)
 from repro.queueing.multiplexer import ATMMultiplexer
 from repro.queueing.statistics import (
     ReplicatedEstimate,
@@ -77,6 +90,109 @@ class CLRReplicationSummary:
         """Whether any replication lost cells (CLR resolution check)."""
         return self.total_lost > 0
 
+    def to_json(self) -> dict:
+        """JSON-safe dict for JSONL export.
+
+        Delegates the confidence-interval fields to
+        :meth:`ReplicatedEstimate.to_json`, which exports ``null``
+        bounds (with an :class:`~repro.exceptions.UndefinedCIWarning`)
+        for single-replication pools instead of leaking NaN.
+        """
+        return {
+            "clr": self.clr,
+            "total_lost": self.total_lost,
+            "total_arrived": self.total_arrived,
+            "degraded": self.degraded,
+            "n_failed": self.n_failed,
+            "n_retried": self.n_retried,
+            "n_resumed": self.n_resumed,
+            "per_replication": self.per_replication.to_json(),
+        }
+
+
+@dataclass(frozen=True)
+class _CLRTask:
+    """Picklable body of one :func:`replicated_clr` replication.
+
+    Module-level (not a closure) so it survives pickling into spawn
+    workers; ``__call__`` matches the engine/backend task signature.
+    """
+
+    multiplexer: ATMMultiplexer
+    n_frames: int
+
+    def __call__(self, index: int, generator: np.random.Generator):
+        result = self.multiplexer.simulate_clr(self.n_frames, generator)
+        return result.total_lost, result.arrived_cells
+
+
+@dataclass(frozen=True, eq=False)
+class _CurveTask:
+    """Picklable body of one :func:`replicated_clr_curve` replication."""
+
+    multiplexer: ATMMultiplexer
+    buffers: np.ndarray
+    n_frames: int
+
+    def __call__(self, index: int, generator: np.random.Generator):
+        arrivals = self.multiplexer.model.sample_aggregate(
+            self.n_frames, self.multiplexer.n_sources, generator
+        )
+        per_buffer = np.empty(self.buffers.shape[0])
+        for i, b in enumerate(self.buffers):
+            per_buffer[i] = simulate_finite_buffer(
+                arrivals, self.multiplexer.capacity, float(b)
+            ).total_lost
+        return per_buffer, float(arrivals.sum())
+
+
+def _run_failfast(
+    task,
+    n_replications: int,
+    rng: RngLike,
+    backend: Backend,
+    label: str,
+):
+    """Run a fail-fast batch on ``backend``; results by index.
+
+    Submits every replication up front, collects in completion order,
+    and returns the results as an index-addressed list — the caller
+    pools in index order, which keeps float-addition order identical
+    to the inline loop.  The first failure re-raises its original
+    exception, matching fail-fast semantics (other in-flight
+    replications are cancelled by the session teardown).
+    """
+    telemetry = _spans.is_enabled()
+    results = [None] * n_replications
+    reporter = _progress.reporter(n_replications, label=label)
+    try:
+        with backend.session() as session:
+            for i, rep_rng in enumerate(
+                spawn_generators(rng, n_replications)
+            ):
+                session.submit(
+                    WorkerPayload(
+                        index=i,
+                        attempt=0,
+                        task=task,
+                        generator=rep_rng,
+                        label=label,
+                        telemetry=telemetry,
+                        health_check=False,
+                    )
+                )
+            while session.pending:
+                result = session.next_completed()
+                merge_result_telemetry(result)
+                if result.failed:
+                    raise result.error
+                results[result.index] = result
+                _metrics.add("replications_completed")
+                reporter.advance()
+    finally:
+        reporter.finish()
+    return results
+
 
 def _resolve_policy(
     resilience: Optional[ResiliencePolicy],
@@ -113,22 +229,46 @@ def replicated_clr(
     *,
     confidence: float = 0.95,
     resilience: Optional[ResiliencePolicy] = None,
+    backend: Optional[Backend] = None,
+    jobs: Optional[int] = None,
 ) -> CLRReplicationSummary:
     """Estimate the CLR from independent replications.
 
     The headline estimate pools cells (total lost / total offered);
     per-replication CLRs are kept for the confidence interval.  With a
     resilience policy the batch survives per-replication faults,
-    checkpoints, and degrades gracefully past its deadline.
+    checkpoints, and degrades gracefully past its deadline.  With
+    ``jobs=N`` (or an explicit ``backend=``) replications run across
+    worker processes; the pooled result is bit-identical to serial.
     """
     n_frames = check_integer(n_frames, "n_frames", minimum=1)
     n_replications = check_integer(
         n_replications, "n_replications", minimum=1
     )
     policy = _resolve_policy(resilience)
+    exec_backend = resolve_backend(backend, jobs)
     if policy is not None:
         return _replicated_clr_resilient(
-            multiplexer, n_frames, n_replications, rng, confidence, policy
+            multiplexer, n_frames, n_replications, rng, confidence,
+            policy, exec_backend,
+        )
+    if exec_backend is not None:
+        results = _run_failfast(
+            _CLRTask(multiplexer, n_frames),
+            n_replications,
+            rng,
+            exec_backend,
+            "replicated_clr",
+        )
+        lost = np.array([r.lost for r in results], dtype=float)
+        arrived = np.array([r.arrived for r in results], dtype=float)
+        _check_arrivals(arrived)
+        per_rep = replicated_estimate(lost / arrived, confidence)
+        return CLRReplicationSummary(
+            clr=pooled_clr(lost, arrived),
+            per_replication=per_rep,
+            total_lost=float(lost.sum()),
+            total_arrived=float(arrived.sum()),
         )
     lost = np.empty(n_replications)
     arrived = np.empty(n_replications)
@@ -164,18 +304,16 @@ def _replicated_clr_resilient(
     rng: RngLike,
     confidence: float,
     policy: ResiliencePolicy,
+    backend: Optional[Backend] = None,
 ) -> CLRReplicationSummary:
-    def task(index: int, generator: np.random.Generator):
-        result = multiplexer.simulate_clr(n_frames, generator)
-        return result.total_lost, result.arrived_cells
-
     engine = run_replications(
-        task,
+        _CLRTask(multiplexer, n_frames),
         n_replications,
         rng,
         policy=policy,
         fingerprint=_fingerprint("clr", multiplexer, n_frames),
         label="replicated_clr",
+        backend=backend,
     )
     return _summary_from_engine(engine, confidence)
 
@@ -252,13 +390,17 @@ def replicated_clr_curve(
     *,
     label: str = "",
     resilience: Optional[ResiliencePolicy] = None,
+    backend: Optional[Backend] = None,
+    jobs: Optional[int] = None,
 ) -> CLRCurve:
     """CLR at several buffer sizes, pooled over replications.
 
     Each replication samples one aggregate arrival path and reuses it
     for every buffer size (common random numbers — the curve shape is
     what the paper's figures compare, and CRN removes sampling jitter
-    between adjacent buffer sizes).
+    between adjacent buffer sizes).  ``jobs=N`` / ``backend=``
+    distribute replications across worker processes with bit-identical
+    pooled curves (losses accumulate in replication-index order).
     """
     n_frames = check_integer(n_frames, "n_frames", minimum=1)
     n_replications = check_integer(
@@ -266,11 +408,33 @@ def replicated_clr_curve(
     )
     buffers = check_nonnegative_array(buffer_values, "buffer_values")
     policy = _resolve_policy(resilience)
+    exec_backend = resolve_backend(backend, jobs)
     if policy is not None:
         return _replicated_clr_curve_resilient(
             multiplexer, buffers, n_frames, n_replications, rng,
-            label, policy,
+            label, policy, exec_backend,
         )
+    if exec_backend is not None:
+        results = _run_failfast(
+            _CurveTask(multiplexer, buffers, n_frames),
+            n_replications,
+            rng,
+            exec_backend,
+            label or "clr_curve",
+        )
+        lost = np.zeros(buffers.shape[0])
+        arrived_total = 0.0
+        for result in results:
+            lost += np.asarray(result.lost, dtype=float)
+            arrived_total += result.arrived
+        check_simulation_health(lost, arrived_total, context="clr_curve")
+        if arrived_total <= 0:
+            raise SimulationError(
+                f"no cells arrived across {n_replications} "
+                f"replication(s) of {n_frames} frames; the CLR curve "
+                "is undefined (check the model's mean rate)"
+            )
+        return _make_curve(multiplexer, buffers, lost, arrived_total, label)
     lost = np.zeros(buffers.shape[0])
     arrived_total = 0.0
     reporter = _progress.reporter(
@@ -317,20 +481,10 @@ def _replicated_clr_curve_resilient(
     rng: RngLike,
     label: str,
     policy: ResiliencePolicy,
+    backend: Optional[Backend] = None,
 ) -> CLRCurve:
-    def task(index: int, generator: np.random.Generator):
-        arrivals = multiplexer.model.sample_aggregate(
-            n_frames, multiplexer.n_sources, generator
-        )
-        per_buffer = np.empty(buffers.shape[0])
-        for i, b in enumerate(buffers):
-            per_buffer[i] = simulate_finite_buffer(
-                arrivals, multiplexer.capacity, float(b)
-            ).total_lost
-        return per_buffer, float(arrivals.sum())
-
     engine = run_replications(
-        task,
+        _CurveTask(multiplexer, buffers, n_frames),
         n_replications,
         rng,
         policy=policy,
@@ -338,6 +492,7 @@ def _replicated_clr_curve_resilient(
             "clr_curve", multiplexer, n_frames, buffers=buffers
         ),
         label=label or "clr_curve",
+        backend=backend,
     )
     # Accumulate in replication-index order — the same float-addition
     # order as the fail-fast loop — so a resumed batch reproduces an

@@ -11,13 +11,14 @@ replication-level values are i.i.d. by construction).
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 from scipy import stats
 
-from repro.exceptions import SimulationError
+from repro.exceptions import SimulationError, UndefinedCIWarning
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,41 @@ class ReplicatedEstimate:
     def log10_mean(self) -> float:
         """log10 of the mean, -inf when no events were observed."""
         return math.log10(self.mean) if self.mean > 0 else -math.inf
+
+    def to_json(self) -> dict:
+        """JSON-safe summary dict (round-trips ``allow_nan=False``).
+
+        A single replication has no spread, so ``std_error`` /
+        ``half_width`` / ``interval`` export as ``null`` — with an
+        explicit :class:`~repro.exceptions.UndefinedCIWarning` — rather
+        than the bare ``NaN`` the numeric properties return, which
+        ``json.dumps`` would happily write as invalid JSON.
+        """
+        if self.n_replications < 2:
+            warnings.warn(
+                UndefinedCIWarning(
+                    "confidence interval undefined for a single "
+                    "replication; exporting null CI bounds "
+                    "(run >= 2 replications for a spread estimate)"
+                ),
+                stacklevel=2,
+            )
+            std_error: Optional[float] = None
+            half_width: Optional[float] = None
+            interval: Optional[list] = None
+        else:
+            std_error = self.std_error
+            half_width = self.half_width
+            low, high = self.interval
+            interval = [low, high]
+        return {
+            "mean": self.mean,
+            "n_replications": self.n_replications,
+            "confidence": self.confidence,
+            "std_error": std_error,
+            "half_width": half_width,
+            "interval": interval,
+        }
 
     def __repr__(self) -> str:
         return (

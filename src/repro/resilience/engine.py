@@ -21,6 +21,15 @@ protection a production batch needs:
   ``degraded`` with a :class:`~repro.exceptions.DegradedResultWarning`,
   raising only when *nothing* completed.
 
+With an execution backend (see :mod:`repro.parallel`) the attempts run
+across worker processes while all supervision — retry decisions,
+checkpoint appends, telemetry export — stays in the parent: workers
+never touch the JSONL file, and completions flush to it in strict
+replication-index order, so the checkpoint (and hence the pooled
+estimate after a resume) is bit-identical to a serial run regardless
+of completion order.  A crash loses only completions still waiting on
+a smaller index; they are recomputed deterministically on resume.
+
 Telemetry counters (no-ops unless :mod:`repro.obs` is enabled):
 ``replications_completed``, ``replications_retried``,
 ``replications_failed``, ``checkpoint_resumed``.
@@ -36,13 +45,19 @@ from typing import Callable, Optional, Tuple, Union
 import numpy as np
 
 from repro.exceptions import (
+    RETRYABLE_EXCEPTIONS,
     DegradedResultWarning,
-    ReproError,
     SimulationError,
 )
 from repro.obs import metrics as _metrics
 from repro.obs import progress as _progress
+from repro.obs import spans as _spans
 from repro.obs.spans import span
+from repro.parallel.backends import Backend
+from repro.parallel.worker import (
+    WorkerPayload,
+    merge_result_telemetry,
+)
 from repro.resilience.checkpoint import (
     CheckpointFile,
     ReplicationRecord,
@@ -50,12 +65,14 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.policy import ResiliencePolicy
 from repro.resilience.seeding import ReplicationSeeder
+from repro.utils.replication_context import replication_attempt
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_integer, check_simulation_health
 
 __all__ = [
     "EngineResult",
     "FailureRecord",
+    "RETRYABLE_EXCEPTIONS",
     "ReplicationOutcome",
     "ReplicationTask",
     "run_replications",
@@ -67,9 +84,6 @@ __all__ = [
 ReplicationTask = Callable[
     [int, np.random.Generator], Tuple[Union[float, np.ndarray], float]
 ]
-
-#: Exceptions the supervisor treats as retryable replication faults.
-RETRYABLE_EXCEPTIONS = (ReproError, FloatingPointError)
 
 
 @dataclass(frozen=True)
@@ -131,6 +145,158 @@ def _resolve_checkpoint(
     return None
 
 
+class _OrderedFlush:
+    """Advance checkpoint appends in strict replication-index order.
+
+    Workers complete out of order, but the JSONL checkpoint must read
+    exactly as a serial run would have written it (that is what makes
+    resumed pools bit-identical).  The flush pointer walks the index
+    line: resumed indices are already on disk, abandoned ones are
+    never written (serial skips them too), completed ones append; the
+    pointer stalls at the first index still undetermined.
+    """
+
+    def __init__(
+        self,
+        n_replications: int,
+        checkpoint: Optional[CheckpointFile],
+        seeder: ReplicationSeeder,
+        completed: dict,
+        resumed: set,
+        abandoned: set,
+    ):
+        self._n = n_replications
+        self._checkpoint = checkpoint
+        self._seeder = seeder
+        self._completed = completed
+        self._resumed = resumed
+        self._abandoned = abandoned
+        self._next = 0
+
+    def advance(self) -> None:
+        while self._next < self._n:
+            index = self._next
+            if index in self._resumed or index in self._abandoned:
+                self._next += 1
+                continue
+            outcome = self._completed.get(index)
+            if outcome is None:
+                return
+            if self._checkpoint is not None:
+                lost = outcome.lost
+                self._checkpoint.append(
+                    ReplicationRecord(
+                        index=index,
+                        lost=(
+                            lost
+                            if isinstance(lost, float)
+                            else tuple(float(x) for x in lost)
+                        ),
+                        arrived=outcome.arrived,
+                        attempts=outcome.attempts,
+                        spawn_key=self._seeder.spawn_key(index),
+                    )
+                )
+            self._next += 1
+
+
+def _supervise_parallel(
+    task: ReplicationTask,
+    n_replications: int,
+    seeder: ReplicationSeeder,
+    policy: ResiliencePolicy,
+    checkpoint: Optional[CheckpointFile],
+    completed: dict,
+    failures: list,
+    backend: Backend,
+    label: str,
+    started: float,
+    deadline: Optional[float],
+    reporter,
+) -> Tuple[int, bool]:
+    """Run the outstanding replications on ``backend``.
+
+    Mutates ``completed`` and ``failures`` in place; returns
+    ``(n_retried, deadline_hit)``.  All retry decisions and checkpoint
+    appends happen here, in the parent — workers only execute payloads.
+    """
+    telemetry = _spans.is_enabled()
+    abandoned: set = set()
+    flush = _OrderedFlush(
+        n_replications, checkpoint, seeder, completed,
+        set(completed), abandoned,
+    )
+    flush.advance()
+    n_retried = 0
+    deadline_hit = False
+
+    def _payload(index: int) -> WorkerPayload:
+        attempt = seeder.attempts(index)
+        return WorkerPayload(
+            index=index,
+            attempt=attempt,
+            task=task,
+            generator=seeder.generator(index),
+            label=label,
+            telemetry=telemetry,
+            health_check=True,
+        )
+
+    with backend.session() as session:
+        for index in range(n_replications):
+            if index not in completed:
+                session.submit(_payload(index))
+        while session.pending:
+            if deadline is not None and policy.clock() >= deadline:
+                # In-flight work is cancelled/discarded by the session
+                # teardown; uncollected completions are recomputed
+                # deterministically on resume.
+                deadline_hit = True
+                break
+            result = session.next_completed()
+            merge_result_telemetry(result)
+            if result.failed:
+                if not result.retryable:
+                    raise result.error
+                failures.append(
+                    FailureRecord(
+                        index=result.index,
+                        attempt=result.attempt,
+                        kind=result.error_kind,
+                        message=result.error_message,
+                        elapsed_seconds=policy.clock() - started,
+                    )
+                )
+                if result.attempt == 0 and result.generator is not None:
+                    # Attempt 0 is the one that runs *on* the parent
+                    # stream; the worker mutated a pickled copy, so
+                    # adopt it — retries must derive from post-attempt
+                    # state exactly as they would in-process.  Later
+                    # attempts run on spawned children, which never
+                    # feed back into derivation.
+                    seeder.adopt_generator(result.index, result.generator)
+                if result.attempt >= policy.max_retries:
+                    _metrics.add("replications_failed")
+                    abandoned.add(result.index)
+                    flush.advance()
+                    continue
+                _metrics.add("replications_retried")
+                n_retried += 1
+                session.submit(_payload(result.index))
+                continue
+            completed[result.index] = ReplicationOutcome(
+                index=result.index,
+                lost=result.lost,
+                arrived=result.arrived,
+                attempts=result.attempt + 1,
+                resumed=False,
+            )
+            _metrics.add("replications_completed")
+            flush.advance()
+            reporter.advance()
+    return n_retried, deadline_hit
+
+
 def run_replications(
     task: ReplicationTask,
     n_replications: int,
@@ -139,6 +305,7 @@ def run_replications(
     policy: Optional[ResiliencePolicy] = None,
     fingerprint: Optional[dict] = None,
     label: str = "",
+    backend: Optional[Backend] = None,
 ) -> EngineResult:
     """Supervise ``n_replications`` runs of ``task`` under ``policy``.
 
@@ -147,7 +314,9 @@ def run_replications(
     the seed entropy itself.  Raises
     :class:`~repro.exceptions.SimulationError` only if no replication
     at all completed; otherwise degraded batches return partial
-    results flagged via :attr:`EngineResult.degraded`.
+    results flagged via :attr:`EngineResult.degraded`.  With a
+    ``backend`` the attempts run on worker processes (``task`` must
+    pickle); results are identical to serial, bit for bit.
     """
     n_replications = check_integer(
         n_replications, "n_replications", minimum=1
@@ -194,7 +363,14 @@ def run_replications(
     try:
         if completed:
             reporter.advance(len(completed))
-        for index in range(n_replications):
+        if backend is not None:
+            n_retried, deadline_hit = _supervise_parallel(
+                task, n_replications, seeder, policy, checkpoint,
+                completed, failures, backend, label, started, deadline,
+                reporter,
+            )
+        serial_indices = range(n_replications) if backend is None else ()
+        for index in serial_indices:
             if index in completed:
                 continue
             while True:
@@ -204,7 +380,7 @@ def run_replications(
                 attempt = seeder.attempts(index)
                 generator = seeder.generator(index)
                 try:
-                    with span(
+                    with replication_attempt(index, attempt), span(
                         "replication",
                         index=index,
                         attempt=attempt,

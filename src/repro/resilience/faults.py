@@ -22,6 +22,16 @@ Call numbers are 1-based and count every ``sample_aggregate`` call on
 the wrapped multiplexer, retries included — so a schedule like
 ``fail={1, 2}`` means "replication 0 fails on its first attempt and
 on its first retry", deterministically.
+
+A call counter cannot survive a process pool — each worker would
+count its own calls from 1, and completion order is nondeterministic
+anyway.  For parallel runs (and as a clearer spelling in serial ones)
+the ``*_at`` schedules key faults by ``(replication index, attempt)``
+instead, read back from
+:func:`repro.utils.replication_context.current_attempt`, which both
+the engine's serial loop and the worker wrapper publish around every
+attempt.  ``fail_at={(0, 0), (0, 1)}`` is the addressed spelling of
+the example above, and it means the same thing in every backend.
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ import numpy as np
 
 from repro.exceptions import SimulationError
 from repro.queueing.multiplexer import ATMMultiplexer
+from repro.utils.replication_context import current_attempt
 
 __all__ = [
     "FaultInjector",
@@ -56,8 +67,19 @@ class InjectedCrash(RuntimeError):
     """
 
 
+def _attempt_keys(pairs: Iterable[Tuple[int, int]]) -> frozenset:
+    return frozenset((int(i), int(a)) for i, a in pairs)
+
+
 class FaultInjector:
-    """Shared call counter plus the schedule of misbehaviours."""
+    """Shared call counter plus the schedule of misbehaviours.
+
+    Two addressing schemes coexist: call-counter schedules (``fail``,
+    ``crash``, ``nan``, ``hang`` — 1-based call numbers, serial runs
+    only) and attempt-addressed schedules (``fail_at``, ``crash_at``,
+    ``nan_at``, ``hang_at`` — ``(replication index, attempt)`` pairs,
+    deterministic under any backend).
+    """
 
     def __init__(
         self,
@@ -66,12 +88,23 @@ class FaultInjector:
         crash: Iterable[int] = (),
         nan: Iterable[int] = (),
         hang: Optional[Mapping[int, float]] = None,
+        fail_at: Iterable[Tuple[int, int]] = (),
+        crash_at: Iterable[Tuple[int, int]] = (),
+        nan_at: Iterable[Tuple[int, int]] = (),
+        hang_at: Optional[Mapping[Tuple[int, int], float]] = None,
         sleep: Callable[[float], None] = time.sleep,
     ):
         self.fail = frozenset(int(c) for c in fail)
         self.crash = frozenset(int(c) for c in crash)
         self.nan = frozenset(int(c) for c in nan)
         self.hang = {int(c): float(s) for c, s in (hang or {}).items()}
+        self.fail_at = _attempt_keys(fail_at)
+        self.crash_at = _attempt_keys(crash_at)
+        self.nan_at = _attempt_keys(nan_at)
+        self.hang_at = {
+            (int(i), int(a)): float(s)
+            for (i, a), s in (hang_at or {}).items()
+        }
         self._sleep = sleep
         self.calls = 0
 
@@ -79,17 +112,31 @@ class FaultInjector:
         """Register one replication attempt; hang/fail/crash on cue."""
         self.calls += 1
         call = self.calls
+        attempt = current_attempt()
         if call in self.hang:
             self._sleep(self.hang[call])
-        if call in self.crash:
-            raise InjectedCrash(f"injected crash on call {call}")
-        if call in self.fail:
-            raise InjectedFault(f"injected failure on call {call}")
+        if attempt is not None and attempt in self.hang_at:
+            self._sleep(self.hang_at[attempt])
+        if call in self.crash or (
+            attempt is not None and attempt in self.crash_at
+        ):
+            raise InjectedCrash(
+                f"injected crash on call {call} (attempt {attempt})"
+            )
+        if call in self.fail or (
+            attempt is not None and attempt in self.fail_at
+        ):
+            raise InjectedFault(
+                f"injected failure on call {call} (attempt {attempt})"
+            )
         return call
 
     def maybe_poison(self, arrivals: np.ndarray, call: int) -> np.ndarray:
         """NaN-poison the arrivals of a scheduled call."""
-        if call not in self.nan:
+        attempt = current_attempt()
+        if call not in self.nan and not (
+            attempt is not None and attempt in self.nan_at
+        ):
             return arrivals
         poisoned = np.array(arrivals, dtype=float, copy=True)
         poisoned[poisoned.shape[0] // 2] = np.nan
@@ -116,6 +163,11 @@ class FaultInjectedModel:
         return self.injector.maybe_poison(arrivals, call)
 
     def __getattr__(self, name: str):
+        # During unpickling (spawn workers) __getattr__ fires before
+        # instance state exists; dunder/underscore lookups must raise
+        # rather than recurse through the missing ``_model``.
+        if name.startswith("_"):
+            raise AttributeError(name)
         return getattr(self._model, name)
 
     def __repr__(self) -> str:
@@ -129,6 +181,10 @@ def inject_faults(
     crash: Iterable[int] = (),
     nan: Iterable[int] = (),
     hang: Optional[Mapping[int, float]] = None,
+    fail_at: Iterable[Tuple[int, int]] = (),
+    crash_at: Iterable[Tuple[int, int]] = (),
+    nan_at: Iterable[Tuple[int, int]] = (),
+    hang_at: Optional[Mapping[Tuple[int, int], float]] = None,
     sleep: Callable[[float], None] = time.sleep,
 ) -> Tuple[ATMMultiplexer, FaultInjector]:
     """A faulty clone of ``multiplexer`` plus its injector.
@@ -136,10 +192,15 @@ def inject_faults(
     The clone shares the original's geometry (sources, bandwidth,
     buffer) but samples through a :class:`FaultInjectedModel`; the
     returned :class:`FaultInjector` exposes the live call count for
-    assertions.
+    assertions.  ``*_at`` schedules address faults by ``(replication
+    index, attempt)`` and work identically under process pools, where
+    the 1-based call counter cannot (each worker counts alone —
+    ``injector.calls`` reflects only the current process).
     """
     injector = FaultInjector(
-        fail=fail, crash=crash, nan=nan, hang=hang, sleep=sleep
+        fail=fail, crash=crash, nan=nan, hang=hang,
+        fail_at=fail_at, crash_at=crash_at, nan_at=nan_at,
+        hang_at=hang_at, sleep=sleep,
     )
     model = FaultInjectedModel(multiplexer.model, injector)
     faulty = ATMMultiplexer(

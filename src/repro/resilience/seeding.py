@@ -91,6 +91,25 @@ class ReplicationSeeder:
         # retry gets spawn key (index, k-1) regardless of interleaving.
         return np.random.default_rng(sequence.spawn(1)[0])
 
+    def adopt_generator(
+        self, index: int, generator: np.random.Generator
+    ) -> None:
+        """Replace replication ``index``'s parent stream (Generator mode).
+
+        A worker process runs the attempt on a *pickled copy* of the
+        parent stream, so the supervisor's copy never advances.  In
+        Generator mode retries derive from the post-attempt state of
+        the failed stream; adopting the worker's returned generator
+        restores exactly the state an in-process (serial) attempt
+        would have left behind.  No-op in seeded mode, where retries
+        derive from the replication's SeedSequence instead.
+        """
+        if self._generators is not None:
+            index = check_integer(
+                index, "index", minimum=0, maximum=self.n_replications - 1
+            )
+            self._generators[index] = generator
+
     def spawn_key(self, index: int) -> Optional[Tuple[int, ...]]:
         """Spawn key of replication ``index``'s SeedSequence, if seeded."""
         if self._sequences is None:

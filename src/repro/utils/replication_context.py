@@ -1,0 +1,46 @@
+"""Which replication attempt is currently executing, per thread.
+
+The resilience engine and the parallel worker wrapper publish the
+``(replication index, attempt)`` pair around each task invocation.
+Consumers that need attempt-addressable behaviour — most importantly
+the deterministic fault injector of :mod:`repro.resilience.faults`,
+whose process-global call counter cannot be shared across worker
+processes — read it back with :func:`current_attempt` instead of
+counting calls.
+
+The state is thread-local in-process and process-local across a
+process pool, which is exactly the scoping a worker needs: each
+worker runs one attempt at a time.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+__all__ = ["current_attempt", "replication_attempt"]
+
+
+class _State(threading.local):
+    def __init__(self) -> None:
+        self.current: Optional[Tuple[int, int]] = None
+
+
+_state = _State()
+
+
+@contextmanager
+def replication_attempt(index: int, attempt: int) -> Iterator[None]:
+    """Mark ``(index, attempt)`` as the executing replication attempt."""
+    previous = _state.current
+    _state.current = (int(index), int(attempt))
+    try:
+        yield
+    finally:
+        _state.current = previous
+
+
+def current_attempt() -> Optional[Tuple[int, int]]:
+    """The executing ``(replication index, attempt)``, if any."""
+    return _state.current

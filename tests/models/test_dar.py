@@ -157,3 +157,46 @@ class TestSampling:
         assert np.array_equal(
             dar1.sample_frames(100, rng=9), dar1.sample_frames(100, rng=9)
         )
+
+
+def _reference_aggregate_vstack(model, n_frames, n_sources, generator):
+    """The pre-ring-buffer DAR(p) aggregate sampler (the old np.vstack
+    implementation), kept verbatim as a byte-identity oracle: the ring
+    buffer must consume the generator in exactly the same order and
+    produce exactly the same frames."""
+    p = model.order
+    warmup = min(int(64.0 / max(1.0 - model.rho, 1e-6)) + p, 100_000)
+    total_steps = n_frames + warmup
+    state = model.marginal.sample(p * n_sources, generator).reshape(
+        p, n_sources
+    )
+    out = np.empty((n_frames, n_sources))
+    lags = np.arange(1, p + 1)
+    columns = np.arange(n_sources)
+    for n in range(total_steps):
+        repeat = generator.random(n_sources) < model.rho
+        lag_choice = generator.choice(lags, size=n_sources, p=model.weights)
+        fresh = model.marginal.sample(n_sources, generator)
+        new = np.where(repeat, state[p - lag_choice, columns], fresh)
+        state = np.vstack([state[1:], new[None, :]])
+        if n >= warmup:
+            out[n - warmup] = new
+    return out.sum(axis=1)
+
+
+class TestRingBufferRegression:
+    @pytest.mark.parametrize("order", [2, 3, 4])
+    def test_byte_identical_to_vstack_path(self, order):
+        weights = np.arange(order, 0, -1.0)
+        model = DARModel(0.6, weights / weights.sum(), 20.0, 16.0)
+        expected = _reference_aggregate_vstack(
+            model, 40, 3, np.random.default_rng(31)
+        )
+        actual = model.sample_aggregate(40, 3, np.random.default_rng(31))
+        assert np.array_equal(actual, expected)
+
+    def test_dar1_path_unaffected(self):
+        model = DARModel.dar1(0.7, 500.0, 5000.0)
+        a = model.sample_aggregate(50, 2, np.random.default_rng(8))
+        b = model.sample_aggregate(50, 2, np.random.default_rng(8))
+        assert np.array_equal(a, b)

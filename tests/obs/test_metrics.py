@@ -139,3 +139,50 @@ class TestModuleHelpers:
         for t in threads:
             t.join()
         assert metrics.counter("hits").value == 4000
+
+
+class TestMergeSnapshot:
+    def test_counters_add_and_gauges_adopt(self, telemetry):
+        from repro.obs import metrics
+
+        metrics.add("cells_lost", 3)
+        metrics.merge_snapshot(
+            [
+                {"type": "counter", "name": "cells_lost", "value": 2.0},
+                {"type": "gauge", "name": "utilization", "value": 0.9},
+            ]
+        )
+        snap = {d["name"]: d for d in metrics.snapshot()}
+        assert snap["cells_lost"]["value"] == 5.0
+        assert snap["utilization"]["value"] == 0.9
+
+    def test_histograms_merge_counts_extrema_buckets(self, telemetry):
+        from repro.obs import metrics
+
+        metrics.observe_many("busy", [1.0, 3.0])
+        local = metrics.histogram("busy")
+        foreign = {
+            "type": "histogram",
+            "name": "busy",
+            "count": 2,
+            "sum": 40.0,
+            "min": 0.5,
+            "max": 32.0,
+            "buckets": {"1": 1, "32": 1},
+        }
+        metrics.merge_snapshot([foreign])
+        assert local.count == 4
+        assert local.sum == pytest.approx(44.0)
+        assert local.min == 0.5
+        assert local.max == 32.0
+        assert local.buckets()[1.0] == 2  # 1.0 obs + bucket "1"
+        assert local.buckets()[32.0] == 1
+
+    def test_disabled_is_noop(self):
+        from repro.obs import metrics, spans
+
+        assert not spans.is_enabled()
+        metrics.merge_snapshot(
+            [{"type": "counter", "name": "ghost", "value": 9.0}]
+        )
+        assert all(d["name"] != "ghost" for d in metrics.snapshot())

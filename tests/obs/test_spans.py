@@ -133,3 +133,37 @@ class TestEnableDisable:
             assert len(telemetry.records()) == 1
         finally:
             spans_mod.enable()
+
+
+class TestIngest:
+    def test_remaps_ids_and_preserves_internal_edges(self, telemetry):
+        from repro.obs.spans import SpanRecord, ingest, records
+
+        # A worker trace: child (id 5) completed before parent (id 4),
+        # as real spans do.
+        foreign = (
+            SpanRecord(5, 4, "inner", 0, 10, 1),
+            SpanRecord(4, None, "outer", 0, 20, 1),
+        )
+        assert ingest(foreign) == 2
+        merged = {r.name: r for r in records()}
+        assert merged["inner"].parent_id == merged["outer"].span_id
+        assert merged["outer"].span_id != 4  # renumbered locally
+
+    def test_orphans_attach_to_open_local_span(self, telemetry):
+        from repro.obs.spans import SpanRecord, ingest, records, span
+
+        foreign = (SpanRecord(9, None, "worker_root", 0, 5, 1),)
+        with span("supervisor"):
+            ingest(foreign)
+        by_name = {r.name: r for r in records()}
+        assert (
+            by_name["worker_root"].parent_id
+            == by_name["supervisor"].span_id
+        )
+
+    def test_empty_batch_is_noop(self, telemetry):
+        from repro.obs.spans import ingest, records
+
+        assert ingest(()) == 0
+        assert records() == ()

@@ -1,0 +1,128 @@
+"""Tests for the execution-backend layer."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.parallel import (
+    ProcessPoolBackend,
+    SerialBackend,
+    WorkerPayload,
+    get_default_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+
+
+def _double(index, generator):
+    """Module-level so it pickles into spawn workers."""
+    return float(index * 2), 100.0
+
+
+def _payload(index):
+    return WorkerPayload(
+        index=index,
+        attempt=0,
+        task=_double,
+        generator=np.random.default_rng(index),
+        health_check=False,
+    )
+
+
+class TestSerialBackend:
+    def test_runs_in_submission_order(self):
+        backend = SerialBackend()
+        with backend.session() as session:
+            for i in range(4):
+                session.submit(_payload(i))
+            seen = []
+            while session.pending:
+                seen.append(session.next_completed().index)
+        assert seen == [0, 1, 2, 3]
+
+    def test_results_carry_task_output(self):
+        with SerialBackend().session() as session:
+            session.submit(_payload(3))
+            result = session.next_completed()
+        assert result.lost == 6.0
+        assert result.arrived == 100.0
+        assert not result.failed
+
+    def test_empty_session_raises(self):
+        with SerialBackend().session() as session:
+            with pytest.raises(RuntimeError, match="no payloads"):
+                session.next_completed()
+
+    def test_jobs_is_one(self):
+        assert SerialBackend().jobs == 1
+
+
+class TestProcessPoolBackend:
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ParameterError):
+            ProcessPoolBackend(0)
+
+    def test_rejects_unknown_start_method(self):
+        with pytest.raises(ParameterError, match="start_method"):
+            ProcessPoolBackend(2, start_method="telepathy")
+
+    def test_completes_all_payloads(self):
+        backend = ProcessPoolBackend(2)
+        with backend.session() as session:
+            for i in range(5):
+                session.submit(_payload(i))
+            results = []
+            while session.pending:
+                results.append(session.next_completed())
+        assert sorted(r.index for r in results) == [0, 1, 2, 3, 4]
+        by_index = {r.index: r for r in results}
+        assert all(by_index[i].lost == 2.0 * i for i in range(5))
+
+    def test_empty_session_raises(self):
+        with ProcessPoolBackend(2).session() as session:
+            with pytest.raises(RuntimeError, match="no payloads"):
+                session.next_completed()
+
+
+class TestResolveBackend:
+    def test_default_is_inline(self):
+        assert resolve_backend() is None
+
+    def test_jobs_one_is_inline(self):
+        assert resolve_backend(jobs=1) is None
+
+    def test_jobs_builds_pool(self):
+        backend = resolve_backend(jobs=3)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.jobs == 3
+
+    def test_explicit_backend_wins(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend=backend) is backend
+
+    def test_both_rejected(self):
+        with pytest.raises(ParameterError, match="not both"):
+            resolve_backend(backend=SerialBackend(), jobs=2)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ParameterError):
+            resolve_backend(jobs=0)
+
+    def test_use_backend_installs_and_restores(self):
+        backend = SerialBackend()
+        assert get_default_backend() is None
+        with use_backend(backend):
+            assert get_default_backend() is backend
+            assert resolve_backend() is backend
+        assert get_default_backend() is None
+
+    def test_set_default_backend_round_trip(self):
+        backend = SerialBackend()
+        set_default_backend(backend)
+        try:
+            assert resolve_backend() is backend
+            # Explicit kwargs still beat the installed default.
+            assert resolve_backend(jobs=1) is None
+        finally:
+            set_default_backend(None)

@@ -1,0 +1,198 @@
+"""Serial vs process-pool determinism: the contract of this layer.
+
+Every test here compares a serial run against ``jobs=2`` (a real
+spawn pool, nondeterministic completion order) and demands *equality*,
+not closeness: pooled CLR, every summary field, the checkpoint bytes.
+If any of these drifts, parallelism has changed the science and must
+not ship.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import AR1Model
+from repro.queueing.multiplexer import ATMMultiplexer
+from repro.queueing.replication import replicated_clr, replicated_clr_curve
+from repro.resilience import InjectedCrash, inject_faults
+from repro.resilience.policy import ResiliencePolicy
+
+N_FRAMES = 300
+BUFFERS = [50.0, 200.0]
+
+
+@pytest.fixture
+def mux():
+    model = AR1Model(0.5, 500.0, 5000.0)
+    return ATMMultiplexer(model, 10, 515.0, buffer_cells=200.0)
+
+
+def _summaries_equal(a, b):
+    assert a.clr == b.clr
+    assert a.total_lost == b.total_lost
+    assert a.total_arrived == b.total_arrived
+    assert a.per_replication.mean == b.per_replication.mean
+    assert (
+        a.per_replication.half_width == b.per_replication.half_width
+        or (
+            np.isnan(a.per_replication.half_width)
+            and np.isnan(b.per_replication.half_width)
+        )
+    )
+    assert a.degraded == b.degraded
+    assert a.n_failed == b.n_failed
+    assert a.n_retried == b.n_retried
+
+
+class TestFailFastIdentity:
+    def test_clr_pool_matches_serial(self, mux):
+        serial = replicated_clr(mux, N_FRAMES, 5, rng=123)
+        parallel = replicated_clr(mux, N_FRAMES, 5, rng=123, jobs=2)
+        _summaries_equal(serial, parallel)
+
+    def test_curve_matches_serial(self, mux):
+        serial = replicated_clr_curve(mux, BUFFERS, N_FRAMES, 4, rng=7)
+        parallel = replicated_clr_curve(
+            mux, BUFFERS, N_FRAMES, 4, rng=7, jobs=2
+        )
+        assert np.array_equal(serial.clr, parallel.clr)
+        assert serial.total_arrived == parallel.total_arrived
+
+    def test_generator_mode_matches_serial(self, mux):
+        serial = replicated_clr(
+            mux, N_FRAMES, 4, rng=np.random.default_rng(9)
+        )
+        parallel = replicated_clr(
+            mux, N_FRAMES, 4, rng=np.random.default_rng(9), jobs=2
+        )
+        _summaries_equal(serial, parallel)
+
+
+class TestResilientIdentity:
+    def test_checkpoints_byte_identical(self, mux, tmp_path):
+        serial = replicated_clr(
+            mux, N_FRAMES, 6, rng=11,
+            resilience=ResiliencePolicy(checkpoint_path=tmp_path / "a.jsonl"),
+        )
+        parallel = replicated_clr(
+            mux, N_FRAMES, 6, rng=11,
+            resilience=ResiliencePolicy(checkpoint_path=tmp_path / "b.jsonl"),
+            jobs=2,
+        )
+        _summaries_equal(serial, parallel)
+        assert (tmp_path / "a.jsonl").read_bytes() == (
+            tmp_path / "b.jsonl"
+        ).read_bytes()
+
+    def test_with_faults_and_retries(self, mux, tmp_path):
+        schedule = {(1, 0), (3, 0), (3, 1)}
+        faulty_a, _ = inject_faults(mux, fail_at=schedule)
+        serial = replicated_clr(
+            faulty_a, N_FRAMES, 6, rng=11,
+            resilience=ResiliencePolicy(
+                checkpoint_path=tmp_path / "a.jsonl", max_retries=3
+            ),
+        )
+        faulty_b, _ = inject_faults(mux, fail_at=schedule)
+        parallel = replicated_clr(
+            faulty_b, N_FRAMES, 6, rng=11,
+            resilience=ResiliencePolicy(
+                checkpoint_path=tmp_path / "b.jsonl", max_retries=3
+            ),
+            jobs=2,
+        )
+        assert serial.n_retried == 3
+        _summaries_equal(serial, parallel)
+        assert (tmp_path / "a.jsonl").read_bytes() == (
+            tmp_path / "b.jsonl"
+        ).read_bytes()
+
+    def test_generator_mode_retry_derivation(self, mux):
+        # Retries in Generator mode derive from post-attempt parent
+        # state; the worker ships that state back, so parallel must
+        # still match serial exactly.
+        faulty_a, _ = inject_faults(mux, fail_at={(0, 0)})
+        serial = replicated_clr(
+            faulty_a, N_FRAMES, 3,
+            rng=np.random.default_rng(5),
+            resilience=ResiliencePolicy(max_retries=2),
+        )
+        faulty_b, _ = inject_faults(mux, fail_at={(0, 0)})
+        parallel = replicated_clr(
+            faulty_b, N_FRAMES, 3,
+            rng=np.random.default_rng(5),
+            resilience=ResiliencePolicy(max_retries=2),
+            jobs=2,
+        )
+        assert serial.n_retried == parallel.n_retried == 1
+        _summaries_equal(serial, parallel)
+
+    def test_curve_with_faults(self, mux, tmp_path):
+        faulty_a, _ = inject_faults(mux, fail_at={(2, 0)})
+        serial = replicated_clr_curve(
+            faulty_a, BUFFERS, N_FRAMES, 4, rng=3,
+            resilience=ResiliencePolicy(checkpoint_path=tmp_path / "a.jsonl"),
+        )
+        faulty_b, _ = inject_faults(mux, fail_at={(2, 0)})
+        parallel = replicated_clr_curve(
+            faulty_b, BUFFERS, N_FRAMES, 4, rng=3,
+            resilience=ResiliencePolicy(checkpoint_path=tmp_path / "b.jsonl"),
+            jobs=2,
+        )
+        assert np.array_equal(serial.clr, parallel.clr)
+        assert (tmp_path / "a.jsonl").read_bytes() == (
+            tmp_path / "b.jsonl"
+        ).read_bytes()
+
+    def test_nonretryable_bug_propagates(self, mux, tmp_path):
+        # A crash-class fault must abort the parallel batch exactly as
+        # it aborts a serial one — never be absorbed as a retry.
+        faulty, _ = inject_faults(mux, crash_at={(2, 0)})
+        with pytest.raises(InjectedCrash):
+            replicated_clr(
+                faulty, N_FRAMES, 5, rng=11,
+                resilience=ResiliencePolicy(
+                    checkpoint_path=tmp_path / "c.jsonl"
+                ),
+                jobs=2,
+            )
+
+
+class TestParallelResume:
+    def test_killed_parallel_run_resumes_to_uninterrupted_checkpoint(
+        self, mux, tmp_path
+    ):
+        # Reference: an uninterrupted serial run.
+        reference = replicated_clr(
+            mux, N_FRAMES, 6, rng=42,
+            resilience=ResiliencePolicy(checkpoint_path=tmp_path / "ref.jsonl"),
+        )
+        # A parallel run killed mid-batch: replication 5's first
+        # attempt crashes, leaving the checkpoint behind.
+        faulty, _ = inject_faults(mux, crash_at={(5, 0)})
+        with pytest.raises(InjectedCrash):
+            replicated_clr(
+                faulty, N_FRAMES, 6, rng=42,
+                resilience=ResiliencePolicy(
+                    checkpoint_path=tmp_path / "run.jsonl"
+                ),
+                jobs=2,
+            )
+        # Resume without faults, still parallel.
+        resumed = replicated_clr(
+            mux, N_FRAMES, 6, rng=42,
+            resilience=ResiliencePolicy(checkpoint_path=tmp_path / "run.jsonl"),
+            jobs=2,
+        )
+        assert resumed.n_resumed >= 1
+        assert not resumed.degraded
+        _summaries_equal_resumed(reference, resumed)
+        assert (tmp_path / "run.jsonl").read_bytes() == (
+            tmp_path / "ref.jsonl"
+        ).read_bytes()
+
+
+def _summaries_equal_resumed(reference, resumed):
+    assert resumed.clr == reference.clr
+    assert resumed.total_lost == reference.total_lost
+    assert resumed.total_arrived == reference.total_arrived
+    assert resumed.per_replication.mean == reference.per_replication.mean

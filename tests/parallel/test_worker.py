@@ -1,0 +1,126 @@
+"""Tests for payload execution and failure transport."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.parallel.worker import (
+    WorkerPayload,
+    _transportable,
+    execute_payload,
+)
+from repro.utils.replication_context import current_attempt
+
+
+def _ok_task(index, generator):
+    return float(index), 50.0
+
+
+def _vector_task(index, generator):
+    return np.array([1.0, 2.0]), 50.0
+
+
+def _nan_task(index, generator):
+    return float("nan"), 50.0
+
+
+def _empty_task(index, generator):
+    return 0.0, 0.0
+
+
+def _retryable_task(index, generator):
+    raise SimulationError("scheduled")
+
+
+def _bug_task(index, generator):
+    raise ValueError("a real bug")
+
+
+def _context_task(index, generator):
+    lost = 1.0 if current_attempt() == (index, 2) else 0.0
+    return lost, 10.0
+
+
+def _payload(task, index=0, attempt=0, health_check=True):
+    return WorkerPayload(
+        index=index,
+        attempt=attempt,
+        task=task,
+        generator=np.random.default_rng(index),
+        health_check=health_check,
+    )
+
+
+class TestExecutePayload:
+    def test_success_scalar(self):
+        result = execute_payload(_payload(_ok_task, index=3))
+        assert not result.failed
+        assert result.lost == 3.0
+        assert result.arrived == 50.0
+        assert isinstance(result.lost, float)
+
+    def test_success_vector(self):
+        result = execute_payload(_payload(_vector_task))
+        assert isinstance(result.lost, np.ndarray)
+        assert np.array_equal(result.lost, [1.0, 2.0])
+
+    def test_retryable_failure_classified(self):
+        result = execute_payload(_payload(_retryable_task))
+        assert result.failed
+        assert result.retryable
+        assert result.error_kind == "SimulationError"
+        assert isinstance(result.error, SimulationError)
+
+    def test_bug_not_retryable(self):
+        result = execute_payload(_payload(_bug_task))
+        assert result.failed
+        assert not result.retryable
+        assert isinstance(result.error, ValueError)
+
+    def test_health_check_catches_nan(self):
+        result = execute_payload(_payload(_nan_task))
+        assert result.failed
+        assert result.retryable
+
+    def test_health_check_catches_zero_arrivals(self):
+        result = execute_payload(_payload(_empty_task, index=7))
+        assert result.failed
+        assert isinstance(result.error, SimulationError)
+        assert "replication 7" in str(result.error)
+
+    def test_health_check_off_passes_nan_through(self):
+        result = execute_payload(_payload(_nan_task, health_check=False))
+        assert not result.failed
+        assert np.isnan(result.lost)
+
+    def test_publishes_replication_context(self):
+        result = execute_payload(_payload(_context_task, index=4, attempt=2))
+        assert result.lost == 1.0  # task saw (index, attempt) == (4, 2)
+        assert current_attempt() is None  # restored afterwards
+
+    def test_returns_generator_state(self):
+        payload = _payload(_ok_task)
+        result = execute_payload(payload)
+        assert result.generator is payload.generator
+
+
+class TestTransportable:
+    def test_picklable_exception_passes_through(self):
+        exc = ValueError("fine")
+        assert _transportable(exc) is exc
+
+    def test_library_exception_with_kwargs_survives(self):
+        exc = SimulationError("bad", bad_replications=(1, 2))
+        out = _transportable(exc)
+        assert pickle.loads(pickle.dumps(out)) is not None
+
+    def test_unpicklable_exception_replaced(self):
+        class LocalError(Exception):
+            """Not importable from a module, so pickle must fail."""
+
+        out = _transportable(LocalError("outer"))
+        assert isinstance(out, RuntimeError)
+        assert "LocalError" in str(out)
+        assert "outer" in str(out)

@@ -81,3 +81,63 @@ class TestCellLevel:
     def test_rejects_bad_shapes(self):
         with pytest.raises(SimulationError):
             simulate_cell_level(np.zeros((0, 2), int), 5, 5)
+
+
+def _reference_drain_loss(times, capacity, buffer_cells):
+    """The original per-cell Python recursion, kept as the oracle."""
+    cap = buffer_cells + 1
+    lost = 0
+    queue = 0
+    prev_slots = 0
+    for t in times:
+        slots = int(np.floor(t * capacity))
+        d = slots - prev_slots
+        prev_slots = slots
+        if d:
+            queue = max(queue - d, 0)
+        if queue >= cap:
+            lost += 1
+        else:
+            queue += 1
+    return lost
+
+
+class TestVectorizedScanRegression:
+    """The chunked numpy scan must count exactly like the plain loop."""
+
+    CASES = [
+        ("underloaded", 40, 100, (0, 8)),
+        ("heavy_overload", 10, 5, (0, 30)),
+        ("bufferless", 12, 0, (0, 10)),
+        ("near_critical", 30, 20, (0, 12)),
+    ]
+
+    @pytest.mark.parametrize("name,capacity,buffer_cells,draws", CASES)
+    def test_counts_equal_reference(self, name, capacity, buffer_cells, draws):
+        rng = np.random.default_rng(hash(name) % 2**32)
+        frames = rng.integers(draws[0], draws[1], size=(150, 3))
+        result = simulate_cell_level(frames, capacity, buffer_cells)
+        times = np.sort(
+            np.concatenate(
+                [
+                    deterministic_smoothing_times(frames[:, s])
+                    for s in range(frames.shape[1])
+                ]
+            )
+        )
+        expected = _reference_drain_loss(times, capacity, buffer_cells)
+        assert result.lost_cells == expected
+        assert result.arrived_cells == times.shape[0]
+
+    def test_chunk_boundaries_do_not_change_counts(self, monkeypatch):
+        # A tiny chunk size forces many vector/fallback transitions;
+        # the state handed across each boundary must stay exact.
+        import repro.queueing.cell_level as mod
+
+        rng = np.random.default_rng(99)
+        frames = rng.integers(0, 25, size=(120, 2))
+        baseline = simulate_cell_level(frames, 15, 10)
+        monkeypatch.setattr(mod, "_SCAN_CHUNK", 7)
+        chunked = simulate_cell_level(frames, 15, 10)
+        assert chunked.lost_cells == baseline.lost_cells
+        assert chunked.arrived_cells == baseline.arrived_cells

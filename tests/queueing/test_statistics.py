@@ -80,3 +80,51 @@ class TestSurvivalFunction:
     def test_rejects_empty(self):
         with pytest.raises(SimulationError):
             survival_function(np.array([]), [1.0])
+
+
+class TestEstimateToJson:
+    def test_json_round_trips_without_nan(self):
+        import json
+
+        from repro.queueing.statistics import ReplicatedEstimate  # noqa: F401
+
+        est = replicated_estimate([1.0])
+        with pytest.warns(UserWarning, match="confidence interval"):
+            data = est.to_json()
+        # NaN must not leak: this dumps under the strict parser.
+        json.dumps(data, allow_nan=False)
+        assert data["std_error"] is None
+        assert data["half_width"] is None
+        assert data["interval"] is None
+        assert data["mean"] == 1.0
+        assert data["n_replications"] == 1
+
+    def test_single_replication_warns_undefined_ci(self):
+        from repro.exceptions import UndefinedCIWarning
+
+        with pytest.warns(UndefinedCIWarning):
+            replicated_estimate([2.0]).to_json()
+
+    def test_multi_replication_exports_numbers(self):
+        import warnings
+
+        est = replicated_estimate([1.0, 2.0, 3.0])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            data = est.to_json()
+        assert data["std_error"] == pytest.approx(est.std_error)
+        assert data["half_width"] == pytest.approx(est.half_width)
+        assert data["interval"] == [est.interval[0], est.interval[1]]
+
+    def test_summary_to_json_delegates(self):
+        from repro.models import AR1Model
+        from repro.queueing.multiplexer import ATMMultiplexer
+        from repro.queueing.replication import replicated_clr
+
+        model = AR1Model(0.5, 500.0, 5000.0)
+        mux = ATMMultiplexer(model, 10, 515.0, buffer_cells=200.0)
+        summary = replicated_clr(mux, 300, 2, rng=1)
+        data = summary.to_json()
+        assert data["clr"] == summary.clr
+        assert data["per_replication"]["n_replications"] == 2
+        assert data["degraded"] is False

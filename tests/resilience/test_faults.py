@@ -87,3 +87,73 @@ class TestInjectedMultiplexer:
         assert faulty.model.mean == mux.model.mean
         assert faulty.model.frame_duration == mux.model.frame_duration
         assert faulty.utilization == mux.utilization
+
+
+class TestAttemptAddressedSchedules:
+    def test_fail_at_matches_current_attempt(self):
+        from repro.utils.replication_context import replication_attempt
+
+        injector = FaultInjector(fail_at={(2, 1)})
+        with replication_attempt(2, 0):
+            injector.begin_call()  # attempt 0 passes
+        with replication_attempt(2, 1):
+            with pytest.raises(InjectedFault, match=r"\(2, 1\)"):
+                injector.begin_call()
+        with replication_attempt(3, 1):
+            injector.begin_call()  # other replication untouched
+
+    def test_fail_at_inert_outside_context(self):
+        injector = FaultInjector(fail_at={(0, 0)})
+        assert injector.begin_call() == 1
+
+    def test_crash_at(self):
+        from repro.utils.replication_context import replication_attempt
+
+        injector = FaultInjector(crash_at={(1, 0)})
+        with replication_attempt(1, 0):
+            with pytest.raises(InjectedCrash):
+                injector.begin_call()
+
+    def test_hang_at_calls_sleep(self):
+        from repro.utils.replication_context import replication_attempt
+
+        slept = []
+        injector = FaultInjector(hang_at={(0, 0): 1.5}, sleep=slept.append)
+        with replication_attempt(0, 0):
+            injector.begin_call()
+        injector.begin_call()
+        assert slept == [1.5]
+
+    def test_nan_at_poisons_scheduled_attempt(self):
+        from repro.utils.replication_context import replication_attempt
+
+        injector = FaultInjector(nan_at={(0, 0)})
+        arrivals = np.ones(10)
+        with replication_attempt(0, 0):
+            call = injector.begin_call()
+            assert np.isnan(injector.maybe_poison(arrivals, call)).any()
+        call = injector.begin_call()
+        assert not np.isnan(injector.maybe_poison(arrivals, call)).any()
+
+
+class TestFaultInjectedModelPickling:
+    def test_round_trips_through_pickle(self, mux):
+        import pickle
+
+        from repro.resilience.faults import FaultInjectedModel
+
+        model = FaultInjectedModel(mux.model, FaultInjector(fail_at={(0, 0)}))
+        clone = pickle.loads(pickle.dumps(model))
+        assert clone.injector.fail_at == frozenset({(0, 0)})
+        assert clone.mean == mux.model.mean  # delegation intact
+
+    def test_underscore_lookups_raise_instead_of_recursing(self, mux):
+        from repro.resilience.faults import FaultInjectedModel
+
+        model = FaultInjectedModel(mux.model, FaultInjector())
+        # Pickle protocols probe dunders like __reduce_ex__/__setstate__
+        # before instance state exists; underscore names must fail fast
+        # instead of recursing through the missing ``_model``.
+        with pytest.raises(AttributeError):
+            model._no_such_private_attribute
+        assert model.mean == mux.model.mean
