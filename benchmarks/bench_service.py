@@ -1,0 +1,78 @@
+"""Throughput of the online admission-control replay.
+
+Replays the same overloaded workload serially and sharded across two
+worker processes, printing requests/second and the decision-table hit
+rate, and appending one machine-readable row per configuration to
+``benchmarks/results/timings.jsonl`` (experiment ``service_replay``).
+The two configurations produce bit-identical summaries — only the
+wall-clock differs — so the rows are directly comparable.
+"""
+
+import json
+import time
+
+import pytest
+
+from conftest import RESULTS_DIR, TIMINGS_PATH
+
+from repro.atm.qos import QoSRequirement
+from repro.models import make_s
+from repro.service.replay import replay_workload
+from repro.service.workload import ConnectionClass, WorkloadSpec
+
+N_REQUESTS = 20_000
+N_LINKS = 2
+CAPACITY = 30 * 538.0
+
+
+def _replay(jobs):
+    spec = WorkloadSpec(
+        n_requests=N_REQUESTS, arrival_rate=0.4, mean_holding_time=90.0
+    )
+    classes = (ConnectionClass("dar1", make_s(1, 0.975)),)
+    qos = QoSRequirement(max_delay_seconds=0.020, max_clr=1e-6)
+    return replay_workload(
+        spec,
+        classes,
+        n_links=N_LINKS,
+        capacity=CAPACITY,
+        qos=qos,
+        policy="bahadur-rao",
+        rng=20260806,
+        jobs=jobs,
+    )
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_service_replay(benchmark, jobs):
+    summary = benchmark.pedantic(
+        _replay, args=(jobs,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    stats = benchmark.stats.stats
+    requests_per_s = summary.n_requests / stats.mean
+    print(
+        f"\nservice replay (jobs={jobs}): {summary.n_requests} requests "
+        f"in {stats.mean:.2f}s = {requests_per_s:,.0f} req/s, "
+        f"cache hit rate {summary.cache_hit_rate:.2%}, "
+        f"P(block) {summary.blocking_probability:.4f}"
+    )
+    assert summary.boundary_violations == 0
+    assert summary.cache_hit_rate > 0.99
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {
+        "experiment": "service_replay",
+        "scale": None,
+        "rounds": 1,
+        "jobs": jobs,
+        "mean_s": stats.mean,
+        "min_s": stats.min,
+        "max_s": stats.max,
+        "stddev_s": None,
+        "requests": summary.n_requests,
+        "requests_per_s": requests_per_s,
+        "cache_hit_rate": summary.cache_hit_rate,
+        "timestamp_unix": time.time(),
+    }
+    with TIMINGS_PATH.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record) + "\n")

@@ -19,7 +19,10 @@ The package answers the paper's question end to end:
   traces, and replication progress (off by default; ``REPRO_TRACE=1``);
 * :mod:`repro.resilience` — fault-tolerant replication: per-replication
   retry isolation, JSONL checkpoint/resume, deadline-bounded graceful
-  degradation, and deterministic fault injection.
+  degradation, and deterministic fault injection;
+* :mod:`repro.service`   — the online admission-control service:
+  cached decision tables, the admit/release engine, and the workload
+  replay driver (``python -m repro.experiments.runner workload``).
 
 Quickstart::
 
@@ -43,6 +46,7 @@ from repro import (
     plotting,
     queueing,
     resilience,
+    service,
 )
 from repro.core import (
     BOPCurve,
@@ -176,6 +180,7 @@ __all__ = [
     "rate_function",
     "replicated_clr",
     "resilience",
+    "service",
     "replicated_clr_curve",
     "simulate_finite_buffer",
     "simulate_infinite_buffer",

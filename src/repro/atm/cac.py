@@ -36,11 +36,16 @@ from repro.utils.validation import check_positive
 #: the 1 - 1e-9 quantile, beyond which emission is negligible.
 PEAK_QUANTILE = 1.0 - 1e-9
 
+#: The z-score of :data:`PEAK_QUANTILE`, inverted once at import: the
+#: online admission service calls the peak-rate policy per request, and
+#: the Gaussian CDF inversion must not be on that hot path.
+PEAK_SIGMA = float(stats.norm.ppf(PEAK_QUANTILE))
+
 
 def peak_rate_sources(model: TrafficModel, link_capacity: float) -> int:
     """Admissible N under peak-rate allocation."""
     check_positive(link_capacity, "link_capacity")
-    peak = model.mean + model.std * stats.norm.ppf(PEAK_QUANTILE)
+    peak = model.mean + model.std * PEAK_SIGMA
     return int(math.floor(link_capacity / peak))
 
 

@@ -8,6 +8,8 @@ Usage::
         --trace --metrics-out /tmp/metrics
     python -m repro.experiments.runner all --keep-going \\
         --deadline 3600 --checkpoint-dir /tmp/ckpt
+    python -m repro.experiments.runner workload --requests 100000 \\
+        --links 4 --policy bahadur-rao --jobs 2
 
 Prints each experiment's formatted tables to stdout.  With ``--trace``
 (or ``REPRO_TRACE=1``) telemetry is collected and a span/metrics
@@ -28,6 +30,12 @@ partial pools (and remaining experiments are skipped) instead of
 dying.  ``--keep-going`` continues past a failing experiment, prints
 a pass/fail summary, and exits nonzero iff anything failed (see
 ``docs/ROBUSTNESS.md``).
+
+The ``workload`` verb is not a paper experiment but the online
+admission-control service: it replays a synthetic connection workload
+through the CAC engine and reports measured blocking and utilization.
+Its flags (``--requests``, ``--links``, ``--policy``, ``--jobs``, ...)
+are documented in :mod:`repro.service.cli` and ``docs/SERVICE.md``.
 """
 
 from __future__ import annotations
@@ -87,6 +95,13 @@ def _build_policy(args: argparse.Namespace) -> Optional[ResiliencePolicy]:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "workload":
+        # The admission-control service verb has its own flag set;
+        # delegate before the experiment parser can reject it.
+        from repro.service.cli import main as workload_main
+
+        return workload_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce tables/figures of Ryu & Elwalid (SIGCOMM '96)",
@@ -94,7 +109,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}), 'all', "
+        "or the 'workload' service verb (own flags; see --help after it)",
     )
     parser.add_argument(
         "--scale",

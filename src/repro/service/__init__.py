@@ -1,0 +1,84 @@
+"""repro.service — the online connection-admission-control service.
+
+The paper's motivating application, made operational: where
+:mod:`repro.atm.cac` computes one-shot offline capacity numbers, this
+package *serves* admit/release decisions at workload scale and measures
+that the served boundary matches the offline one.
+
+* :mod:`repro.service.tables`   — memoized admissible-N decision
+  tables: one offline inversion per distinct (model, capacity, QoS,
+  policy), then O(1) LRU lookups, with optional JSONL persistence;
+* :mod:`repro.service.engine`   — :class:`AdmissionEngine`: per-link
+  admitted-mix state with ``admit()``/``release()`` for homogeneous
+  (count) and heterogeneous (effective-bandwidth) policies;
+* :mod:`repro.service.workload` — reproducible Poisson connection
+  workloads with exponential or heavy-tailed holding times;
+* :mod:`repro.service.replay`   — the replay driver: streams millions
+  of requests through per-link engines, shards links across the
+  :mod:`repro.parallel` backends (bit-identical to serial), and
+  reports blocking, utilization, and cache effectiveness;
+* :mod:`repro.service.stats`    — report formatting and canonical
+  JSON serialization;
+* :mod:`repro.service.cli`      — the ``workload`` command-line verb
+  (also reachable as ``python -m repro.experiments.runner workload``).
+
+See ``docs/SERVICE.md`` for the architecture and determinism contract.
+"""
+
+from repro.service.engine import AdmissionDecision, AdmissionEngine, LinkState
+from repro.service.replay import (
+    LinkStats,
+    ReplaySummary,
+    replay_link,
+    replay_workload,
+)
+from repro.service.stats import (
+    format_summary,
+    summary_to_dict,
+    summary_to_json,
+    write_summary,
+)
+from repro.service.tables import (
+    CAC_METHODS,
+    Decision,
+    DecisionTableCache,
+    EFFECTIVE_BANDWIDTH_METHOD,
+    SERVICE_METHODS,
+    decision_key,
+    model_fingerprint,
+)
+from repro.service.workload import (
+    ConnectionClass,
+    HOLDING_LAWS,
+    Workload,
+    WorkloadSpec,
+    generate_workload,
+    holding_time_distribution,
+)
+
+__all__ = [
+    "AdmissionDecision",
+    "AdmissionEngine",
+    "CAC_METHODS",
+    "ConnectionClass",
+    "Decision",
+    "DecisionTableCache",
+    "EFFECTIVE_BANDWIDTH_METHOD",
+    "HOLDING_LAWS",
+    "LinkState",
+    "LinkStats",
+    "ReplaySummary",
+    "SERVICE_METHODS",
+    "Workload",
+    "WorkloadSpec",
+    "decision_key",
+    "format_summary",
+    "generate_workload",
+    "holding_time_distribution",
+    "model_fingerprint",
+    "replay_link",
+    "replay_workload",
+    "summary_to_dict",
+    "summary_to_json",
+    "write_summary",
+]

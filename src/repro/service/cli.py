@@ -1,0 +1,276 @@
+"""The ``workload`` command-line verb.
+
+Reachable both directly and through the experiment runner::
+
+    python -m repro.service.cli --requests 100000 --links 4 --jobs 2
+    python -m repro.experiments.runner workload --requests 100000 \\
+        --links 4 --policy bahadur-rao --jobs 2
+
+Replays a synthetic connection workload against the admission engine
+and prints the measured blocking/utilization report.  The offered
+load defaults to 1.2x the admissible-N boundary of the first class —
+deliberately overloaded, so the admission boundary is exercised —
+and can be pinned with ``--erlangs`` or ``--arrival-rate``.
+
+``--summary-out FILE`` writes the canonical JSON summary; the same
+seed produces byte-identical files for any ``--jobs`` value (CI
+asserts this).  ``--table-cache FILE`` persists computed decision
+tables as JSONL, warming later runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import obs
+from repro.atm.qos import QoSRequirement
+from repro.exceptions import ReproError
+from repro.service.replay import replay_workload
+from repro.service.stats import format_summary, write_summary
+from repro.service.tables import SERVICE_METHODS, DecisionTableCache
+from repro.service.workload import ConnectionClass, WorkloadSpec
+from repro.utils.units import mbps_to_cells_per_frame
+
+__all__ = ["CLASS_PRESETS", "build_parser", "main"]
+
+#: Named traffic-class presets for the CLI (built lazily — model
+#: construction is not free and only requested classes should pay).
+CLASS_PRESETS = {
+    "video": "the paper's LRD composite Z^0.975 (H = 0.9)",
+    "dar1": "DAR(1) Markov fit of Z^0.975",
+    "dar3": "DAR(3) Markov fit of Z^0.975",
+    "conference": "small SRD videoconference source (AR(1))",
+}
+
+
+def _build_class(spec: str) -> ConnectionClass:
+    """Parse one ``--class name[:weight]`` occurrence."""
+    name, _, weight_text = spec.partition(":")
+    if name not in CLASS_PRESETS:
+        raise argparse.ArgumentTypeError(
+            f"unknown class {name!r}; choose from "
+            f"{', '.join(sorted(CLASS_PRESETS))}"
+        )
+    weight = 1.0
+    if weight_text:
+        try:
+            weight = float(weight_text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"class weight must be a number, got {weight_text!r}"
+            ) from None
+    from repro.models import AR1Model, make_s, make_z
+
+    model = {
+        "video": lambda: make_z(0.975),
+        "dar1": lambda: make_s(1, 0.975),
+        "dar3": lambda: make_s(3, 0.975),
+        "conference": lambda: AR1Model(0.6, 100.0, 400.0),
+    }[name]()
+    return ConnectionClass(name=name, model=model, weight=weight)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-workload",
+        description=(
+            "Replay a synthetic connection workload through the online "
+            "admission-control engine"
+        ),
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=10_000,
+        metavar="N",
+        help="connection requests per link (default 10000)",
+    )
+    parser.add_argument(
+        "--links",
+        type=int,
+        default=1,
+        metavar="L",
+        help="independent links to replay (default 1)",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=SERVICE_METHODS,
+        default="bahadur-rao",
+        help="admission policy (default bahadur-rao)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard links across N worker processes; the summary is "
+        "bit-identical to --jobs 1 (default 1)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=20260806,
+        metavar="S",
+        help="workload seed; per-link streams are SeedSequence children",
+    )
+    parser.add_argument(
+        "--class",
+        dest="classes",
+        action="append",
+        type=_build_class,
+        metavar="NAME[:WEIGHT]",
+        help="offered class (repeatable); presets: "
+        + ", ".join(f"{k} = {v}" for k, v in sorted(CLASS_PRESETS.items()))
+        + " (default: video)",
+    )
+    parser.add_argument(
+        "--capacity-mbps",
+        type=float,
+        default=155.52,
+        metavar="MBPS",
+        help="link rate in Mbit/s (default 155.52, OC-3)",
+    )
+    parser.add_argument(
+        "--delay-ms",
+        type=float,
+        default=20.0,
+        metavar="MS",
+        help="per-node QoS delay budget (default 20 msec)",
+    )
+    parser.add_argument(
+        "--clr",
+        type=float,
+        default=1e-6,
+        metavar="P",
+        help="QoS cell loss rate target (default 1e-6)",
+    )
+    parser.add_argument(
+        "--erlangs",
+        type=float,
+        default=None,
+        metavar="A",
+        help="offered load in Erlangs per link (default: 1.2x the "
+        "admissible-N boundary, i.e. deliberately overloaded)",
+    )
+    parser.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="connection arrivals/second per link (overrides --erlangs)",
+    )
+    parser.add_argument(
+        "--holding-mean",
+        type=float,
+        default=90.0,
+        metavar="SECONDS",
+        help="mean connection holding time (default 90 s)",
+    )
+    parser.add_argument(
+        "--heavy-tailed",
+        action="store_true",
+        help="draw holding times from the heavy-tailed "
+        "(exponential-body/Pareto-tail) session law instead of "
+        "exponential",
+    )
+    parser.add_argument(
+        "--tail-gamma",
+        type=float,
+        default=1.5,
+        metavar="G",
+        help="tail exponent for --heavy-tailed, in (1, 2) (default 1.5)",
+    )
+    parser.add_argument(
+        "--table-cache",
+        metavar="FILE",
+        default=None,
+        help="persist decision tables as JSONL at FILE (warmed before "
+        "the replay; workers load it read-only)",
+    )
+    parser.add_argument(
+        "--summary-out",
+        metavar="FILE",
+        default=None,
+        help="write the canonical JSON summary to FILE (byte-identical "
+        "across --jobs values)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect telemetry and print the span/metrics summary",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.requests < 1:
+        parser.error(f"--requests must be >= 1, got {args.requests}")
+    if args.links < 1:
+        parser.error(f"--links must be >= 1, got {args.links}")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    classes = args.classes or [_build_class("video")]
+    capacity = mbps_to_cells_per_frame(args.capacity_mbps)
+    qos = QoSRequirement(
+        max_delay_seconds=args.delay_ms / 1000.0, max_clr=args.clr
+    )
+
+    if args.trace:
+        obs.enable()
+        obs.reset()
+
+    # Warm the decision table for the first class once in the parent:
+    # it pins the boundary the default offered load is derived from,
+    # and (with --table-cache) seeds the file every link then loads.
+    tables = DecisionTableCache(path=args.table_cache)
+    boundary = tables.lookup(classes[0].model, capacity, qos, args.policy)
+
+    if args.arrival_rate is not None:
+        arrival_rate = args.arrival_rate
+    else:
+        erlangs = (
+            args.erlangs
+            if args.erlangs is not None
+            else 1.2 * max(boundary.admissible, 1)
+        )
+        arrival_rate = erlangs / args.holding_mean
+
+    try:
+        spec = WorkloadSpec(
+            n_requests=args.requests,
+            arrival_rate=arrival_rate,
+            mean_holding_time=args.holding_mean,
+            holding="heavy-tailed" if args.heavy_tailed else "exponential",
+            tail_gamma=args.tail_gamma,
+        )
+        summary = replay_workload(
+            spec,
+            classes,
+            n_links=args.links,
+            capacity=capacity,
+            qos=qos,
+            policy=args.policy,
+            rng=args.seed,
+            jobs=args.jobs,
+            table_path=args.table_cache,
+        )
+    except ReproError as exc:
+        parser.error(str(exc))
+
+    print(format_summary(summary))
+    if args.trace:
+        print()
+        print(obs.format_summary())
+    if args.summary_out is not None:
+        path = write_summary(args.summary_out, summary)
+        print(f"[wrote {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,270 @@
+"""The event-driven admission-control engine.
+
+An :class:`AdmissionEngine` is the operational form of the paper's
+motivating application: it holds the admitted-connection mix of one or
+more links and answers ``admit()`` / ``release()`` queries online,
+delegating every capacity question to a
+:class:`~repro.service.tables.DecisionTableCache` so the per-request
+cost is a cache probe, not a Bahadur-Rao inversion.
+
+Two admission disciplines:
+
+* **count policies** (``peak-rate``, ``mean-rate``, ``bahadur-rao``,
+  ``large-n``) — the link carries one homogeneous class and a request
+  is admitted while the occupancy is below the offline admissible N
+  for that (model, capacity, QoS, policy).  Mixing classes under a
+  count policy is a configuration error and raises
+  :class:`~repro.exceptions.ParameterError`.
+* **effective-bandwidth** — each class is charged its CTS effective
+  bandwidth ``e_i`` (the paper's resolution of the "infinite effective
+  bandwidth of LRD sources" myth) and a request is admitted while
+  ``sum of admitted e_i + e_new <= C``.  This is the policy that
+  serves heterogeneous mixes.
+
+Telemetry (when :mod:`repro.obs` is enabled): ``service.admitted`` /
+``service.blocked`` / ``service.released`` counters, a
+``service.admit_latency_ns`` histogram, plus the table cache's
+``service.table_hits`` / ``service.table_misses``.  Disabled, each
+admit pays a single boolean check.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.atm.qos import QoSRequirement
+from repro.exceptions import ParameterError
+from repro.models.base import TrafficModel
+from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
+from repro.service.tables import (
+    EFFECTIVE_BANDWIDTH_METHOD,
+    SERVICE_METHODS,
+    DecisionTableCache,
+    model_fingerprint,
+)
+from repro.utils.validation import check_positive
+
+__all__ = ["AdmissionDecision", "AdmissionEngine", "LinkState"]
+
+#: Blocked/admitted reasons reported on every decision.
+REASON_ADMITTED = "admitted"
+REASON_CAPACITY = "capacity"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one admission query.
+
+    ``occupancy`` is the connection count on the link *after* the
+    decision took effect; ``admissible`` is the table boundary the
+    decision was checked against (the homogeneous maximum N).
+    """
+
+    admitted: bool
+    link_id: str
+    connection_id: str
+    policy: str
+    reason: str
+    admissible: int
+    occupancy: int
+    effective_bandwidth: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class _Connection:
+    """Book-keeping for one admitted connection."""
+
+    fingerprint: str
+    mean: float
+    effective_bandwidth: Optional[float]
+
+
+@dataclass
+class LinkState:
+    """Mutable admitted-mix state of one link."""
+
+    link_id: str
+    capacity: float
+    qos: QoSRequirement
+    connections: Dict[str, _Connection] = field(default_factory=dict)
+    class_counts: Dict[str, int] = field(default_factory=dict)
+    #: Sum of admitted effective bandwidths (effective-bandwidth policy).
+    admitted_bandwidth: float = 0.0
+    #: Sum of admitted mean rates (cells/frame) — the carried load.
+    admitted_mean_load: float = 0.0
+
+    @property
+    def occupancy(self) -> int:
+        """Number of currently admitted connections."""
+        return len(self.connections)
+
+
+class AdmissionEngine:
+    """Per-link admission control served from cached decision tables.
+
+    Parameters
+    ----------
+    policy:
+        One of :data:`~repro.service.tables.SERVICE_METHODS`.
+    tables:
+        The decision-table cache to consult; a fresh private cache by
+        default.  Sharing one cache across engines shares the computed
+        tables (and their hit/miss accounting).
+    """
+
+    def __init__(
+        self,
+        policy: str = "bahadur-rao",
+        *,
+        tables: Optional[DecisionTableCache] = None,
+    ):
+        if policy not in SERVICE_METHODS:
+            raise ParameterError(
+                f"unknown admission policy {policy!r}; choose from "
+                f"{', '.join(SERVICE_METHODS)}"
+            )
+        self.policy = policy
+        self.tables = tables if tables is not None else DecisionTableCache()
+        self._links: Dict[str, LinkState] = {}
+
+    # -- topology ------------------------------------------------------------
+
+    def add_link(
+        self,
+        link_id: str,
+        capacity: float,
+        qos: Optional[QoSRequirement] = None,
+    ) -> LinkState:
+        """Register a link (capacity in cells/frame) and return its state."""
+        check_positive(capacity, "capacity")
+        if link_id in self._links:
+            raise ParameterError(f"link {link_id!r} already registered")
+        state = LinkState(
+            link_id=link_id,
+            capacity=float(capacity),
+            qos=qos if qos is not None else QoSRequirement(),
+        )
+        self._links[link_id] = state
+        return state
+
+    def link(self, link_id: str) -> LinkState:
+        try:
+            return self._links[link_id]
+        except KeyError:
+            raise ParameterError(
+                f"unknown link {link_id!r}; registered: "
+                f"{sorted(self._links)}"
+            ) from None
+
+    @property
+    def links(self) -> Dict[str, LinkState]:
+        """Read-only view of registered links (do not mutate)."""
+        return dict(self._links)
+
+    # -- the service surface -------------------------------------------------
+
+    def admit(
+        self,
+        link_id: str,
+        model: TrafficModel,
+        connection_id: str,
+    ) -> AdmissionDecision:
+        """Decide one connection request against the link's free capacity."""
+        enabled = _spans._ENABLED
+        started = time.perf_counter_ns() if enabled else 0
+        link = self.link(link_id)
+        if connection_id in link.connections:
+            raise ParameterError(
+                f"connection {connection_id!r} already admitted on "
+                f"link {link_id!r}"
+            )
+        decision = self.tables.lookup(
+            model, link.capacity, link.qos, self.policy
+        )
+        fingerprint = model_fingerprint(model)
+        bandwidth = decision.effective_bandwidth
+        if self.policy == EFFECTIVE_BANDWIDTH_METHOD:
+            admitted = (
+                link.admitted_bandwidth + bandwidth <= link.capacity
+            )
+        else:
+            if link.class_counts and fingerprint not in link.class_counts:
+                raise ParameterError(
+                    f"link {link_id!r} carries class "
+                    f"{next(iter(link.class_counts))} but policy "
+                    f"{self.policy!r} is homogeneous-only; use the "
+                    f"{EFFECTIVE_BANDWIDTH_METHOD!r} policy for mixes"
+                )
+            admitted = (
+                link.class_counts.get(fingerprint, 0) < decision.admissible
+            )
+        if admitted:
+            link.connections[connection_id] = _Connection(
+                fingerprint=fingerprint,
+                mean=float(model.mean),
+                effective_bandwidth=bandwidth,
+            )
+            link.class_counts[fingerprint] = (
+                link.class_counts.get(fingerprint, 0) + 1
+            )
+            if bandwidth is not None:
+                link.admitted_bandwidth += bandwidth
+            link.admitted_mean_load += float(model.mean)
+        if enabled:
+            _metrics.add(
+                "service.admitted" if admitted else "service.blocked"
+            )
+            _metrics.observe(
+                "service.admit_latency_ns",
+                time.perf_counter_ns() - started,
+            )
+        return AdmissionDecision(
+            admitted=admitted,
+            link_id=link_id,
+            connection_id=connection_id,
+            policy=self.policy,
+            reason=REASON_ADMITTED if admitted else REASON_CAPACITY,
+            admissible=decision.admissible,
+            occupancy=link.occupancy,
+            effective_bandwidth=bandwidth,
+        )
+
+    def release(self, link_id: str, connection_id: str) -> None:
+        """Tear down an admitted connection, freeing its allocation."""
+        link = self.link(link_id)
+        try:
+            connection = link.connections.pop(connection_id)
+        except KeyError:
+            raise ParameterError(
+                f"connection {connection_id!r} is not admitted on "
+                f"link {link_id!r}"
+            ) from None
+        remaining = link.class_counts[connection.fingerprint] - 1
+        if remaining:
+            link.class_counts[connection.fingerprint] = remaining
+        else:
+            del link.class_counts[connection.fingerprint]
+        if connection.effective_bandwidth is not None:
+            link.admitted_bandwidth -= connection.effective_bandwidth
+        link.admitted_mean_load -= connection.mean
+        if _spans._ENABLED:
+            _metrics.add("service.released")
+
+    # -- introspection -------------------------------------------------------
+
+    def occupancy(self, link_id: str) -> int:
+        return self.link(link_id).occupancy
+
+    def utilization(self, link_id: str) -> float:
+        """Carried mean load as a fraction of the link capacity."""
+        link = self.link(link_id)
+        return link.admitted_mean_load / link.capacity
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionEngine(policy={self.policy!r}, "
+            f"links={len(self._links)}, tables={self.tables!r})"
+        )

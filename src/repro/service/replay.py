@@ -1,0 +1,405 @@
+"""Workload replay: millions of admission requests through the engine.
+
+The driver closes the loop from the paper's Table-1-style capacity
+numbers to a *served* workload: it streams a synthetic connection
+workload (:mod:`repro.service.workload`) through an
+:class:`~repro.service.engine.AdmissionEngine` per link and measures
+what the offline tables only predict — blocking probability,
+time-averaged utilization, and whether the online boundary matches the
+offline admissible N.
+
+Scale comes from two places:
+
+* **decision-table caching** — each link performs one offline
+  inversion per distinct class and serves every further request from
+  the LRU table, so a million-request replay costs a handful of
+  Bahadur-Rao inversions (`ReplaySummary.cache_hit_rate` reports the
+  measured ratio);
+* **link sharding** — links are statistically independent (their RNG
+  streams are ``SeedSequence``-spawned children of one seed), so the
+  replay fans them out across the :mod:`repro.parallel` backends.  As
+  everywhere in this library, parallel runs are **bit-identical** to
+  serial ones: per-link statistics are computed by identical code on
+  identical generator states and pooled in link-index order, so the
+  summary — including every float — does not depend on ``jobs``.
+
+Every replayed decision is also checked against the offline boundary
+in place: a request admitted at occupancy >= N or blocked below N
+would increment ``boundary_violations``, which a healthy replay
+reports as zero.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.atm.qos import QoSRequirement
+from repro.exceptions import ParameterError
+from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
+from repro.obs.spans import span
+from repro.parallel.backends import Backend, resolve_backend
+from repro.parallel.worker import (
+    WorkerPayload,
+    execute_payload,
+    merge_result_telemetry,
+)
+from repro.service.engine import AdmissionEngine
+from repro.service.tables import (
+    EFFECTIVE_BANDWIDTH_METHOD,
+    DecisionTableCache,
+)
+from repro.service.workload import (
+    ConnectionClass,
+    WorkloadSpec,
+    generate_workload,
+)
+from repro.utils.rng import RngLike, spawn_generators
+from repro.utils.validation import check_integer, check_positive
+
+__all__ = [
+    "LinkStats",
+    "ReplaySummary",
+    "replay_link",
+    "replay_workload",
+]
+
+
+@dataclass(frozen=True)
+class LinkStats:
+    """Measured outcome of one link's replay."""
+
+    link_index: int
+    n_requests: int
+    admitted: int
+    blocked: int
+    peak_occupancy: int
+    #: Offline admissible N for the first class (the boundary the
+    #: online decisions were checked against).
+    admissible: int
+    #: Decisions inconsistent with the offline boundary (must be 0).
+    boundary_violations: int
+    #: Integral of carried mean load over time (cells/frame x seconds).
+    carried_load_seconds: float
+    elapsed_seconds: float
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def blocking_probability(self) -> float:
+        return self.blocked / self.n_requests if self.n_requests else 0.0
+
+    def utilization(self, capacity: float) -> float:
+        """Time-averaged carried load as a fraction of ``capacity``."""
+        denominator = capacity * self.elapsed_seconds
+        return self.carried_load_seconds / denominator if denominator else 0.0
+
+    # -- flat transport through WorkerResult arrays --------------------------
+
+    _FIELDS = (
+        "n_requests",
+        "admitted",
+        "blocked",
+        "peak_occupancy",
+        "admissible",
+        "boundary_violations",
+        "carried_load_seconds",
+        "elapsed_seconds",
+        "cache_hits",
+        "cache_misses",
+    )
+
+    def as_array(self) -> np.ndarray:
+        """Encode as the float vector a worker ships back."""
+        return np.asarray(
+            [float(getattr(self, name)) for name in self._FIELDS]
+        )
+
+    @classmethod
+    def from_array(cls, link_index: int, values: np.ndarray) -> "LinkStats":
+        values = np.asarray(values, dtype=float)
+        if values.shape != (len(cls._FIELDS),):
+            raise ParameterError(
+                f"link-stats vector must have shape ({len(cls._FIELDS)},), "
+                f"got {values.shape}"
+            )
+        data = dict(zip(cls._FIELDS, values))
+        return cls(
+            link_index=link_index,
+            n_requests=int(data["n_requests"]),
+            admitted=int(data["admitted"]),
+            blocked=int(data["blocked"]),
+            peak_occupancy=int(data["peak_occupancy"]),
+            admissible=int(data["admissible"]),
+            boundary_violations=int(data["boundary_violations"]),
+            carried_load_seconds=float(data["carried_load_seconds"]),
+            elapsed_seconds=float(data["elapsed_seconds"]),
+            cache_hits=int(data["cache_hits"]),
+            cache_misses=int(data["cache_misses"]),
+        )
+
+
+@dataclass(frozen=True)
+class ReplaySummary:
+    """Pooled outcome of a multi-link replay (links in index order)."""
+
+    policy: str
+    capacity: float
+    n_links: int
+    n_requests: int
+    admitted: int
+    blocked: int
+    blocking_probability: float
+    #: Mean over links of the time-averaged utilization.
+    utilization: float
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    boundary_violations: int
+    offered_erlangs: float
+    links: Tuple[LinkStats, ...]
+
+
+def replay_link(
+    spec: WorkloadSpec,
+    classes: Sequence[ConnectionClass],
+    *,
+    capacity: float,
+    qos: QoSRequirement,
+    policy: str,
+    rng: RngLike,
+    link_index: int = 0,
+    table_path=None,
+) -> LinkStats:
+    """Replay one link's workload through a fresh engine.
+
+    Event-driven: arrivals in time order, departures drained from a
+    heap before each arrival, the carried-load integral updated at
+    every state change.  The engine and its decision-table cache are
+    private to the link, so a link's statistics do not depend on what
+    other links (or processes) did — the bit-identity contract.
+    """
+    tables = (
+        DecisionTableCache(path=table_path, persist=False)
+        if table_path is not None
+        else DecisionTableCache()
+    )
+    engine = AdmissionEngine(policy=policy, tables=tables)
+    link_id = f"link-{link_index}"
+    link = engine.add_link(link_id, capacity, qos)
+    workload = generate_workload(spec, classes, rng)
+
+    # The boundary the replay is checked against: admissible N of the
+    # first class (deterministically the first table miss).
+    boundary = tables.lookup(classes[0].model, capacity, qos, policy)
+    count_policy = policy != EFFECTIVE_BANDWIDTH_METHOD
+
+    arrivals = workload.arrival_times
+    holdings = workload.holding_times
+    labels = workload.class_indices
+    models = [c.model for c in classes]
+
+    departures: List[Tuple[float, str]] = []
+    admitted = blocked = 0
+    peak_occupancy = 0
+    boundary_violations = 0
+    carried_load_seconds = 0.0
+    last_event_time = 0.0
+
+    admit = engine.admit
+    release = engine.release
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    with span(
+        "service.replay.link",
+        link=link_index,
+        requests=workload.n_requests,
+        policy=policy,
+    ):
+        for i in range(workload.n_requests):
+            now = float(arrivals[i])
+            while departures and departures[0][0] <= now:
+                departed_at, connection_id = heappop(departures)
+                carried_load_seconds += link.admitted_mean_load * (
+                    departed_at - last_event_time
+                )
+                last_event_time = departed_at
+                release(link_id, connection_id)
+            carried_load_seconds += link.admitted_mean_load * (
+                now - last_event_time
+            )
+            last_event_time = now
+
+            occupancy_before = link.occupancy
+            decision = admit(link_id, models[labels[i]], f"c{i}")
+            if decision.admitted:
+                admitted += 1
+                if decision.occupancy > peak_occupancy:
+                    peak_occupancy = decision.occupancy
+                heappush(departures, (now + float(holdings[i]), f"c{i}"))
+            else:
+                blocked += 1
+            if count_policy and decision.admitted != (
+                occupancy_before < decision.admissible
+            ):
+                boundary_violations += 1
+
+    if _spans._ENABLED:
+        _metrics.add("service.requests_replayed", workload.n_requests)
+
+    return LinkStats(
+        link_index=link_index,
+        n_requests=workload.n_requests,
+        admitted=admitted,
+        blocked=blocked,
+        peak_occupancy=peak_occupancy,
+        admissible=boundary.admissible,
+        boundary_violations=boundary_violations,
+        carried_load_seconds=carried_load_seconds,
+        elapsed_seconds=workload.horizon_seconds,
+        cache_hits=tables.hits,
+        cache_misses=tables.misses,
+    )
+
+
+@dataclass(frozen=True, eq=False)
+class _LinkReplayTask:
+    """Picklable body of one link's replay, for any backend."""
+
+    spec: WorkloadSpec
+    classes: Tuple[ConnectionClass, ...]
+    capacity: float
+    qos: QoSRequirement
+    policy: str
+    table_path: Optional[str] = None
+
+    def __call__(self, index: int, generator: np.random.Generator):
+        stats = replay_link(
+            self.spec,
+            self.classes,
+            capacity=self.capacity,
+            qos=self.qos,
+            policy=self.policy,
+            rng=generator,
+            link_index=index,
+            table_path=self.table_path,
+        )
+        return stats.as_array(), float(stats.n_requests)
+
+
+def _pool_links(
+    policy: str,
+    capacity: float,
+    spec: WorkloadSpec,
+    links: Sequence[LinkStats],
+) -> ReplaySummary:
+    """Aggregate per-link stats in index order (float order fixed)."""
+    n_requests = sum(s.n_requests for s in links)
+    admitted = sum(s.admitted for s in links)
+    blocked = sum(s.blocked for s in links)
+    utilization = 0.0
+    for stats in links:
+        utilization += stats.utilization(capacity)
+    utilization /= len(links)
+    cache_hits = sum(s.cache_hits for s in links)
+    cache_misses = sum(s.cache_misses for s in links)
+    cache_total = cache_hits + cache_misses
+    return ReplaySummary(
+        policy=policy,
+        capacity=float(capacity),
+        n_links=len(links),
+        n_requests=n_requests,
+        admitted=admitted,
+        blocked=blocked,
+        blocking_probability=blocked / n_requests if n_requests else 0.0,
+        utilization=utilization,
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        cache_hit_rate=cache_hits / cache_total if cache_total else 0.0,
+        boundary_violations=sum(s.boundary_violations for s in links),
+        offered_erlangs=spec.offered_erlangs,
+        links=tuple(links),
+    )
+
+
+def replay_workload(
+    spec: WorkloadSpec,
+    classes: Sequence[ConnectionClass],
+    *,
+    n_links: int = 1,
+    capacity: float,
+    qos: Optional[QoSRequirement] = None,
+    policy: str = "bahadur-rao",
+    rng: RngLike = None,
+    backend: Optional[Backend] = None,
+    jobs: Optional[int] = None,
+    table_path=None,
+) -> ReplaySummary:
+    """Replay ``spec`` on every link and pool the measured statistics.
+
+    Each of the ``n_links`` independent links runs the same workload
+    specification on its own ``SeedSequence``-spawned stream.  With
+    ``jobs=N`` (or an explicit ``backend=``) links fan out across
+    worker processes; the summary is bit-identical to a serial run on
+    the same seed.  ``table_path`` points every link at a shared
+    persisted decision table (loaded read-only).
+    """
+    n_links = check_integer(n_links, "n_links", minimum=1)
+    check_positive(capacity, "capacity")
+    qos = qos if qos is not None else QoSRequirement()
+    exec_backend = resolve_backend(backend, jobs)
+    task = _LinkReplayTask(
+        spec=spec,
+        classes=tuple(classes),
+        capacity=float(capacity),
+        qos=qos,
+        policy=policy,
+        table_path=None if table_path is None else str(table_path),
+    )
+    telemetry = _spans.is_enabled()
+    generators = spawn_generators(rng, n_links)
+    payloads = [
+        WorkerPayload(
+            index=i,
+            attempt=0,
+            task=task,
+            generator=generators[i],
+            label=f"workload-link-{i}",
+            telemetry=telemetry,
+            health_check=True,
+        )
+        for i in range(n_links)
+    ]
+    results: List = [None] * n_links
+    with span(
+        "service.replay",
+        links=n_links,
+        requests=spec.n_requests * n_links,
+        policy=policy,
+        jobs=1 if exec_backend is None else exec_backend.jobs,
+    ):
+        if exec_backend is None:
+            for payload in payloads:
+                result = execute_payload(payload)
+                if result.failed:
+                    raise result.error
+                results[result.index] = result
+        else:
+            with exec_backend.session() as session:
+                for payload in payloads:
+                    session.submit(payload)
+                while session.pending:
+                    result = session.next_completed()
+                    merge_result_telemetry(result)
+                    if result.failed:
+                        raise result.error
+                    results[result.index] = result
+    links = [
+        LinkStats.from_array(i, results[i].lost) for i in range(n_links)
+    ]
+    return _pool_links(policy, capacity, spec, links)

@@ -1,0 +1,106 @@
+"""Reporting for replay runs: tables, dicts, and canonical JSON.
+
+The canonical JSON form exists for exactness, not prettiness: CI's
+workload smoke job replays the same seed serially and with
+``--jobs 2`` and byte-compares the two files, so the serialization
+must be deterministic (sorted keys, repr-roundtrip floats — Python's
+``json`` emits the shortest repr, which round-trips exactly).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.service.replay import LinkStats, ReplaySummary
+
+__all__ = [
+    "format_summary",
+    "link_stats_to_dict",
+    "summary_to_dict",
+    "summary_to_json",
+    "write_summary",
+]
+
+
+def link_stats_to_dict(stats: LinkStats, capacity: float) -> dict:
+    return {
+        "link_index": stats.link_index,
+        "n_requests": stats.n_requests,
+        "admitted": stats.admitted,
+        "blocked": stats.blocked,
+        "blocking_probability": stats.blocking_probability,
+        "peak_occupancy": stats.peak_occupancy,
+        "admissible": stats.admissible,
+        "boundary_violations": stats.boundary_violations,
+        "utilization": stats.utilization(capacity),
+        "elapsed_seconds": stats.elapsed_seconds,
+        "cache_hits": stats.cache_hits,
+        "cache_misses": stats.cache_misses,
+    }
+
+
+def summary_to_dict(summary: ReplaySummary) -> dict:
+    """The full replay outcome as plain JSON-serializable data."""
+    return {
+        "policy": summary.policy,
+        "capacity_cells_per_frame": summary.capacity,
+        "n_links": summary.n_links,
+        "n_requests": summary.n_requests,
+        "admitted": summary.admitted,
+        "blocked": summary.blocked,
+        "blocking_probability": summary.blocking_probability,
+        "utilization": summary.utilization,
+        "cache_hits": summary.cache_hits,
+        "cache_misses": summary.cache_misses,
+        "cache_hit_rate": summary.cache_hit_rate,
+        "boundary_violations": summary.boundary_violations,
+        "offered_erlangs": summary.offered_erlangs,
+        "links": [
+            link_stats_to_dict(stats, summary.capacity)
+            for stats in summary.links
+        ],
+    }
+
+
+def summary_to_json(summary: ReplaySummary) -> str:
+    """Canonical single-line JSON (byte-stable across backends)."""
+    return json.dumps(summary_to_dict(summary), sort_keys=True)
+
+
+def write_summary(path, summary: ReplaySummary) -> Path:
+    """Write the canonical JSON line to ``path`` and return it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(summary_to_json(summary) + "\n", encoding="utf-8")
+    return path
+
+
+def format_summary(summary: ReplaySummary) -> str:
+    """Human-readable replay report (one row per link plus totals)."""
+    lines = [
+        f"workload replay — policy {summary.policy}, "
+        f"{summary.n_links} link(s) x {summary.links[0].n_requests} "
+        f"requests, offered {summary.offered_erlangs:.1f} Erl "
+        f"(admissible N = {summary.links[0].admissible})",
+        f"{'link':>4} {'admitted':>9} {'blocked':>8} {'P(block)':>9} "
+        f"{'peak':>5} {'util':>6} {'cache hit%':>10}",
+    ]
+    for stats in summary.links:
+        cache_total = stats.cache_hits + stats.cache_misses
+        hit_rate = stats.cache_hits / cache_total if cache_total else 0.0
+        lines.append(
+            f"{stats.link_index:>4} {stats.admitted:>9} "
+            f"{stats.blocked:>8} {stats.blocking_probability:>9.4f} "
+            f"{stats.peak_occupancy:>5} "
+            f"{stats.utilization(summary.capacity):>6.3f} "
+            f"{hit_rate:>10.2%}"
+        )
+    lines.append(
+        f"total: {summary.admitted} admitted, {summary.blocked} blocked "
+        f"(P = {summary.blocking_probability:.4f}), utilization "
+        f"{summary.utilization:.3f}, decision-table hit rate "
+        f"{summary.cache_hit_rate:.2%}, boundary violations "
+        f"{summary.boundary_violations}"
+    )
+    return "\n".join(lines)

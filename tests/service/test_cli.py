@@ -1,0 +1,122 @@
+"""Tests for the ``workload`` CLI verb (and its runner delegation)."""
+
+import json
+
+import pytest
+
+from repro.service.cli import _build_class, build_parser, main
+
+SMALL = ["--requests", "300", "--seed", "99"]
+
+
+class TestClassPresets:
+    def test_default_weight(self):
+        cls = _build_class("dar1")
+        assert cls.name == "dar1"
+        assert cls.weight == 1.0
+
+    def test_explicit_weight(self):
+        assert _build_class("conference:2.5").weight == 2.5
+
+    def test_unknown_preset_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match="unknown class"):
+            _build_class("voip")
+
+    def test_bad_weight_rejected(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match="weight"):
+            _build_class("dar1:heavy")
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.requests == 10_000
+        assert args.links == 1
+        assert args.policy == "bahadur-rao"
+        assert args.jobs == 1
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["--requests", "0"],
+            ["--links", "0"],
+            ["--jobs", "0"],
+            ["--policy", "erlang-b"],
+        ],
+    )
+    def test_invalid_arguments_exit(self, argv):
+        with pytest.raises(SystemExit):
+            main(argv)
+
+
+class TestMain:
+    def test_replay_report_printed(self, capsys):
+        assert main(SMALL + ["--class", "dar1"]) == 0
+        out = capsys.readouterr().out
+        assert "workload replay" in out
+        assert "boundary violations 0" in out
+
+    def test_summary_out_is_canonical_json(self, tmp_path, capsys):
+        out_path = tmp_path / "summary.json"
+        main(SMALL + ["--class", "dar1", "--summary-out", str(out_path)])
+        text = out_path.read_text()
+        summary = json.loads(text)
+        assert summary["n_requests"] == 300
+        assert summary["boundary_violations"] == 0
+        assert text == json.dumps(summary, sort_keys=True) + "\n"
+
+    def test_same_seed_same_bytes(self, tmp_path, capsys):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            main(SMALL + ["--class", "dar1", "--summary-out", str(path)])
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_table_cache_warms_across_runs(self, tmp_path, capsys):
+        cache = tmp_path / "tables.jsonl"
+        main(SMALL + ["--class", "dar1", "--table-cache", str(cache)])
+        assert cache.exists()
+        lines = cache.read_text().splitlines()
+        assert len(lines) == 1
+        # A second run computes nothing new.
+        main(SMALL + ["--class", "dar1", "--table-cache", str(cache)])
+        assert cache.read_text().splitlines() == lines
+
+    def test_heterogeneous_mix_needs_eb_policy(self, capsys):
+        argv = SMALL + ["--class", "dar1", "--class", "conference"]
+        # Count policies reject mixes (through parser.error -> exit 2)...
+        with pytest.raises(SystemExit):
+            main(argv + ["--erlangs", "40"])
+        # ...while the effective-bandwidth policy serves them.
+        assert (
+            main(
+                argv
+                + ["--policy", "effective-bandwidth", "--erlangs", "40"]
+            )
+            == 0
+        )
+
+    def test_trace_prints_telemetry_summary(self, capsys):
+        from repro import obs
+
+        try:
+            assert main(SMALL + ["--class", "dar1", "--trace"]) == 0
+        finally:
+            obs.reset()
+            obs.disable()
+        out = capsys.readouterr().out
+        assert "service.replay" in out
+
+
+class TestRunnerDelegation:
+    def test_workload_verb_routes_to_service(self, capsys):
+        from repro.experiments.runner import main as runner_main
+
+        code = runner_main(
+            ["workload", "--requests", "200", "--class", "dar1"]
+        )
+        assert code == 0
+        assert "workload replay" in capsys.readouterr().out

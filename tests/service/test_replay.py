@@ -1,0 +1,263 @@
+"""Tests for the workload replay driver.
+
+The load-bearing properties: every decision agrees with the offline
+admissible-N boundary, the decision-table cache absorbs all but the
+first lookup, and the pooled summary is bit-identical between serial
+execution and process-pool sharding on the same seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.atm.qos import QoSRequirement
+from repro.exceptions import ParameterError
+from repro.models import AR1Model, make_s
+from repro.parallel.backends import ProcessPoolBackend
+from repro.service.replay import (
+    LinkStats,
+    replay_link,
+    replay_workload,
+)
+from repro.service.stats import summary_to_json
+from repro.service.workload import ConnectionClass, WorkloadSpec
+
+CAPACITY = 30 * 538.0
+
+
+@pytest.fixture
+def qos():
+    return QoSRequirement(max_delay_seconds=0.020, max_clr=1e-6)
+
+
+@pytest.fixture
+def classes():
+    return (ConnectionClass("dar1", make_s(1, 0.975)),)
+
+
+@pytest.fixture
+def overloaded_spec():
+    # ~36 Erlangs against an admissible N of 30: the boundary is hit
+    # constantly, which is exactly what the replay must survive.
+    return WorkloadSpec(
+        n_requests=3_000, arrival_rate=0.4, mean_holding_time=90.0
+    )
+
+
+class TestReplayLink:
+    def test_conservation_and_boundary(self, overloaded_spec, classes, qos):
+        stats = replay_link(
+            overloaded_spec,
+            classes,
+            capacity=CAPACITY,
+            qos=qos,
+            policy="bahadur-rao",
+            rng=42,
+        )
+        assert stats.admitted + stats.blocked == stats.n_requests
+        assert stats.boundary_violations == 0
+        assert stats.peak_occupancy <= stats.admissible
+        assert 0.0 < stats.blocking_probability < 1.0
+        assert 0.0 < stats.utilization(CAPACITY) <= 1.0
+
+    def test_cache_absorbs_all_but_first_lookup(
+        self, overloaded_spec, classes, qos
+    ):
+        stats = replay_link(
+            overloaded_spec,
+            classes,
+            capacity=CAPACITY,
+            qos=qos,
+            policy="bahadur-rao",
+            rng=42,
+        )
+        assert stats.cache_misses == 1
+        assert stats.cache_hits == overloaded_spec.n_requests
+        hit_rate = stats.cache_hits / (stats.cache_hits + stats.cache_misses)
+        assert hit_rate > 0.99
+
+    def test_underloaded_link_blocks_nothing(self, classes, qos):
+        spec = WorkloadSpec(
+            n_requests=500, arrival_rate=0.02, mean_holding_time=90.0
+        )  # ~1.8 Erlangs against N = 30
+        stats = replay_link(
+            spec,
+            classes,
+            capacity=CAPACITY,
+            qos=qos,
+            policy="bahadur-rao",
+            rng=1,
+        )
+        assert stats.blocked == 0
+        assert stats.boundary_violations == 0
+
+    def test_effective_bandwidth_replays_mixes(self, qos):
+        spec = WorkloadSpec(
+            n_requests=2_000, arrival_rate=0.5, mean_holding_time=90.0
+        )
+        classes = (
+            ConnectionClass("video", make_s(1, 0.975), weight=1.0),
+            ConnectionClass(
+                "conference", AR1Model(0.6, 100.0, 400.0), weight=2.0
+            ),
+        )
+        stats = replay_link(
+            spec,
+            classes,
+            capacity=CAPACITY,
+            qos=qos,
+            policy="effective-bandwidth",
+            rng=9,
+        )
+        assert stats.admitted + stats.blocked == spec.n_requests
+        # Two classes, one (capacity, QoS) point: exactly two misses.
+        assert stats.cache_misses == 2
+
+    def test_shared_table_path(self, overloaded_spec, classes, qos, tmp_path):
+        from repro.service.tables import DecisionTableCache
+
+        path = tmp_path / "tables.jsonl"
+        DecisionTableCache(path=path).lookup(
+            classes[0].model, CAPACITY, qos, "bahadur-rao"
+        )
+        stats = replay_link(
+            overloaded_spec,
+            classes,
+            capacity=CAPACITY,
+            qos=qos,
+            policy="bahadur-rao",
+            rng=42,
+            table_path=path,
+        )
+        # The warmed table makes even the first lookup a hit.
+        assert stats.cache_misses == 0
+
+
+class TestLinkStatsTransport:
+    def test_array_roundtrip(self, overloaded_spec, classes, qos):
+        stats = replay_link(
+            overloaded_spec,
+            classes,
+            capacity=CAPACITY,
+            qos=qos,
+            policy="bahadur-rao",
+            rng=3,
+        )
+        again = LinkStats.from_array(stats.link_index, stats.as_array())
+        assert again == stats
+
+    def test_bad_vector_shape_rejected(self):
+        with pytest.raises(ParameterError, match="link-stats vector"):
+            LinkStats.from_array(0, np.zeros(3))
+
+
+class TestReplayWorkload:
+    def test_pooled_summary_is_consistent(
+        self, overloaded_spec, classes, qos
+    ):
+        summary = replay_workload(
+            overloaded_spec,
+            classes,
+            n_links=3,
+            capacity=CAPACITY,
+            qos=qos,
+            policy="bahadur-rao",
+            rng=7,
+        )
+        assert summary.n_links == 3
+        assert summary.n_requests == 3 * overloaded_spec.n_requests
+        assert summary.admitted + summary.blocked == summary.n_requests
+        assert summary.boundary_violations == 0
+        assert summary.cache_hit_rate > 0.99
+        assert summary.offered_erlangs == overloaded_spec.offered_erlangs
+        assert len(summary.links) == 3
+        assert [s.link_index for s in summary.links] == [0, 1, 2]
+
+    def test_links_are_statistically_independent(
+        self, overloaded_spec, classes, qos
+    ):
+        summary = replay_workload(
+            overloaded_spec,
+            classes,
+            n_links=2,
+            capacity=CAPACITY,
+            qos=qos,
+            rng=7,
+        )
+        first, second = summary.links
+        assert first.blocked != second.blocked or (
+            first.carried_load_seconds != second.carried_load_seconds
+        )
+
+    def test_serial_runs_are_reproducible(
+        self, overloaded_spec, classes, qos
+    ):
+        kwargs = dict(
+            n_links=2, capacity=CAPACITY, qos=qos, policy="bahadur-rao"
+        )
+        first = replay_workload(overloaded_spec, classes, rng=5, **kwargs)
+        second = replay_workload(overloaded_spec, classes, rng=5, **kwargs)
+        assert summary_to_json(first) == summary_to_json(second)
+
+    def test_parallel_bit_identical_to_serial(
+        self, overloaded_spec, classes, qos
+    ):
+        kwargs = dict(
+            n_links=4, capacity=CAPACITY, qos=qos, policy="bahadur-rao"
+        )
+        serial = replay_workload(overloaded_spec, classes, rng=11, **kwargs)
+        parallel = replay_workload(
+            overloaded_spec,
+            classes,
+            rng=11,
+            backend=ProcessPoolBackend(2),
+            **kwargs,
+        )
+        assert summary_to_json(parallel) == summary_to_json(serial)
+
+    def test_bad_parameters_rejected(self, overloaded_spec, classes, qos):
+        with pytest.raises(ParameterError):
+            replay_workload(
+                overloaded_spec, classes, n_links=0, capacity=CAPACITY,
+                qos=qos,
+            )
+        with pytest.raises(ParameterError):
+            replay_workload(
+                overloaded_spec, classes, capacity=-1.0, qos=qos
+            )
+
+
+class TestTelemetry:
+    def test_counters_and_spans_collected(
+        self, overloaded_spec, classes, qos
+    ):
+        from repro import obs
+
+        obs.enable()
+        try:
+            obs.reset()
+            summary = replay_workload(
+                overloaded_spec,
+                classes,
+                n_links=1,
+                capacity=CAPACITY,
+                qos=qos,
+                rng=2,
+            )
+            counters = {
+                m["name"]: m["value"]
+                for m in obs.metrics.snapshot()
+                if m["type"] == "counter"
+            }
+            assert counters["service.admitted"] == summary.admitted
+            assert counters["service.blocked"] == summary.blocked
+            assert (
+                counters["service.requests_replayed"] == summary.n_requests
+            )
+            assert counters["service.table_misses"] == summary.cache_misses
+            names = [s.name for s in obs.records()]
+            assert "service.replay" in names
+            assert "service.replay.link" in names
+            assert "service.table_compute" in names
+        finally:
+            obs.reset()
+            obs.disable()

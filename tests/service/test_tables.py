@@ -1,0 +1,193 @@
+"""Tests for the memoized admission decision tables."""
+
+import json
+
+import pytest
+
+from repro.atm.cac import admissible_connections
+from repro.atm.qos import QoSRequirement
+from repro.exceptions import ParameterError
+from repro.models import AR1Model, make_s, make_z
+from repro.service.tables import (
+    CAC_METHODS,
+    Decision,
+    DecisionTableCache,
+    EFFECTIVE_BANDWIDTH_METHOD,
+    SERVICE_METHODS,
+    decision_key,
+    model_fingerprint,
+)
+
+
+@pytest.fixture
+def qos():
+    return QoSRequirement(max_delay_seconds=0.020, max_clr=1e-6)
+
+
+@pytest.fixture
+def link():
+    return 30 * 538.0
+
+
+class TestFingerprint:
+    def test_rebuilt_factory_shares_fingerprint(self):
+        # The property the worker-process story rests on: the same
+        # model built twice is one table entry, not two.
+        assert model_fingerprint(make_s(1, 0.975)) == model_fingerprint(
+            make_s(1, 0.975)
+        )
+
+    def test_distinct_models_differ(self):
+        fingerprints = {
+            model_fingerprint(m)
+            for m in (
+                make_s(1, 0.975),
+                make_s(3, 0.975),
+                make_z(0.975),
+                AR1Model(0.6, 100.0, 400.0),
+            )
+        }
+        assert len(fingerprints) == 4
+
+    def test_memoized_on_instance(self, z_model):
+        first = model_fingerprint(z_model)
+        assert getattr(z_model, "_repro_service_fingerprint") == first
+        assert model_fingerprint(z_model) is first
+
+    def test_key_separates_operating_points(self, z_model, link, qos):
+        base = decision_key(z_model, link, qos, "bahadur-rao")
+        assert decision_key(z_model, link, qos, "mean-rate") != base
+        assert decision_key(z_model, link + 1.0, qos, "bahadur-rao") != base
+        assert (
+            decision_key(
+                z_model, link, QoSRequirement(0.020, 1e-4), "bahadur-rao"
+            )
+            != base
+        )
+
+
+class TestLookup:
+    def test_matches_offline_inversion(self, z_model, link, qos):
+        cache = DecisionTableCache()
+        for method in CAC_METHODS:
+            decision = cache.lookup(z_model, link, qos, method)
+            assert decision.admissible == admissible_connections(
+                z_model, link, qos, method
+            )
+            assert decision.effective_bandwidth is None
+
+    def test_second_lookup_is_a_hit(self, z_model, link, qos):
+        cache = DecisionTableCache()
+        first = cache.lookup(z_model, link, qos, "bahadur-rao")
+        second = cache.lookup(z_model, link, qos, "bahadur-rao")
+        assert second is first
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_equal_statistics_instances_share_entry(self, link, qos):
+        cache = DecisionTableCache()
+        cache.lookup(make_s(1, 0.975), link, qos, "bahadur-rao")
+        cache.lookup(make_s(1, 0.975), link, qos, "bahadur-rao")
+        assert len(cache) == 1
+        assert cache.hits == 1
+
+    def test_unknown_method_rejected(self, z_model, link, qos):
+        cache = DecisionTableCache()
+        with pytest.raises(ParameterError, match="unknown admission policy"):
+            cache.lookup(z_model, link, qos, "erlang-b")
+
+    def test_effective_bandwidth_decision(self, z_model, link, qos):
+        cache = DecisionTableCache()
+        decision = cache.lookup(
+            z_model, link, qos, EFFECTIVE_BANDWIDTH_METHOD
+        )
+        assert decision.effective_bandwidth is not None
+        # The charge sits between the mean and the peak-ish rate, and
+        # the homogeneous count is its capacity quotient.
+        assert z_model.mean < decision.effective_bandwidth < link
+        assert decision.admissible == int(
+            link // decision.effective_bandwidth
+        )
+
+    def test_service_methods_cover_engine_surface(self):
+        assert set(CAC_METHODS) < set(SERVICE_METHODS)
+        assert EFFECTIVE_BANDWIDTH_METHOD in SERVICE_METHODS
+
+
+class TestLRU:
+    def test_eviction_drops_oldest(self, z_model, link, qos):
+        cache = DecisionTableCache(max_entries=2)
+        k1 = decision_key(z_model, link, qos, "mean-rate")
+        cache.lookup(z_model, link, qos, "mean-rate")
+        cache.lookup(z_model, link, qos, "peak-rate")
+        cache.lookup(z_model, link + 1.0, qos, "mean-rate")
+        assert len(cache) == 2
+        assert k1 not in cache
+
+    def test_hit_refreshes_recency(self, z_model, link, qos):
+        cache = DecisionTableCache(max_entries=2)
+        k1 = decision_key(z_model, link, qos, "mean-rate")
+        cache.lookup(z_model, link, qos, "mean-rate")
+        cache.lookup(z_model, link, qos, "peak-rate")
+        cache.lookup(z_model, link, qos, "mean-rate")  # refresh k1
+        cache.lookup(z_model, link + 1.0, qos, "mean-rate")
+        assert k1 in cache
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ParameterError):
+            DecisionTableCache(max_entries=0)
+
+
+class TestPersistence:
+    def test_roundtrip_warms_fresh_cache(self, z_model, link, qos, tmp_path):
+        path = tmp_path / "tables.jsonl"
+        warm = DecisionTableCache(path=path)
+        computed = warm.lookup(z_model, link, qos, "bahadur-rao")
+
+        cold = DecisionTableCache(path=path)
+        assert cold.loaded == 1
+        served = cold.lookup(z_model, link, qos, "bahadur-rao")
+        assert served == computed
+        assert (cold.hits, cold.misses) == (1, 0)
+
+    def test_read_only_cache_never_appends(self, z_model, link, qos, tmp_path):
+        path = tmp_path / "tables.jsonl"
+        DecisionTableCache(path=path).lookup(z_model, link, qos, "mean-rate")
+        before = path.read_text()
+        reader = DecisionTableCache(path=path, persist=False)
+        reader.lookup(z_model, link, qos, "mean-rate")
+        reader.lookup(z_model, link, qos, "peak-rate")  # miss: not written
+        assert path.read_text() == before
+
+    def test_corrupt_line_rejected_loudly(self, tmp_path):
+        path = tmp_path / "tables.jsonl"
+        path.write_text('{"key": "k", "method": "mean-rate"}\n')
+        with pytest.raises(ParameterError, match="corrupt decision-table"):
+            DecisionTableCache(path=path)
+
+    def test_last_write_wins(self, tmp_path):
+        stale = Decision(key="k", method="mean-rate", admissible=1,
+                         link_capacity=10.0)
+        fresh = Decision(key="k", method="mean-rate", admissible=2,
+                         link_capacity=10.0)
+        path = tmp_path / "tables.jsonl"
+        path.write_text(
+            json.dumps(stale.to_dict()) + "\n" + json.dumps(fresh.to_dict())
+            + "\n"
+        )
+        cache = DecisionTableCache(path=path)
+        assert len(cache) == 1
+        assert cache._entries["k"].admissible == 2
+
+    def test_stats_reports_accounting(self, z_model, link, qos):
+        cache = DecisionTableCache()
+        cache.lookup(z_model, link, qos, "mean-rate")
+        cache.lookup(z_model, link, qos, "mean-rate")
+        stats = cache.stats()
+        assert stats == {
+            "hits": 1,
+            "misses": 1,
+            "hit_rate": 0.5,
+            "entries": 1,
+            "loaded": 0,
+        }

@@ -1,0 +1,89 @@
+"""Smoke tests for every script in examples/.
+
+Each example runs in a subprocess (its own interpreter, cwd in a
+temp dir) so module-level scripts execute exactly as a user would run
+them.  The deliberately realistic simulation parameters are shrunk
+through textual substitution — each pattern must occur, so parameter
+drift in an example breaks the test loudly instead of silently
+skipping the shrink.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+
+#: Per-example shrink substitutions (empty = runs verbatim fast).
+SUBSTITUTIONS = {
+    "admission_control.py": {},
+    "buffer_dimensioning.py": {},
+    "heterogeneous_mix.py": {
+        "max_a=28": "max_a=6",
+        "mux.simulate_clr(8_000, rng=60 + k).clr for k in range(3)": (
+            "mux.simulate_clr(2_000, rng=60 + k).clr for k in range(1)"
+        ),
+    },
+    "hurst_estimation.py": {"N_FRAMES = 120_000": "N_FRAMES = 20_000"},
+    "model_fitting.py": {
+        "source.sample_frames(200_000, rng=7)": (
+            "source.sample_frames(20_000, rng=7)"
+        ),
+    },
+    "policing.py": {
+        "source.sample_frames(2_000, rng=5)": (
+            "source.sample_frames(800, rng=5)"
+        ),
+    },
+    "quickstart.py": {
+        "n_frames=4000, n_replications=2": "n_frames=1500, n_replications=2",
+    },
+    "trace_workflow.py": {
+        "synthesize_trace(source, 120_000, rng=11": (
+            "synthesize_trace(source, 20_000, rng=11"
+        ),
+        "replicated_clr(mux, n_frames=20_000, n_replications=3, rng=12)": (
+            "replicated_clr(mux, n_frames=3_000, n_replications=2, rng=12)"
+        ),
+    },
+}
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(SUBSTITUTIONS), (
+        "examples/ and the smoke-test table drifted apart; add the new "
+        "script (with shrink substitutions if it is slow) to SUBSTITUTIONS"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SUBSTITUTIONS))
+def test_example_runs(name, tmp_path):
+    source = (EXAMPLES / name).read_text()
+    for pattern, replacement in SUBSTITUTIONS[name].items():
+        assert pattern in source, f"{name} drifted: {pattern!r} not found"
+        source = source.replace(pattern, replacement)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    script = tmp_path / name
+    script.write_text(source)
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{name} exited {proc.returncode}\n--- stdout ---\n{proc.stdout}"
+        f"\n--- stderr ---\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{name} printed nothing"
