@@ -8,12 +8,11 @@ The two configurations produce bit-identical summaries — only the
 wall-clock differs — so the rows are directly comparable.
 """
 
-import json
-import time
-
 import pytest
 
 from conftest import RESULTS_DIR, TIMINGS_PATH
+
+from repro.obs.timings import append_timing_row, percentiles_from_rounds
 
 from repro.atm.qos import QoSRequirement
 from repro.models import make_s
@@ -72,7 +71,6 @@ def test_service_replay(benchmark, jobs):
         "requests": summary.n_requests,
         "requests_per_s": requests_per_s,
         "cache_hit_rate": summary.cache_hit_rate,
-        "timestamp_unix": time.time(),
     }
-    with TIMINGS_PATH.open("a", encoding="utf-8") as fh:
-        fh.write(json.dumps(record) + "\n")
+    record.update(percentiles_from_rounds(stats.sorted_data))
+    append_timing_row(TIMINGS_PATH, record)

@@ -13,22 +13,23 @@ the timing is informative only.  Analytic experiments are cheap and
 run several rounds for a meaningful timing.
 
 Besides the human-readable tables under ``benchmarks/results/``, every
-``report(...)`` run appends one JSON line to
+``report(...)`` run appends one schema-2 JSON line to
 ``benchmarks/results/timings.jsonl`` (experiment, scale, rounds,
-mean/min/max seconds, timestamp) so the performance trajectory of the
-repo accumulates machine-readably across commits.
+mean/min/max seconds, p50/p90/p99 over rounds, git SHA, hostname,
+timestamp — see :mod:`repro.obs.timings`) so the performance
+trajectory of the repo accumulates machine-readably across commits
+and ``runner obs compare`` can gate on it.
 """
 
 from __future__ import annotations
 
-import json
-import time
 from pathlib import Path
 
 import pytest
 
 from repro.experiments.config import get_scale
 from repro.experiments.registry import run_experiment
+from repro.obs.timings import append_timing_row, percentiles_from_rounds
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 TIMINGS_PATH = RESULTS_DIR / "timings.jsonl"
@@ -61,11 +62,9 @@ def _append_timing(
         "min_s": stats.min,
         "max_s": stats.max,
         "stddev_s": stats.stddev if rounds > 1 else None,
-        "timestamp_unix": time.time(),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    with TIMINGS_PATH.open("a", encoding="utf-8") as fh:
-        fh.write(json.dumps(record) + "\n")
+    record.update(percentiles_from_rounds(stats.sorted_data))
+    append_timing_row(TIMINGS_PATH, record)
 
 
 @pytest.fixture

@@ -36,6 +36,13 @@ admission-control service: it replays a synthetic connection workload
 through the CAC engine and reports measured blocking and utilization.
 Its flags (``--requests``, ``--links``, ``--policy``, ``--jobs``, ...)
 are documented in :mod:`repro.service.cli` and ``docs/SERVICE.md``.
+
+The ``obs`` verb hosts the observability toolbox
+(:mod:`repro.obs.cli`): ``obs report`` merges telemetry JSONL dumps,
+``obs sweep`` renders latency-vs-rho tables from admission replays,
+``obs slo`` judges exported metrics against declarative SLO targets,
+and ``obs compare`` is the benchmark perf-regression gate (see
+``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -102,6 +109,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.service.cli import main as workload_main
 
         return workload_main(argv[1:])
+    if argv and argv[0] == "obs":
+        # Observability verb: reports, latency-vs-rho sweeps, SLO
+        # checks, and the timings regression gate.
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce tables/figures of Ryu & Elwalid (SIGCOMM '96)",
@@ -110,7 +123,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiments",
         nargs="+",
         help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}), 'all', "
-        "or the 'workload' service verb (own flags; see --help after it)",
+        "or the 'workload' / 'obs' verbs (own flags; see --help after "
+        "them)",
     )
     parser.add_argument(
         "--scale",

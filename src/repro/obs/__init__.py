@@ -8,6 +8,13 @@ This package makes the pipeline observable:
 * :mod:`repro.obs.spans`    — nested timing spans (``perf_counter_ns``);
 * :mod:`repro.obs.metrics`  — counters / gauges / histograms
   (frames simulated, cells lost, RNG streams, busy periods);
+* :mod:`repro.obs.sketch`   — mergeable relative-error quantile
+  sketches (p50/p99/p999 tail latency, bit-identical under sharding);
+* :mod:`repro.obs.tracectx` — trace identity propagated across the
+  process pools, so merged traces stay one tree;
+* :mod:`repro.obs.slo`      — declarative SLO targets + burn rates;
+* :mod:`repro.obs.timings`  — schema'd benchmark rows and the
+  regression comparison behind ``runner obs compare``;
 * :mod:`repro.obs.export`   — JSONL serialization + human summary;
 * :mod:`repro.obs.progress` — replication progress with ETA.
 
@@ -28,7 +35,16 @@ from __future__ import annotations
 
 import os
 
-from repro.obs import export, metrics, progress, spans
+from repro.obs import (
+    export,
+    metrics,
+    progress,
+    sketch,
+    slo,
+    spans,
+    timings,
+    tracectx,
+)
 from repro.obs.export import (
     TelemetryDump,
     format_summary,
@@ -43,6 +59,8 @@ from repro.obs.metrics import (
     snapshot,
 )
 from repro.obs.progress import ProgressReporter, eta_seconds
+from repro.obs.sketch import QuantileSketch
+from repro.obs.slo import SLOResult, SLOTarget
 from repro.obs.spans import (
     SpanRecord,
     disable,
@@ -52,6 +70,7 @@ from repro.obs.spans import (
     reset_spans,
     span,
 )
+from repro.obs.tracectx import TraceContext, start_trace
 
 __all__ = [
     "Counter",
@@ -59,8 +78,12 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ProgressReporter",
+    "QuantileSketch",
+    "SLOResult",
+    "SLOTarget",
     "SpanRecord",
     "TelemetryDump",
+    "TraceContext",
     "TRACE_ENV_VAR",
     "disable",
     "enable",
@@ -74,9 +97,14 @@ __all__ = [
     "records",
     "reset",
     "reset_spans",
+    "sketch",
+    "slo",
     "snapshot",
     "span",
     "spans",
+    "start_trace",
+    "timings",
+    "tracectx",
     "write_jsonl",
 ]
 

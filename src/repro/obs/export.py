@@ -14,11 +14,14 @@ JSONL schema (one ``type`` per line)::
     {"type": "meta", "schema": 1, "label": ..., "created_unix": ...}
     {"type": "span", "id": 3, "parent": 1, "name": "fig08.replication",
      "start_ns": ..., "duration_ns": ..., "thread": ..., "status": "ok",
-     "attrs": {"rep": 0}}
+     "attrs": {"rep": 0}, "trace": "9f2c..."}
     {"type": "counter", "name": "frames_simulated", "value": 12000}
     {"type": "gauge", "name": "...", "value": 0.87}
     {"type": "histogram", "name": "busy_period_frames", "count": 42,
      "sum": 811.0, "min": 1.0, "max": 96.0, "buckets": {"1": 7, ...}}
+    {"type": "sketch", "name": "service.admit_latency_ns",
+     "relative_accuracy": 0.01, "count": 10000, "zero_count": 0,
+     "min": ..., "max": ..., "sum_estimate": ..., "buckets": {...}}
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.obs import metrics as _metrics
 from repro.obs import spans as _spans
+from repro.obs.sketch import REPORT_QUANTILES, QuantileSketch
 from repro.obs.spans import SpanRecord
 
 __all__ = [
@@ -54,6 +58,7 @@ def _span_to_dict(record: SpanRecord) -> dict:
         "thread": record.thread_id,
         "status": record.status,
         "attrs": record.attrs,
+        "trace": record.trace_id,
     }
 
 
@@ -67,6 +72,7 @@ def _span_from_dict(obj: dict) -> SpanRecord:
         thread_id=obj["thread"],
         status=obj.get("status", "ok"),
         attrs=obj.get("attrs", {}),
+        trace_id=obj.get("trace"),
     )
 
 
@@ -111,6 +117,21 @@ class TelemetryDump:
     counters: Dict[str, float] = field(default_factory=dict)
     gauges: Dict[str, Optional[float]] = field(default_factory=dict)
     histograms: Dict[str, dict] = field(default_factory=dict)
+    sketches: Dict[str, dict] = field(default_factory=dict)
+
+    def metric_dicts(self) -> List[dict]:
+        """The metrics back in snapshot form (mergeable, formattable)."""
+        dicts: List[dict] = [
+            {"type": "counter", "name": name, "value": value}
+            for name, value in self.counters.items()
+        ]
+        dicts.extend(
+            {"type": "gauge", "name": name, "value": value}
+            for name, value in self.gauges.items()
+        )
+        dicts.extend(self.histograms.values())
+        dicts.extend(self.sketches.values())
+        return sorted(dicts, key=lambda d: (d["type"], d["name"]))
 
 
 def read_jsonl(path: Union[str, Path]) -> TelemetryDump:
@@ -133,6 +154,8 @@ def read_jsonl(path: Union[str, Path]) -> TelemetryDump:
                 dump.gauges[obj["name"]] = obj["value"]
             elif kind == "histogram":
                 dump.histograms[obj["name"]] = obj
+            elif kind == "sketch":
+                dump.sketches[obj["name"]] = obj
     return dump
 
 
@@ -209,7 +232,8 @@ def format_summary(
     counters = [m for m in metric_dicts if m["type"] == "counter"]
     gauges = [m for m in metric_dicts if m["type"] == "gauge"]
     histograms = [m for m in metric_dicts if m["type"] == "histogram"]
-    if counters or gauges or histograms:
+    sketches = [m for m in metric_dicts if m["type"] == "sketch"]
+    if counters or gauges or histograms or sketches:
         lines.append("")
         lines.append("metrics")
         lines.append("-------")
@@ -224,5 +248,14 @@ def format_summary(
             lines.append(
                 f"{m['name']:<32}  n={count:,}  mean={mean:.4g}  "
                 f"min={m['min']}  max={m['max']}"
+            )
+        for m in sketches:
+            sketch = QuantileSketch.from_dict(m)
+            quantiles = "  ".join(
+                f"p{str(q).replace('0.', '')}={sketch.quantile(q):.4g}"
+                for q in REPORT_QUANTILES
+            )
+            lines.append(
+                f"{m['name']:<32}  n={sketch.count:,}  {quantiles}"
             )
     return "\n".join(lines)

@@ -25,12 +25,14 @@ import threading
 from typing import Dict, Iterable, List, Optional, Union
 
 from repro.obs import spans as _spans
+from repro.obs.sketch import DEFAULT_RELATIVE_ACCURACY, QuantileSketch
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "QuantileSketch",
     "add",
     "counter",
     "gauge",
@@ -38,8 +40,11 @@ __all__ = [
     "merge_snapshot",
     "observe",
     "observe_many",
+    "observe_sketch",
+    "observe_sketch_many",
     "reset_metrics",
     "set_gauge",
+    "sketch",
     "snapshot",
 ]
 
@@ -223,6 +228,43 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         return self._get(name, Histogram)
 
+    def sketch(
+        self,
+        name: str,
+        relative_accuracy: Optional[float] = None,
+    ) -> QuantileSketch:
+        """The quantile sketch ``name``, created on first use.
+
+        ``relative_accuracy`` only matters at creation; asking for an
+        existing sketch with a *different* accuracy is a registration
+        error (the buckets would be incompatible).
+        """
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = QuantileSketch(
+                    name,
+                    DEFAULT_RELATIVE_ACCURACY
+                    if relative_accuracy is None
+                    else relative_accuracy,
+                )
+                self._metrics[name] = metric
+            elif not isinstance(metric, QuantileSketch):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not QuantileSketch"
+                )
+            elif (
+                relative_accuracy is not None
+                and metric.relative_accuracy != relative_accuracy
+            ):
+                raise TypeError(
+                    f"sketch {name!r} already registered with "
+                    f"relative_accuracy={metric.relative_accuracy}, "
+                    f"not {relative_accuracy}"
+                )
+            return metric
+
     def snapshot(self) -> List[dict]:
         """All instruments as plain dicts, sorted by (type, name)."""
         with self._lock:
@@ -231,6 +273,35 @@ class MetricsRegistry:
             (m.to_dict() for m in metrics),
             key=lambda d: (d["type"], d["name"]),
         )
+
+    def merge_snapshot(self, metric_dicts: Iterable[dict]) -> None:
+        """Fold a :meth:`snapshot` from elsewhere into this registry.
+
+        Counters add, gauges adopt the shipped value (last write wins,
+        as for local sets), histograms and sketches merge counts /
+        extrema / buckets.  A shipped metric whose name is registered
+        under a different type raises :class:`TypeError`.
+        """
+        for data in metric_dicts:
+            kind = data.get("type")
+            name = data.get("name")
+            if not name:
+                continue
+            if kind == "counter":
+                # Register even a zero-valued counter: a parallel
+                # run's snapshot must list the same instruments a
+                # serial run would.
+                value = float(data.get("value") or 0.0)
+                self.counter(name).add(value)
+            elif kind == "gauge":
+                if data.get("value") is not None:
+                    self.gauge(name).set(data["value"])
+            elif kind == "histogram":
+                self.histogram(name).merge_dict(data)
+            elif kind == "sketch":
+                self.sketch(
+                    name, data.get("relative_accuracy")
+                ).merge_dict(data)
 
     def reset(self) -> None:
         with self._lock:
@@ -251,6 +322,12 @@ def gauge(name: str) -> Gauge:
 
 def histogram(name: str) -> Histogram:
     return REGISTRY.histogram(name)
+
+
+def sketch(
+    name: str, relative_accuracy: Optional[float] = None
+) -> QuantileSketch:
+    return REGISTRY.sketch(name, relative_accuracy)
 
 
 def add(name: str, value: Number = 1) -> None:
@@ -281,6 +358,20 @@ def observe_many(name: str, values: Iterable[Number]) -> None:
     REGISTRY.histogram(name).observe_many(values)
 
 
+def observe_sketch(name: str, value: Number) -> None:
+    """Record one sketch observation; no-op while disabled."""
+    if not _spans._ENABLED:
+        return
+    REGISTRY.sketch(name).observe(value)
+
+
+def observe_sketch_many(name: str, values: Iterable[Number]) -> None:
+    """Record many sketch observations; no-op while disabled."""
+    if not _spans._ENABLED:
+        return
+    REGISTRY.sketch(name).observe_many(values)
+
+
 def snapshot() -> List[dict]:
     """All metrics in the global registry as plain dicts."""
     return REGISTRY.snapshot()
@@ -290,26 +381,13 @@ def merge_snapshot(metric_dicts: Iterable[dict]) -> None:
     """Fold a :func:`snapshot` from another process into the registry.
 
     Used by the parallel backends to merge per-worker metric buffers
-    into the parent exporter: counters add, gauges adopt the shipped
-    value (last write wins, as for local sets), histograms merge
-    counts/sums/extrema/buckets.  No-op while telemetry is disabled.
+    into the parent exporter (see
+    :meth:`MetricsRegistry.merge_snapshot` for the per-type merge
+    semantics).  No-op while telemetry is disabled.
     """
     if not _spans._ENABLED:
         return
-    for data in metric_dicts:
-        kind = data.get("type")
-        name = data.get("name")
-        if not name:
-            continue
-        if kind == "counter":
-            value = float(data.get("value") or 0.0)
-            if value > 0:
-                REGISTRY.counter(name).add(value)
-        elif kind == "gauge":
-            if data.get("value") is not None:
-                REGISTRY.gauge(name).set(data["value"])
-        elif kind == "histogram":
-            REGISTRY.histogram(name).merge_dict(data)
+    REGISTRY.merge_snapshot(metric_dicts)
 
 
 def reset_metrics() -> None:

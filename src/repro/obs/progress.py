@@ -20,6 +20,7 @@ no-op object so call sites stay unconditional.
 
 from __future__ import annotations
 
+import math
 import os
 import sys
 import threading
@@ -33,6 +34,7 @@ __all__ = [
     "eta_seconds",
     "format_seconds",
     "progress_enabled",
+    "rate_per_second",
     "reporter",
 ]
 
@@ -60,13 +62,31 @@ def eta_seconds(completed: int, total: int, elapsed: float) -> Optional[float]:
     """Remaining seconds estimated from completed work; None if unknown.
 
     ``elapsed * (total - completed) / completed`` — undefined until at
-    least one unit completed, 0 once everything has.
+    least one unit completed, 0 once everything has.  A non-finite or
+    negative ``elapsed`` (clock skew, injected test clocks) yields
+    None rather than a nonsense estimate.
     """
     if completed <= 0 or total <= 0:
+        return None
+    if not math.isfinite(elapsed) or elapsed < 0.0:
         return None
     if completed >= total:
         return 0.0
     return elapsed * (total - completed) / completed
+
+
+def rate_per_second(completed: int, elapsed: float) -> Optional[float]:
+    """Completed units per second; None while it would divide by zero.
+
+    Guards the ``completed / elapsed`` throughput figure against
+    zero/negative elapsed (first update can land within clock
+    resolution of the start) and zero completed.
+    """
+    if completed <= 0:
+        return None
+    if not math.isfinite(elapsed) or elapsed <= 0.0:
+        return None
+    return completed / elapsed
 
 
 def format_seconds(seconds: float) -> str:
@@ -154,9 +174,11 @@ class ProgressReporter:
         else:
             remaining = eta_seconds(self.completed, self.total, elapsed)
             eta = "?" if remaining is None else format_seconds(remaining)
+            throughput = rate_per_second(self.completed, elapsed)
+            rate = "" if throughput is None else f" | {throughput:.1f}/s"
             line = (
                 f"{prefix}{self.completed}/{self.total} {self.unit} | "
-                f"elapsed {format_seconds(elapsed)} | eta {eta}"
+                f"elapsed {format_seconds(elapsed)} | eta {eta}{rate}"
             )
         stream.write(line + "\n")
         flush = getattr(stream, "flush", None)

@@ -24,6 +24,7 @@ one shared, lock-protected buffer.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -52,6 +53,9 @@ _ids = itertools.count(1)  # next() is atomic under the GIL
 class _ThreadState(threading.local):
     def __init__(self) -> None:
         self.stack: List[int] = []
+        #: Ambient trace id (see :mod:`repro.obs.tracectx`).  Set by
+        #: an explicit trace scope or minted by the next root span.
+        self.trace_id: Optional[str] = None
 
 
 _state = _ThreadState()
@@ -69,6 +73,9 @@ class SpanRecord:
     thread_id: int
     status: str = "ok"
     attrs: Dict[str, object] = field(default_factory=dict)
+    #: Trace the span belongs to; shared across process boundaries by
+    #: :mod:`repro.obs.tracectx` (None on legacy records).
+    trace_id: Optional[str] = None
 
     @property
     def duration_seconds(self) -> float:
@@ -96,7 +103,16 @@ _NULL_SPAN = _NullSpan()
 class _Span:
     """A live span; use via :func:`span`, not directly."""
 
-    __slots__ = ("name", "attrs", "span_id", "parent_id", "start_ns", "duration_ns")
+    __slots__ = (
+        "name",
+        "attrs",
+        "span_id",
+        "parent_id",
+        "start_ns",
+        "duration_ns",
+        "trace_id",
+        "_owns_trace",
+    )
 
     def __init__(self, name: str, attrs: Dict[str, object]):
         self.name = name
@@ -106,6 +122,13 @@ class _Span:
     def __enter__(self) -> "_Span":
         stack = _state.stack
         self.parent_id = stack[-1] if stack else None
+        # A root span with no ambient trace starts one; nested spans
+        # and explicit trace scopes (repro.obs.tracectx) inherit it.
+        self._owns_trace = False
+        if _state.trace_id is None:
+            _state.trace_id = os.urandom(16).hex()
+            self._owns_trace = True
+        self.trace_id = _state.trace_id
         self.span_id = next(_ids)
         stack.append(self.span_id)
         self.start_ns = time.perf_counter_ns()
@@ -120,6 +143,8 @@ class _Span:
             stack.pop()
         elif self.span_id in stack:
             stack.remove(self.span_id)
+        if self._owns_trace:
+            _state.trace_id = None
         record = SpanRecord(
             span_id=self.span_id,
             parent_id=self.parent_id,
@@ -129,6 +154,7 @@ class _Span:
             thread_id=threading.get_ident(),
             status="error" if exc_type is not None else "ok",
             attrs=self.attrs,
+            trace_id=self.trace_id,
         )
         with _lock:
             _records.append(record)
@@ -212,6 +238,9 @@ def ingest(foreign: Tuple[SpanRecord, ...]) -> int:
                 thread_id=record.thread_id,
                 status=record.status,
                 attrs=record.attrs,
+                # Worker spans keep the trace they were recorded
+                # under; untraced legacy records join the local trace.
+                trace_id=record.trace_id or _state.trace_id,
             )
         )
     with _lock:

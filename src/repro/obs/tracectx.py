@@ -1,0 +1,135 @@
+"""Trace identity and its propagation across process boundaries.
+
+Spans already nest within one process (:mod:`repro.obs.spans` records
+parent-child edges per thread).  What a parallel run needs on top is
+*trace identity*: one id that names the whole distributed run, carried
+by every span no matter which worker process recorded it, so a merged
+JSONL trace can be grouped and queried as one tree.
+
+The design follows the W3C trace-context shape without the wire
+format: a :class:`TraceContext` is ``(trace_id, parent_span_id)``.
+The parent process captures its ambient context when it ships a
+payload (:meth:`repro.parallel.backends` does this at submit time),
+the worker activates it around execution (:func:`activate`), and
+every span the worker records then carries the parent's ``trace_id``.
+:func:`repro.obs.spans.ingest` preserves the id on merge and
+re-parents the worker's root spans under the supervising span, so the
+merged trace is a single tree under a single trace id — losslessly,
+whichever worker finishes first.
+
+Root spans start a trace automatically, so code that never touches
+this module still produces traced output; :func:`start_trace` pins an
+explicit id when one run spans several root spans (the CLI sweep).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.obs import spans as _spans
+
+__all__ = [
+    "TraceContext",
+    "activate",
+    "current_context",
+    "current_trace_id",
+    "extract",
+    "inject",
+    "new_trace_id",
+    "start_trace",
+]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """What crosses a process boundary: trace id + originating span."""
+
+    trace_id: str
+    #: Span id of the innermost open span in the *originating*
+    #: process at capture time (its local numbering).  Transported
+    #: for diagnosis; structural re-parenting happens at ingest.
+    parent_span_id: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "parent_span_id": self.parent_span_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceContext":
+        return cls(
+            trace_id=str(data["trace_id"]),
+            parent_span_id=data.get("parent_span_id"),
+        )
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (32 lowercase hex chars)."""
+    return os.urandom(16).hex()
+
+
+def current_trace_id() -> Optional[str]:
+    """The ambient trace id on this thread, if any."""
+    return _spans._state.trace_id
+
+
+def current_context() -> Optional[TraceContext]:
+    """Snapshot the ambient trace for transport; None outside a trace."""
+    trace_id = _spans._state.trace_id
+    if trace_id is None:
+        return None
+    stack = _spans._state.stack
+    return TraceContext(
+        trace_id=trace_id,
+        parent_span_id=stack[-1] if stack else None,
+    )
+
+
+def inject() -> Optional[dict]:
+    """The ambient context as a picklable/JSON-safe dict (or None)."""
+    context = current_context()
+    return None if context is None else context.to_dict()
+
+
+def extract(data: Optional[dict]) -> Optional[TraceContext]:
+    """Rebuild a context shipped by :func:`inject`; None passes through."""
+    if data is None:
+        return None
+    return TraceContext.from_dict(data)
+
+
+@contextmanager
+def activate(context: Optional[TraceContext]) -> Iterator[None]:
+    """Install ``context`` as this thread's ambient trace.
+
+    Spans opened inside the block carry ``context.trace_id``.  A
+    ``None`` context is a no-op, so worker code can activate
+    unconditionally.  The prior ambient trace is restored on exit.
+    """
+    if context is None:
+        yield
+        return
+    state = _spans._state
+    previous = state.trace_id
+    state.trace_id = context.trace_id
+    try:
+        yield
+    finally:
+        state.trace_id = previous
+
+
+@contextmanager
+def start_trace(trace_id: Optional[str] = None) -> Iterator[TraceContext]:
+    """Open a new trace scope (fresh id unless ``trace_id`` is given).
+
+    Root spans inside the scope join this trace instead of minting
+    their own, which is how one CLI invocation with several top-level
+    spans (e.g. a rho sweep) stays a single trace.
+    """
+    context = TraceContext(trace_id=trace_id or new_trace_id())
+    with activate(context):
+        yield context

@@ -34,12 +34,14 @@ the same pattern :mod:`repro.resilience.policy` uses.
 from __future__ import annotations
 
 import concurrent.futures
+import dataclasses
 import multiprocessing
 from collections import deque
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
 from repro.exceptions import ParameterError
+from repro.obs import tracectx as _tracectx
 from repro.parallel.worker import (
     WorkerPayload,
     WorkerResult,
@@ -135,10 +137,18 @@ class _PoolSession(BackendSession):
 
     def __init__(self, executor: concurrent.futures.Executor):
         self._executor = executor
-        self._futures: set = set()
+        self._futures: dict = {}  # future -> (index, attempt)
 
     def submit(self, payload: WorkerPayload) -> None:
-        self._futures.add(self._executor.submit(pool_entry, payload))
+        # Capture the ambient trace context at submit time so the
+        # worker's spans join the supervising span's trace; an
+        # explicitly provided context is left untouched.
+        if payload.telemetry and payload.trace is None:
+            context = _tracectx.inject()
+            if context is not None:
+                payload = dataclasses.replace(payload, trace=context)
+        future = self._executor.submit(pool_entry, payload)
+        self._futures[future] = (payload.index, payload.attempt)
 
     def next_completed(self) -> WorkerResult:
         if not self._futures:
@@ -147,8 +157,13 @@ class _PoolSession(BackendSession):
             self._futures,
             return_when=concurrent.futures.FIRST_COMPLETED,
         )
-        future = done.pop()
-        self._futures.discard(future)
+        # When several futures finished between waits, hand back the
+        # lowest (index, attempt) rather than an arbitrary set member:
+        # supervisors react to results as they collect them (raising,
+        # checkpoint-flushing), so the collection order must not
+        # depend on set iteration order.
+        future = min(done, key=self._futures.__getitem__)
+        del self._futures[future]
         return future.result()
 
     @property

@@ -33,6 +33,7 @@ import numpy as np
 from repro.exceptions import RETRYABLE_EXCEPTIONS, SimulationError
 from repro.obs import metrics as _metrics
 from repro.obs import spans as _spans
+from repro.obs import tracectx as _tracectx
 from repro.obs.spans import span
 from repro.utils.replication_context import replication_attempt
 from repro.utils.validation import check_simulation_health
@@ -67,6 +68,9 @@ class WorkerPayload:
     label: str = ""
     telemetry: bool = False
     health_check: bool = True
+    #: Serialized trace context (``tracectx.inject()``) captured at
+    #: submit time, so worker spans join the supervisor's trace.
+    trace: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -168,9 +172,11 @@ def pool_entry(payload: WorkerPayload) -> WorkerResult:
         _spans.enable()
         _spans.reset_spans()
         _metrics.reset_metrics()
+        with _tracectx.activate(_tracectx.extract(payload.trace)):
+            result = execute_payload(payload)
     else:
         _spans.disable()
-    result = execute_payload(payload)
+        result = execute_payload(payload)
     if not payload.telemetry:
         return result
     return WorkerResult(

@@ -32,7 +32,9 @@ a smaller index; they are recomputed deterministically on resume.
 
 Telemetry counters (no-ops unless :mod:`repro.obs` is enabled):
 ``replications_completed``, ``replications_retried``,
-``replications_failed``, ``checkpoint_resumed``.
+``replications_failed``, ``replications_degraded``,
+``checkpoint_resumed``.  The failure/degradation counters feed the
+default SLO targets of :mod:`repro.obs.slo`.
 """
 
 from __future__ import annotations
@@ -229,6 +231,13 @@ def _supervise_parallel(
     flush.advance()
     n_retried = 0
     deadline_hit = False
+    fatal_error: Optional[BaseException] = None
+    fatal_index = -1
+
+    def _prefix_resolved() -> bool:
+        return all(
+            i in completed or i in abandoned for i in range(fatal_index)
+        )
 
     def _payload(index: int) -> WorkerPayload:
         attempt = seeder.attempts(index)
@@ -247,6 +256,8 @@ def _supervise_parallel(
             if index not in completed:
                 session.submit(_payload(index))
         while session.pending:
+            if fatal_error is not None and _prefix_resolved():
+                break
             if deadline is not None and policy.clock() >= deadline:
                 # In-flight work is cancelled/discarded by the session
                 # teardown; uncollected completions are recomputed
@@ -257,7 +268,23 @@ def _supervise_parallel(
             merge_result_telemetry(result)
             if result.failed:
                 if not result.retryable:
-                    raise result.error
+                    # A crash aborts the batch exactly as it aborts a
+                    # serial run — but serial completes (and
+                    # checkpoints) every replication *before* the
+                    # crash point first.  Workers complete out of
+                    # order, so keep draining until the index prefix
+                    # below the crash is resolved, then raise; the
+                    # checkpoint stays a serial prefix either way
+                    # because the ordered flush stalls at the crashed
+                    # index.
+                    if fatal_error is None or result.index < fatal_index:
+                        fatal_error = result.error
+                        fatal_index = result.index
+                    continue
+                if fatal_error is not None and result.index > fatal_index:
+                    # Serial execution never reaches this replication;
+                    # don't retry or record it while aborting.
+                    continue
                 failures.append(
                     FailureRecord(
                         index=result.index,
@@ -294,6 +321,8 @@ def _supervise_parallel(
             _metrics.add("replications_completed")
             flush.advance()
             reporter.advance()
+        if fatal_error is not None:
+            raise fatal_error
     return n_retried, deadline_hit
 
 
@@ -459,6 +488,7 @@ def run_replications(
         )
     degraded = len(outcomes) < n_replications
     if degraded:
+        _metrics.add("replications_degraded")
         warnings.warn(
             DegradedResultWarning(
                 f"{label or 'replicated batch'}: pooled estimate covers "

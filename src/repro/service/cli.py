@@ -33,7 +33,7 @@ from repro.service.tables import SERVICE_METHODS, DecisionTableCache
 from repro.service.workload import ConnectionClass, WorkloadSpec
 from repro.utils.units import mbps_to_cells_per_frame
 
-__all__ = ["CLASS_PRESETS", "build_parser", "main"]
+__all__ = ["CLASS_PRESETS", "build_class", "build_parser", "main"]
 
 #: Named traffic-class presets for the CLI (built lazily — model
 #: construction is not free and only requested classes should pay).
@@ -45,8 +45,11 @@ CLASS_PRESETS = {
 }
 
 
-def _build_class(spec: str) -> ConnectionClass:
-    """Parse one ``--class name[:weight]`` occurrence."""
+def build_class(spec: str) -> ConnectionClass:
+    """Parse one ``--class name[:weight]`` preset occurrence.
+
+    Shared with the ``obs sweep`` verb, which offers the same presets.
+    """
     name, _, weight_text = spec.partition(":")
     if name not in CLASS_PRESETS:
         raise argparse.ArgumentTypeError(
@@ -119,7 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--class",
         dest="classes",
         action="append",
-        type=_build_class,
+        type=build_class,
         metavar="NAME[:WEIGHT]",
         help="offered class (repeatable); presets: "
         + ", ".join(f"{k} = {v}" for k, v in sorted(CLASS_PRESETS.items()))
@@ -214,7 +217,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
-    classes = args.classes or [_build_class("video")]
+    classes = args.classes or [build_class("video")]
     capacity = mbps_to_cells_per_frame(args.capacity_mbps)
     qos = QoSRequirement(
         max_delay_seconds=args.delay_ms / 1000.0, max_clr=args.clr

@@ -23,7 +23,9 @@ Two admission disciplines:
 
 Telemetry (when :mod:`repro.obs` is enabled): ``service.admitted`` /
 ``service.blocked`` / ``service.released`` counters, a
-``service.admit_latency_ns`` histogram, plus the table cache's
+``service.admit_latency_ns`` quantile sketch (aggregate and per
+link), a per-link ``service.occupancy.<link>`` sketch, plus the table
+cache's
 ``service.table_hits`` / ``service.table_misses``.  Disabled, each
 admit pays a single boolean check.
 """
@@ -217,9 +219,18 @@ class AdmissionEngine:
             _metrics.add(
                 "service.admitted" if admitted else "service.blocked"
             )
-            _metrics.observe(
-                "service.admit_latency_ns",
-                time.perf_counter_ns() - started,
+            latency_ns = time.perf_counter_ns() - started
+            # Tail-latency sketches: one aggregate, one per link (the
+            # obs sweep reads both to render latency-vs-rho tables).
+            _metrics.observe_sketch("service.admit_latency_ns", latency_ns)
+            _metrics.observe_sketch(
+                f"service.admit_latency_ns.{link_id}", latency_ns
+            )
+            # Occupancy after the decision is deterministic for a
+            # given seed, so this sketch is part of the serial-vs-jobs
+            # bit-identity contract (latency sketches are not).
+            _metrics.observe_sketch(
+                f"service.occupancy.{link_id}", link.occupancy
             )
         return AdmissionDecision(
             admitted=admitted,

@@ -251,6 +251,9 @@ def replay_link(
 
     if _spans._ENABLED:
         _metrics.add("service.requests_replayed", workload.n_requests)
+        # add(0) still registers the instrument, so serial and
+        # parallel snapshots list the same counters.
+        _metrics.add("service.boundary_violations", boundary_violations)
 
     return LinkStats(
         link_index=link_index,
@@ -395,10 +398,14 @@ def replay_workload(
                     session.submit(payload)
                 while session.pending:
                     result = session.next_completed()
-                    merge_result_telemetry(result)
                     if result.failed:
                         raise result.error
                     results[result.index] = result
+            # Telemetry merges in link-index order, not completion
+            # order: sketch/counter snapshots (and their canonical
+            # JSON) must not depend on which worker finished first.
+            for result in results:
+                merge_result_telemetry(result)
     links = [
         LinkStats.from_array(i, results[i].lost) for i in range(n_links)
     ]

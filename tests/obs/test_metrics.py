@@ -186,3 +186,62 @@ class TestMergeSnapshot:
             [{"type": "counter", "name": "ghost", "value": 9.0}]
         )
         assert all(d["name"] != "ghost" for d in metrics.snapshot())
+
+    def test_empty_snapshot_is_noop(self, telemetry):
+        from repro.obs import metrics
+
+        metrics.add("hits", 1)
+        before = metrics.snapshot()
+        metrics.merge_snapshot([])
+        assert metrics.snapshot() == before
+
+    def test_zero_valued_counter_still_registers(self, telemetry):
+        from repro.obs import metrics
+
+        # A worker that saw zero boundary violations must still
+        # register the instrument, so merged and serial snapshots
+        # expose the same metric set.
+        metrics.merge_snapshot(
+            [{"type": "counter", "name": "violations", "value": 0.0}]
+        )
+        snap = {d["name"]: d for d in metrics.snapshot()}
+        assert snap["violations"]["value"] == 0.0
+
+    def test_duplicate_name_with_mismatched_type_raises(self, telemetry):
+        from repro.obs import metrics
+
+        metrics.add("busy", 1)
+        with pytest.raises(TypeError, match="already registered"):
+            metrics.merge_snapshot(
+                [
+                    {
+                        "type": "histogram",
+                        "name": "busy",
+                        "count": 1,
+                        "sum": 2.0,
+                        "min": 2.0,
+                        "max": 2.0,
+                        "buckets": {"2": 1},
+                    }
+                ]
+            )
+
+    def test_sketch_snapshots_merge(self, telemetry):
+        from repro.obs import metrics
+
+        metrics.observe_sketch_many("lat", [1.0, 2.0])
+        foreign = {
+            "type": "sketch",
+            "name": "lat",
+            "relative_accuracy": 0.01,
+            "count": 2,
+            "zero_count": 0,
+            "min": 10.0,
+            "max": 20.0,
+            "sum_estimate": 30.0,
+            "buckets": {},
+        }
+        metrics.merge_snapshot([foreign])
+        sketch = metrics.sketch("lat")
+        assert sketch.count == 4
+        assert sketch.max == 20.0

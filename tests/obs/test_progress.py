@@ -11,6 +11,7 @@ from repro.obs.progress import (
     ProgressReporter,
     eta_seconds,
     format_seconds,
+    rate_per_second,
     reporter,
 )
 
@@ -39,6 +40,26 @@ class TestEtaMath:
         assert format_seconds(42.4) == "42s"
         assert format_seconds(376) == "6m16s"
         assert format_seconds(7380) == "2h03m"
+
+    @pytest.mark.parametrize(
+        "elapsed", [float("nan"), float("inf"), -1.0]
+    )
+    def test_bad_elapsed_yields_none(self, elapsed):
+        # Regression: clock skew or injected test clocks must not
+        # produce a nonsense (or NaN) estimate.
+        assert eta_seconds(10, 60, elapsed) is None
+
+    def test_zero_total_yields_none(self):
+        assert eta_seconds(0, 0, 5.0) is None
+
+    def test_rate_guards_division_by_zero(self):
+        # Regression: the first update can land within clock
+        # resolution of the start, making elapsed exactly 0.0.
+        assert rate_per_second(5, 0.0) is None
+        assert rate_per_second(0, 10.0) is None
+        assert rate_per_second(5, -1.0) is None
+        assert rate_per_second(5, float("nan")) is None
+        assert rate_per_second(5, 2.0) == pytest.approx(2.5)
 
 
 class TestProgressReporter:
@@ -79,6 +100,17 @@ class TestProgressReporter:
     def test_total_must_be_positive(self):
         with pytest.raises(ValueError, match="total must be >= 1"):
             ProgressReporter(0)
+
+    def test_update_at_zero_elapsed_does_not_crash(self):
+        # Regression: advance() before the clock ticks (elapsed 0.0)
+        # must print "eta ?" with no throughput, not divide by zero.
+        clock = FakeClock()
+        out = io.StringIO()
+        rep = ProgressReporter(4, stream=out, min_interval=0.0, clock=clock)
+        rep.advance()
+        line = out.getvalue().strip()
+        assert "eta 0s" in line
+        assert "/s" not in line
 
 
 class TestReporterFactory:

@@ -1,0 +1,194 @@
+"""Tests for repro.obs.slo: targets, verdicts, burn-rate windows."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs.sketch import QuantileSketch
+from repro.obs.slo import (
+    DEFAULT_SERVICE_SLOS,
+    SLOTarget,
+    burn_rate,
+    evaluate,
+    load_slo_file,
+)
+
+
+def sketch_dict(name, values):
+    sketch = QuantileSketch(name)
+    sketch.observe_many(values)
+    return sketch.to_dict()
+
+
+def counter_dict(name, value):
+    return {"type": "counter", "name": name, "value": value}
+
+
+class TestTargetValidation:
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ParameterError, match="unknown kind"):
+            SLOTarget(name="x", kind="latency", threshold=1.0)
+
+    def test_quantile_needs_metric(self):
+        with pytest.raises(ParameterError, match="needs a metric"):
+            SLOTarget(name="x", kind="quantile", threshold=1.0)
+
+    def test_quantile_out_of_range_raises(self):
+        with pytest.raises(ParameterError, match="quantile"):
+            SLOTarget(
+                name="x",
+                kind="quantile",
+                metric="m",
+                quantile=1.5,
+                threshold=1.0,
+            )
+
+    def test_ratio_needs_counters(self):
+        with pytest.raises(ParameterError, match="bad and total"):
+            SLOTarget(name="x", kind="ratio", threshold=0.1)
+
+    def test_from_dict_missing_field_raises(self):
+        with pytest.raises(ParameterError, match="threshold"):
+            SLOTarget.from_dict({"name": "x", "kind": "counter"})
+
+
+class TestEvaluate:
+    def test_quantile_target_met_and_violated(self):
+        metrics = [sketch_dict("lat", [100.0] * 90 + [10_000.0] * 10)]
+        ok_target = SLOTarget(
+            name="p50", kind="quantile", metric="lat",
+            quantile=0.5, threshold=200.0,
+        )
+        bad_target = SLOTarget(
+            name="p999", kind="quantile", metric="lat",
+            quantile=0.999, threshold=200.0,
+        )
+        ok, bad = evaluate([ok_target, bad_target], metrics)
+        assert ok.ok is True and ok.burn < 1.0
+        assert bad.ok is False and bad.burn > 1.0
+        assert "VIOLATED" in bad.format()
+
+    def test_counter_target(self):
+        metrics = [counter_dict("violations", 3.0)]
+        target = SLOTarget(
+            name="none", kind="counter", metric="violations",
+            threshold=0.0,
+        )
+        (result,) = evaluate([target], metrics)
+        assert result.ok is False
+        assert result.measured == 3.0
+        assert result.burn is None  # zero threshold: burn unmeasurable
+
+    def test_ratio_target(self):
+        metrics = [
+            counter_dict("failed", 2.0),
+            counter_dict("completed", 198.0),
+        ]
+        target = SLOTarget(
+            name="err", kind="ratio",
+            bad=("failed",), total=("completed", "failed"),
+            threshold=0.05,
+        )
+        (result,) = evaluate([target], metrics)
+        assert result.ok is True
+        assert result.measured == pytest.approx(0.01)
+        assert result.burn == pytest.approx(0.2)
+
+    def test_missing_metric_is_no_data(self):
+        target = SLOTarget(
+            name="x", kind="quantile", metric="absent", threshold=1.0
+        )
+        (result,) = evaluate([target], [])
+        assert result.ok is None
+        assert result.measured is None
+        assert "no-data" in result.format()
+
+    def test_zero_denominator_is_no_data(self):
+        metrics = [counter_dict("total", 0.0)]
+        target = SLOTarget(
+            name="x", kind="ratio", bad=("bad",), total=("total",),
+            threshold=0.1,
+        )
+        (result,) = evaluate([target], metrics)
+        assert result.ok is None
+
+
+class TestBurnRate:
+    def test_window_counters_subtract(self):
+        start = [counter_dict("failed", 10.0), counter_dict("done", 100.0)]
+        end = [counter_dict("failed", 10.0), counter_dict("done", 200.0)]
+        target = SLOTarget(
+            name="err", kind="ratio",
+            bad=("failed",), total=("done",), threshold=0.01,
+        )
+        (result,) = burn_rate([target], start, end)
+        # 0 new failures over 100 new completions.
+        assert result.measured == 0.0
+        assert result.ok is True
+
+    def test_window_sketch_isolates_new_observations(self):
+        sketch = QuantileSketch("lat")
+        sketch.observe_many([10.0] * 100)
+        start = [sketch.to_dict()]
+        sketch.observe_many([10_000.0] * 100)
+        end = [sketch.to_dict()]
+        target = SLOTarget(
+            name="p50", kind="quantile", metric="lat",
+            quantile=0.5, threshold=100.0,
+        )
+        (cumulative,) = evaluate([target], end)
+        (windowed,) = burn_rate([target], start, end)
+        # Cumulatively the p50 straddles both phases; the window sees
+        # only the slow phase and must flag it.
+        assert windowed.ok is False
+        assert windowed.measured > cumulative.measured or cumulative.ok is False
+
+    def test_decreasing_counter_raises(self):
+        start = [counter_dict("n", 10.0)]
+        end = [counter_dict("n", 5.0)]
+        target = SLOTarget(
+            name="x", kind="counter", metric="n", threshold=100.0
+        )
+        with pytest.raises(ParameterError, match="decreased"):
+            burn_rate([target], start, end)
+
+
+class TestSpecFile:
+    def test_load_list_and_wrapped_forms(self, tmp_path):
+        spec = [
+            {
+                "name": "p99",
+                "kind": "quantile",
+                "metric": "lat",
+                "quantile": 0.99,
+                "threshold": 1000.0,
+            }
+        ]
+        flat = tmp_path / "flat.json"
+        flat.write_text(json.dumps(spec))
+        wrapped = tmp_path / "wrapped.json"
+        wrapped.write_text(json.dumps({"slos": spec}))
+        assert load_slo_file(flat) == load_slo_file(wrapped)
+        (target,) = load_slo_file(flat)
+        assert target.quantile == 0.99
+
+    def test_load_rejects_non_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps("just a string"))
+        with pytest.raises(ParameterError, match="list"):
+            load_slo_file(path)
+        wrapped = tmp_path / "bad_wrapped.json"
+        wrapped.write_text(json.dumps({"nope": 1}))
+        with pytest.raises(ParameterError, match="slos"):
+            load_slo_file(wrapped)
+
+    def test_default_service_slos_are_valid_and_evaluable(self):
+        names = {t.name for t in DEFAULT_SERVICE_SLOS}
+        assert "admit_latency_p99" in names
+        assert "clr_replication_error_rate" in names
+        assert "boundary_violations" in names
+        results = evaluate(DEFAULT_SERVICE_SLOS, [])
+        assert all(r.ok is None for r in results)

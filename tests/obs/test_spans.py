@@ -167,3 +167,50 @@ class TestIngest:
 
         assert ingest(()) == 0
         assert records() == ()
+
+    def test_batches_ingested_out_of_completion_order(self, telemetry):
+        from repro.obs.spans import SpanRecord, ingest, records
+
+        # Worker results arrive in whatever order the pool finishes
+        # them; later workers reuse the same foreign ids.  Edges must
+        # stay within each batch regardless of arrival order.
+        second = (
+            SpanRecord(2, 1, "inner", 30, 10, 1),
+            SpanRecord(1, None, "outer", 30, 20, 1),
+        )
+        first = (
+            SpanRecord(2, 1, "inner", 0, 10, 1),
+            SpanRecord(1, None, "outer", 0, 20, 1),
+        )
+        assert ingest(second) == 2
+        assert ingest(first) == 2
+        merged = records()
+        assert len(merged) == 4
+        assert len({r.span_id for r in merged}) == 4  # all renumbered
+        by_id = {r.span_id: r for r in merged}
+        for record in merged:
+            if record.name == "inner":
+                parent = by_id[record.parent_id]
+                assert parent.name == "outer"
+                # The parent must come from the same batch: its span
+                # covers the child's interval.
+                assert parent.start_ns <= record.start_ns
+                assert (
+                    parent.start_ns + parent.duration_ns
+                    >= record.start_ns + record.duration_ns
+                )
+
+    def test_shuffled_records_within_a_batch(self, telemetry):
+        from repro.obs.spans import SpanRecord, ingest, records
+
+        # Grandchild, root, middle — maximally out of order.
+        foreign = (
+            SpanRecord(7, 6, "grandchild", 2, 3, 1),
+            SpanRecord(5, None, "root", 0, 9, 1),
+            SpanRecord(6, 5, "child", 1, 5, 1),
+        )
+        assert ingest(foreign) == 3
+        by_name = {r.name: r for r in records()}
+        assert by_name["grandchild"].parent_id == by_name["child"].span_id
+        assert by_name["child"].parent_id == by_name["root"].span_id
+        assert by_name["root"].parent_id is None

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.service.cli import _build_class, build_parser, main
+from repro.service.cli import build_class as _build_class, build_parser, main
 
 SMALL = ["--requests", "300", "--seed", "99"]
 

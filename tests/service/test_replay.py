@@ -261,3 +261,80 @@ class TestTelemetry:
         finally:
             obs.reset()
             obs.disable()
+
+    @staticmethod
+    def _deterministic_metrics():
+        """Canonical JSON of the order-independent telemetry subset.
+
+        Counters and occupancy sketches are functions of the replayed
+        decisions, so they must merge losslessly across workers;
+        admit-latency sketches measure wall-clock and are excluded.
+        """
+        import json
+
+        from repro import obs
+
+        deterministic = [
+            d
+            for d in obs.metrics.snapshot()
+            if d["type"] == "counter"
+            or (
+                d["type"] == "sketch"
+                and d["name"].startswith("service.occupancy.")
+            )
+        ]
+        return json.dumps(deterministic, sort_keys=True)
+
+    def test_telemetry_bit_identical_serial_vs_parallel(
+        self, overloaded_spec, classes, qos
+    ):
+        from repro import obs
+
+        kwargs = dict(
+            n_links=4, capacity=CAPACITY, qos=qos, policy="bahadur-rao"
+        )
+        obs.enable()
+        try:
+            obs.reset()
+            replay_workload(overloaded_spec, classes, rng=11, **kwargs)
+            serial = self._deterministic_metrics()
+
+            obs.reset()
+            replay_workload(
+                overloaded_spec,
+                classes,
+                rng=11,
+                backend=ProcessPoolBackend(2),
+                **kwargs,
+            )
+            parallel = self._deterministic_metrics()
+        finally:
+            obs.reset()
+            obs.disable()
+        assert serial == parallel
+
+    def test_parallel_spans_share_one_trace(
+        self, overloaded_spec, classes, qos
+    ):
+        from repro import obs
+
+        obs.enable()
+        try:
+            obs.reset()
+            replay_workload(
+                overloaded_spec,
+                classes,
+                n_links=2,
+                capacity=CAPACITY,
+                qos=qos,
+                rng=3,
+                backend=ProcessPoolBackend(2),
+            )
+            records = obs.records()
+            assert records
+            trace_ids = {r.trace_id for r in records}
+            assert len(trace_ids) == 1
+            assert None not in trace_ids
+        finally:
+            obs.reset()
+            obs.disable()
