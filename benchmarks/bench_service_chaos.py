@@ -1,0 +1,114 @@
+"""Cost of recovery: chaotic replay vs the fault-free baseline.
+
+Replays the same workload twice — clean, then with an injected
+mid-run crash recovered from the journal — and reports the recovery
+tax: total wall-clock, the recovery time itself (the restarted
+attempt's share), and the shed ratio under an overloaded decision
+path.  One ``service_replay_chaos`` row per configuration lands in
+``benchmarks/results/timings.jsonl`` (schema 2) so ``obs compare``
+can gate recovery-path regressions like any other experiment.
+"""
+
+import time
+
+import pytest
+
+from conftest import RESULTS_DIR, TIMINGS_PATH
+
+from repro.obs.timings import append_timing_row, percentiles_from_rounds
+
+from repro.atm.qos import QoSRequirement
+from repro.models import make_s
+from repro.resilience.faults import ServiceFaultPlan
+from repro.service.overload import OverloadPolicy
+from repro.service.replay import replay_workload
+from repro.service.stats import summary_to_json
+from repro.service.supervision import SupervisionPolicy
+from repro.service.workload import ConnectionClass, WorkloadSpec
+
+N_REQUESTS = 20_000
+N_LINKS = 2
+CAPACITY = 30 * 538.0
+CRASH_AT = 12_000
+
+
+def _replay(tmp_dir, scenario):
+    spec = WorkloadSpec(
+        n_requests=N_REQUESTS, arrival_rate=0.4, mean_holding_time=90.0
+    )
+    classes = (ConnectionClass("dar1", make_s(1, 0.975)),)
+    qos = QoSRequirement(max_delay_seconds=0.020, max_clr=1e-6)
+    kwargs = {}
+    if scenario == "crash_recovery":
+        kwargs = dict(
+            journal_dir=tmp_dir,
+            supervision=SupervisionPolicy(max_restarts=1),
+            faults=ServiceFaultPlan(crash_shard_at={(0, 0): CRASH_AT}),
+        )
+    elif scenario == "overload_shed":
+        kwargs = dict(
+            overload=OverloadPolicy(max_queue_depth=4, decision_seconds=1.0)
+        )
+    return replay_workload(
+        spec,
+        classes,
+        n_links=N_LINKS,
+        capacity=CAPACITY,
+        qos=qos,
+        policy="bahadur-rao",
+        rng=20260806,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize(
+    "scenario", ["clean", "crash_recovery", "overload_shed"]
+)
+def test_service_replay_chaos(benchmark, tmp_path, scenario):
+    # The clean run is timed separately so the chaos rows carry their
+    # own baseline; recovery_seconds is the chaotic run's excess over
+    # a fresh fault-free replay measured in the same process.
+    start = time.perf_counter()
+    baseline = _replay(tmp_path / "warm", "clean")
+    baseline_seconds = time.perf_counter() - start
+
+    summary = benchmark.pedantic(
+        _replay,
+        args=(tmp_path / "bench", scenario),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    stats = benchmark.stats.stats
+    recovery_seconds = max(0.0, stats.mean - baseline_seconds)
+    requests_per_s = summary.n_requests / stats.mean
+    print(
+        f"\nservice replay chaos ({scenario}): {summary.n_requests} "
+        f"requests in {stats.mean:.2f}s = {requests_per_s:,.0f} req/s, "
+        f"recovery tax {recovery_seconds:.2f}s, "
+        f"shed ratio {summary.shed_ratio:.4f}"
+    )
+    assert summary.boundary_violations == 0
+    if scenario == "crash_recovery":
+        # Recovery must land on the fault-free bytes.
+        assert summary_to_json(summary) == summary_to_json(baseline)
+    if scenario == "overload_shed":
+        assert summary.shed > 0
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {
+        "experiment": "service_replay_chaos",
+        "scale": scenario,
+        "rounds": 1,
+        "jobs": 1,
+        "mean_s": stats.mean,
+        "min_s": stats.min,
+        "max_s": stats.max,
+        "stddev_s": None,
+        "requests": summary.n_requests,
+        "requests_per_s": requests_per_s,
+        "recovery_seconds": recovery_seconds,
+        "shed_ratio": summary.shed_ratio,
+    }
+    record.update(percentiles_from_rounds(stats.sorted_data))
+    append_timing_row(TIMINGS_PATH, record)

@@ -79,6 +79,18 @@ class CheckpointError(ReproError):
     """
 
 
+class JournalError(ReproError):
+    """A service journal is unusable beyond torn-tail recovery.
+
+    A torn final line (the signature of a crash mid-append) is *not* an
+    error — recovery discards it and counts the event.  This error is
+    reserved for damage that recovery must not paper over: a journal
+    written for a different run fingerprint, corruption in the middle
+    of the file, duplicate or gapped event sequence numbers, or a
+    journaled decision that disagrees with the recomputed one.
+    """
+
+
 class DegradedResultWarning(UserWarning):
     """A pooled estimate covers fewer replications than requested.
 

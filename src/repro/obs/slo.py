@@ -331,4 +331,33 @@ DEFAULT_SERVICE_SLOS: Tuple[SLOTarget, ...] = (
         threshold=0.0,
         description="online decisions never contradict the offline table",
     ),
+    SLOTarget(
+        name="admission_shed_rate",
+        kind="ratio",
+        bad=("service.shed",),
+        total=("service.admitted", "service.blocked", "service.shed"),
+        threshold=0.05,
+        description="overload sheds under 5% of admission requests",
+    ),
+    SLOTarget(
+        name="fallback_decisions",
+        kind="counter",
+        metric="service.fallback_decisions",
+        threshold=0.0,
+        description="no breaker-driven peak-rate fallback decisions",
+    ),
+    SLOTarget(
+        name="shard_restarts",
+        kind="counter",
+        metric="service.shard_restarts",
+        threshold=0.0,
+        description="no link shards crashed or hung during replay",
+    ),
+    SLOTarget(
+        name="journal_torn_tails",
+        kind="counter",
+        metric="service.journal.torn_tail_recovered",
+        threshold=0.0,
+        description="no torn journal tails discarded during recovery",
+    ),
 )

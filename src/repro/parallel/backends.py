@@ -68,7 +68,16 @@ class BackendSession:
     def submit(self, payload: WorkerPayload) -> None:
         raise NotImplementedError
 
-    def next_completed(self) -> WorkerResult:
+    def next_completed(
+        self, timeout: Optional[float] = None
+    ) -> Optional[WorkerResult]:
+        """The next finished payload; None when ``timeout`` expires.
+
+        ``timeout=None`` blocks until a result is ready (the legacy
+        contract).  A finite timeout lets supervisors detect hung
+        workers instead of waiting forever; inline backends complete
+        synchronously and never time out.
+        """
         raise NotImplementedError
 
     @property
@@ -105,7 +114,12 @@ class _SerialSession(BackendSession):
     def submit(self, payload: WorkerPayload) -> None:
         self._queue.append(payload)
 
-    def next_completed(self) -> WorkerResult:
+    def next_completed(
+        self, timeout: Optional[float] = None
+    ) -> Optional[WorkerResult]:
+        # Inline execution completes synchronously; a timeout cannot
+        # fire (there is no moment at which work is pending but not
+        # finished), so it is accepted and ignored.
         if not self._queue:
             raise RuntimeError("no payloads pending in this session")
         return execute_payload(self._queue.popleft())
@@ -150,13 +164,18 @@ class _PoolSession(BackendSession):
         future = self._executor.submit(pool_entry, payload)
         self._futures[future] = (payload.index, payload.attempt)
 
-    def next_completed(self) -> WorkerResult:
+    def next_completed(
+        self, timeout: Optional[float] = None
+    ) -> Optional[WorkerResult]:
         if not self._futures:
             raise RuntimeError("no payloads pending in this session")
         done, _ = concurrent.futures.wait(
             self._futures,
+            timeout=timeout,
             return_when=concurrent.futures.FIRST_COMPLETED,
         )
+        if not done:
+            return None  # timeout expired with nothing finished
         # When several futures finished between waits, hand back the
         # lowest (index, attempt) rather than an arbitrary set member:
         # supervisors react to results as they collect them (raising,

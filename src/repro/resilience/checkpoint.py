@@ -164,6 +164,18 @@ class CheckpointFile:
                     f"{obj.get('type')!r} on line {lineno}"
                 )
             record = ReplicationRecord.from_json(obj)
+            if record.index in self.records:
+                # An append-only checkpoint written by one supervisor
+                # can never legitimately repeat an index; a duplicate
+                # means two processes shared the file or it was edited.
+                # Silently keeping either copy could poison the pooled
+                # estimate, so refuse to resume.
+                raise CheckpointError(
+                    f"{self.path}: duplicate record for replication "
+                    f"{record.index} on line {lineno}; the file was "
+                    "written by more than one run (delete it or point "
+                    "the policy elsewhere)"
+                )
             self.records[record.index] = record
 
     def _parse_header(self, line: str) -> dict:

@@ -30,9 +30,17 @@ estimate after a resume) is bit-identical to a serial run regardless
 of completion order.  A crash loses only completions still waiting on
 a smaller index; they are recomputed deterministically on resume.
 
+With ``replication_timeout_seconds`` set on the policy, a parallel
+attempt that outlives its wall-clock budget is declared hung: the
+attempt is fenced off (its eventual result — and telemetry — is
+discarded on arrival) and a fresh attempt dispatched on the next
+child stream, so a hang is handled exactly like any other retryable
+failure (``ReplicationTimeout`` in the failure log).
+
 Telemetry counters (no-ops unless :mod:`repro.obs` is enabled):
 ``replications_completed``, ``replications_retried``,
 ``replications_failed``, ``replications_degraded``,
+``replications_timed_out``, ``replications_stale_results``,
 ``checkpoint_resumed``.  The failure/degradation counters feed the
 default SLO targets of :mod:`repro.obs.slo`.
 """
@@ -251,11 +259,21 @@ def _supervise_parallel(
             health_check=True,
         )
 
+    timeout_budget = policy.replication_timeout_seconds
+    launched: dict = {}  # (index, attempt) -> launch clock
+    stale: set = set()  # timed-out epochs whose results must be dropped
+
     with backend.session() as session:
+
+        def _submit(index: int) -> None:
+            payload = _payload(index)
+            session.submit(payload)
+            launched[(payload.index, payload.attempt)] = policy.clock()
+
         for index in range(n_replications):
             if index not in completed:
-                session.submit(_payload(index))
-        while session.pending:
+                _submit(index)
+        while launched:
             if fatal_error is not None and _prefix_resolved():
                 break
             if deadline is not None and policy.clock() >= deadline:
@@ -264,7 +282,64 @@ def _supervise_parallel(
                 # deterministically on resume.
                 deadline_hit = True
                 break
-            result = session.next_completed()
+            wait = None
+            if timeout_budget is not None:
+                now = policy.clock()
+                remaining = min(
+                    timeout_budget - (now - at) for at in launched.values()
+                )
+                wait = max(0.001, remaining)
+            result = session.next_completed(timeout=wait)
+            if result is None:
+                # Nothing finished before the earliest per-attempt
+                # budget expired: declare overdue attempts hung.  The
+                # pool cannot preempt a running task, so the attempt
+                # is fenced off (its eventual result discarded) and a
+                # fresh attempt dispatched on the next child stream —
+                # a hang becomes an ordinary retryable failure.
+                now = policy.clock()
+                for key in sorted(launched):
+                    if now - launched[key] < timeout_budget:
+                        continue
+                    index, attempt = key
+                    del launched[key]
+                    stale.add(key)
+                    if fatal_error is not None and index > fatal_index:
+                        # Serial execution never reaches this
+                        # replication; don't retry or record it.
+                        continue
+                    _metrics.add("replications_timed_out")
+                    failures.append(
+                        FailureRecord(
+                            index=index,
+                            attempt=attempt,
+                            kind="ReplicationTimeout",
+                            message=(
+                                f"replication {index} attempt {attempt} "
+                                f"exceeded {timeout_budget}s wall-clock "
+                                "budget (declared hung)"
+                            ),
+                            elapsed_seconds=now - started,
+                        )
+                    )
+                    if attempt >= policy.max_retries:
+                        _metrics.add("replications_failed")
+                        abandoned.add(index)
+                        flush.advance()
+                        continue
+                    _metrics.add("replications_retried")
+                    n_retried += 1
+                    _submit(index)
+                continue
+            key = (result.index, result.attempt)
+            if key in stale:
+                # A fenced-off attempt finally returned: drop the
+                # result — and its telemetry — on the floor.  Its
+                # replacement (or abandonment) is already decided.
+                stale.discard(key)
+                _metrics.add("replications_stale_results")
+                continue
+            launched.pop(key, None)
             merge_result_telemetry(result)
             if result.failed:
                 if not result.retryable:
@@ -309,7 +384,7 @@ def _supervise_parallel(
                     continue
                 _metrics.add("replications_retried")
                 n_retried += 1
-                session.submit(_payload(result.index))
+                _submit(result.index)
                 continue
             completed[result.index] = ReplicationOutcome(
                 index=result.index,

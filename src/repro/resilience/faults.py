@@ -37,6 +37,7 @@ the example above, and it means the same thing in every backend.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
@@ -48,8 +49,11 @@ from repro.utils.replication_context import current_attempt
 __all__ = [
     "FaultInjector",
     "FaultInjectedModel",
+    "FaultyDecisionTables",
     "InjectedCrash",
     "InjectedFault",
+    "ServiceFaultPlan",
+    "ShardCues",
     "inject_faults",
 ]
 
@@ -172,6 +176,161 @@ class FaultInjectedModel:
 
     def __repr__(self) -> str:
         return repr(self._model)
+
+
+# -- service-layer chaos ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardCues:
+    """The chaos cues addressed to one ``(link shard, attempt)``."""
+
+    #: Raise :class:`InjectedCrash` before processing this request.
+    crash_request: Optional[int] = None
+    #: ``(request, seconds)`` — sleep before processing the request,
+    #: simulating a hung worker the supervisor must time out.
+    hang: Optional[Tuple[int, float]] = None
+    #: Tear the journal append of this event seq (half-written line,
+    #: then crash), proving torn-tail recovery.
+    torn_event: Optional[int] = None
+    #: Requests whose *primary* table lookup raises
+    #: :class:`InjectedFault`, driving the circuit breaker.
+    table_faults: frozenset = frozenset()
+
+    @property
+    def empty(self) -> bool:
+        return (
+            self.crash_request is None
+            and self.hang is None
+            and self.torn_event is None
+            and not self.table_faults
+        )
+
+
+#: The cues of a shard no chaos is addressed to.
+NO_CUES = ShardCues()
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """Deterministic chaos schedule for the admission service.
+
+    Every schedule keys on ``(link index, attempt)`` — the same
+    addressing the replication injector uses — so a fault fires on
+    exactly one epoch of one shard under any backend, and a restarted
+    attempt runs clean unless the plan says otherwise.  The plan is a
+    frozen, picklable value: it ships to worker processes inside the
+    replay task.
+
+    Parameters
+    ----------
+    crash_shard_at:
+        ``{(link, attempt): request}`` — the shard dies (a
+        :class:`InjectedCrash`) immediately before processing
+        ``request``.
+    hang_shard_at:
+        ``{(link, attempt): (request, seconds)}`` — the shard sleeps
+        ``seconds`` before processing ``request``; with a supervisor
+        shard timeout this exercises the hang-detection path.
+    torn_write_at:
+        ``{(link, attempt): event_seq}`` — the journal append of
+        ``event_seq`` is half-written, then the shard dies.
+    table_corrupt_at:
+        ``{(link, attempt): iterable of requests}`` — the primary
+        decision-table lookup for those requests raises, exercising
+        the circuit breaker / peak-rate fallback.
+    """
+
+    crash_shard_at: Mapping[Tuple[int, int], int] = None
+    hang_shard_at: Mapping[Tuple[int, int], Tuple[int, float]] = None
+    torn_write_at: Mapping[Tuple[int, int], int] = None
+    table_corrupt_at: Mapping[Tuple[int, int], Iterable[int]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "crash_shard_at",
+            {
+                (int(i), int(a)): int(r)
+                for (i, a), r in (self.crash_shard_at or {}).items()
+            },
+        )
+        object.__setattr__(
+            self,
+            "hang_shard_at",
+            {
+                (int(i), int(a)): (int(r), float(s))
+                for (i, a), (r, s) in (self.hang_shard_at or {}).items()
+            },
+        )
+        object.__setattr__(
+            self,
+            "torn_write_at",
+            {
+                (int(i), int(a)): int(e)
+                for (i, a), e in (self.torn_write_at or {}).items()
+            },
+        )
+        object.__setattr__(
+            self,
+            "table_corrupt_at",
+            {
+                (int(i), int(a)): frozenset(int(r) for r in requests)
+                for (i, a), requests in (self.table_corrupt_at or {}).items()
+            },
+        )
+
+    def shard_cues(self, link_index: int, attempt: int) -> ShardCues:
+        """The cues one shard epoch must obey (usually none)."""
+        key = (int(link_index), int(attempt))
+        cues = ShardCues(
+            crash_request=self.crash_shard_at.get(key),
+            hang=self.hang_shard_at.get(key),
+            torn_event=self.torn_write_at.get(key),
+            table_faults=self.table_corrupt_at.get(key, frozenset()),
+        )
+        return cues
+
+
+class FaultyDecisionTables:
+    """Delegating decision-table proxy that fails cued lookups.
+
+    The replay loop publishes the request index on
+    :attr:`current_request` before each admission; a *primary*-policy
+    lookup for a cued request raises :class:`InjectedFault` (fallback
+    lookups pass through — the breaker's escape hatch must work).
+    Everything else (``peek``, counters, snapshot/restore) is
+    forwarded to the wrapped cache untouched.
+    """
+
+    def __init__(self, tables, faulty_requests, primary_method: str):
+        self._tables = tables
+        self._faulty_requests = frozenset(
+            int(r) for r in faulty_requests
+        )
+        self._primary_method = primary_method
+        self.current_request: Optional[int] = None
+
+    def lookup(self, model, link_capacity, qos, method):
+        if (
+            method == self._primary_method
+            and self.current_request in self._faulty_requests
+        ):
+            raise InjectedFault(
+                f"injected decision-table fault on request "
+                f"{self.current_request}"
+            )
+        return self._tables.lookup(model, link_capacity, qos, method)
+
+    def __getattr__(self, name: str):
+        # Same unpickling guard as FaultInjectedModel: underscore
+        # lookups must raise, not recurse through a missing _tables.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._tables, name)
+
+    def __repr__(self) -> str:
+        return f"FaultyDecisionTables({self._tables!r})"
 
 
 def inject_faults(

@@ -47,6 +47,15 @@ class ResiliencePolicy:
         degrades instead of raising.
     deadline_seconds:
         Wall-clock budget for one engine run, relative to its start.
+    replication_timeout_seconds:
+        Wall-clock budget for a *single replication attempt* on a
+        process-pool backend.  An attempt running past it is declared
+        hung, counted as a retryable failure (``ReplicationTimeout``
+        in the failure log), and retried on a fresh child stream; the
+        stale worker's eventual result is discarded.  ``None`` (the
+        default) keeps the legacy block-forever behavior.  Serial
+        inline execution cannot be preempted, so the timeout only
+        applies under a parallel backend.
     deadline_at:
         Absolute deadline on the ``clock`` timebase (default
         ``time.monotonic``).  Used by the runner to bound a whole
@@ -64,6 +73,7 @@ class ResiliencePolicy:
 
     max_retries: int = 2
     deadline_seconds: Optional[float] = None
+    replication_timeout_seconds: Optional[float] = None
     deadline_at: Optional[float] = None
     checkpoint_path: Optional[str] = None
     checkpoint_dir: Optional[str] = None
@@ -78,6 +88,14 @@ class ResiliencePolicy:
         if self.deadline_seconds is not None and self.deadline_seconds <= 0:
             raise ParameterError(
                 f"deadline_seconds must be > 0, got {self.deadline_seconds!r}"
+            )
+        if (
+            self.replication_timeout_seconds is not None
+            and self.replication_timeout_seconds <= 0
+        ):
+            raise ParameterError(
+                f"replication_timeout_seconds must be > 0, "
+                f"got {self.replication_timeout_seconds!r}"
             )
 
     def deadline(self, started: float) -> Optional[float]:

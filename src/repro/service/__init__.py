@@ -19,13 +19,35 @@ that the served boundary matches the offline one.
   reports blocking, utilization, and cache effectiveness;
 * :mod:`repro.service.stats`    — report formatting and canonical
   JSON serialization;
+* :mod:`repro.service.journal`  — append-only checksummed decision
+  journals with periodic state snapshots; a restarted shard recovers
+  its exact link state from them;
+* :mod:`repro.service.supervision` — restart crashed/hung link shards
+  with per-shard deadlines, heartbeats, and bounded retry;
+* :mod:`repro.service.overload` — bounded admission queue, circuit
+  breaker, and conservative peak-rate fallback under overload;
 * :mod:`repro.service.cli`      — the ``workload`` command-line verb
   (also reachable as ``python -m repro.experiments.runner workload``).
 
-See ``docs/SERVICE.md`` for the architecture and determinism contract.
+See ``docs/SERVICE.md`` for the architecture and determinism
+contract, and ``docs/ROBUSTNESS.md`` for the service fault model and
+recovery runbook.
 """
 
 from repro.service.engine import AdmissionDecision, AdmissionEngine, LinkState
+from repro.service.journal import (
+    JournalRecovery,
+    LinkJournal,
+    find_recovery,
+    journal_path,
+    load_journal,
+)
+from repro.service.overload import (
+    AdmissionQueue,
+    CircuitBreaker,
+    OverloadPolicy,
+    OverloadState,
+)
 from repro.service.replay import (
     LinkStats,
     ReplaySummary,
@@ -37,6 +59,11 @@ from repro.service.stats import (
     summary_to_dict,
     summary_to_json,
     write_summary,
+)
+from repro.service.supervision import (
+    ShardReport,
+    ShardSupervisor,
+    SupervisionPolicy,
 )
 from repro.service.tables import (
     CAC_METHODS,
@@ -59,22 +86,34 @@ from repro.service.workload import (
 __all__ = [
     "AdmissionDecision",
     "AdmissionEngine",
+    "AdmissionQueue",
     "CAC_METHODS",
+    "CircuitBreaker",
     "ConnectionClass",
     "Decision",
     "DecisionTableCache",
     "EFFECTIVE_BANDWIDTH_METHOD",
     "HOLDING_LAWS",
+    "JournalRecovery",
+    "LinkJournal",
     "LinkState",
     "LinkStats",
+    "OverloadPolicy",
+    "OverloadState",
     "ReplaySummary",
     "SERVICE_METHODS",
+    "ShardReport",
+    "ShardSupervisor",
+    "SupervisionPolicy",
     "Workload",
     "WorkloadSpec",
     "decision_key",
+    "find_recovery",
     "format_summary",
     "generate_workload",
     "holding_time_distribution",
+    "journal_path",
+    "load_journal",
     "model_fingerprint",
     "replay_link",
     "replay_workload",

@@ -16,6 +16,16 @@ and can be pinned with ``--erlangs`` or ``--arrival-rate``.
 seed produces byte-identical files for any ``--jobs`` value (CI
 asserts this).  ``--table-cache FILE`` persists computed decision
 tables as JSONL, warming later runs.
+
+Fault tolerance (``docs/ROBUSTNESS.md``): ``--supervise`` restarts
+crashed/hung link shards, ``--journal-dir DIR`` journals every
+decision so a restarted shard recovers its exact state — with both, a
+run that crashes mid-flight still emits a summary byte-identical to a
+fault-free one (CI's chaos smoke asserts this).  The ``--chaos-*``
+flags inject deterministic faults at ``(link, attempt, request)``
+addresses to prove it.  ``--max-queue``/``--decision-rate`` bound the
+admission path under overload (deterministic shedding plus a circuit
+breaker falling back to the conservative peak-rate policy).
 """
 
 from __future__ import annotations
@@ -27,13 +37,35 @@ from typing import List, Optional
 from repro import obs
 from repro.atm.qos import QoSRequirement
 from repro.exceptions import ReproError
+from repro.resilience.faults import ServiceFaultPlan
+from repro.service.overload import OverloadPolicy
 from repro.service.replay import replay_workload
 from repro.service.stats import format_summary, write_summary
+from repro.service.supervision import SupervisionPolicy
 from repro.service.tables import SERVICE_METHODS, DecisionTableCache
 from repro.service.workload import ConnectionClass, WorkloadSpec
 from repro.utils.units import mbps_to_cells_per_frame
 
 __all__ = ["CLASS_PRESETS", "build_class", "build_parser", "main"]
+
+
+def _parse_chaos(values, n_fields, flag, parser):
+    """Parse repeatable ``L:A:...`` chaos addresses into a dict."""
+    plan = {}
+    for text in values or ():
+        parts = text.split(":")
+        if len(parts) != n_fields:
+            parser.error(
+                f"{flag} expects {n_fields} colon-separated fields, "
+                f"got {text!r}"
+            )
+        try:
+            numbers = [float(p) for p in parts]
+        except ValueError:
+            parser.error(f"{flag}: non-numeric field in {text!r}")
+        key = (int(numbers[0]), int(numbers[1]))
+        plan[key] = numbers[2:]
+    return plan
 
 #: Named traffic-class presets for the CLI (built lazily — model
 #: construction is not free and only requested classes should pay).
@@ -204,6 +236,114 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collect telemetry and print the span/metrics summary",
     )
+    fault = parser.add_argument_group(
+        "fault tolerance (docs/ROBUSTNESS.md)"
+    )
+    fault.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        default=None,
+        help="journal every decision under DIR (one checksummed JSONL "
+        "per link attempt); restarted shards recover from it exactly",
+    )
+    fault.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="journal a full state snapshot every N events "
+        "(default 2000); bounds recovery replay length",
+    )
+    fault.add_argument(
+        "--supervise",
+        action="store_true",
+        help="restart crashed/hung link shards instead of failing fast",
+    )
+    fault.add_argument(
+        "--max-restarts",
+        type=int,
+        default=2,
+        metavar="N",
+        help="extra attempts per shard under --supervise (default 2)",
+    )
+    fault.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="declare a shard hung after SECONDS wall-clock and restart "
+        "it (process-pool backends only; default: no hang detection)",
+    )
+    fault.add_argument(
+        "--heartbeat",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="supervisor poll interval while waiting on shard results "
+        "(default 0.5 s)",
+    )
+    fault.add_argument(
+        "--backoff",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="base restart backoff, doubled per attempt (default 0: "
+        "restart immediately — journal recovery is deterministic)",
+    )
+    overload = parser.add_argument_group("overload policy")
+    overload.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="DEPTH",
+        help="bound the admission queue at DEPTH outstanding decisions; "
+        "arrivals past the bound are shed deterministically",
+    )
+    overload.add_argument(
+        "--decision-rate",
+        type=float,
+        default=None,
+        metavar="PER_SEC",
+        help="modelled decision service rate (decisions/second on the "
+        "workload clock); required for --max-queue to ever shed",
+    )
+    overload.add_argument(
+        "--breaker-cooldown",
+        type=int,
+        default=64,
+        metavar="N",
+        help="requests the circuit breaker stays open before probing "
+        "the primary policy again (default 64)",
+    )
+    chaos = parser.add_argument_group(
+        "chaos injection (deterministic; requires --supervise)"
+    )
+    chaos.add_argument(
+        "--chaos-crash",
+        action="append",
+        metavar="L:A:R",
+        help="crash link L's attempt A before request R (repeatable)",
+    )
+    chaos.add_argument(
+        "--chaos-hang",
+        action="append",
+        metavar="L:A:R:S",
+        help="hang link L's attempt A for S seconds at request R",
+    )
+    chaos.add_argument(
+        "--chaos-torn-write",
+        action="append",
+        metavar="L:A:E",
+        help="tear the journal line for event E on link L attempt A "
+        "(half-written, no newline), then crash",
+    )
+    chaos.add_argument(
+        "--chaos-table-fault",
+        action="append",
+        metavar="L:A:R",
+        help="fail the primary decision-table lookup for request R on "
+        "link L attempt A (drives the breaker/fallback path)",
+    )
     return parser
 
 
@@ -216,6 +356,61 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--links must be >= 1, got {args.links}")
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+
+    crash = _parse_chaos(args.chaos_crash, 3, "--chaos-crash", parser)
+    hang = _parse_chaos(args.chaos_hang, 4, "--chaos-hang", parser)
+    torn = _parse_chaos(
+        args.chaos_torn_write, 3, "--chaos-torn-write", parser
+    )
+    table_fault_raw = _parse_chaos(
+        args.chaos_table_fault, 3, "--chaos-table-fault", parser
+    )
+    any_chaos = crash or hang or torn or table_fault_raw
+    if any_chaos and not args.supervise:
+        parser.error("--chaos-* flags require --supervise")
+    if (crash or torn) and args.journal_dir is None:
+        parser.error(
+            "--chaos-crash/--chaos-torn-write need --journal-dir so the "
+            "restarted shard can recover"
+        )
+    if hang and args.shard_timeout is None:
+        parser.error("--chaos-hang requires --shard-timeout")
+    faults = None
+    if any_chaos:
+        # Repeated --chaos-table-fault flags for one (link, attempt)
+        # merge into one request set.
+        table_faults: dict = {}
+        for raw in args.chaos_table_fault or ():
+            link, attempt, request = (int(float(p)) for p in raw.split(":"))
+            table_faults.setdefault((link, attempt), set()).add(request)
+        faults = ServiceFaultPlan(
+            crash_shard_at={k: int(v[0]) for k, v in crash.items()},
+            hang_shard_at={k: (int(v[0]), v[1]) for k, v in hang.items()},
+            torn_write_at={k: int(v[0]) for k, v in torn.items()},
+            table_corrupt_at=table_faults,
+        )
+
+    supervision = None
+    if args.supervise:
+        supervision = SupervisionPolicy(
+            max_restarts=args.max_restarts,
+            shard_timeout_seconds=args.shard_timeout,
+            heartbeat_seconds=args.heartbeat,
+            backoff_seconds=args.backoff,
+        )
+    overload = None
+    if args.max_queue is not None:
+        if args.decision_rate is not None and args.decision_rate <= 0:
+            parser.error("--decision-rate must be > 0")
+        overload = OverloadPolicy(
+            max_queue_depth=args.max_queue,
+            decision_seconds=(
+                1.0 / args.decision_rate
+                if args.decision_rate is not None
+                else 0.0
+            ),
+            breaker_cooldown=args.breaker_cooldown,
+        )
 
     classes = args.classes or [build_class("video")]
     capacity = mbps_to_cells_per_frame(args.capacity_mbps)
@@ -261,6 +456,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             rng=args.seed,
             jobs=args.jobs,
             table_path=args.table_cache,
+            journal_dir=args.journal_dir,
+            snapshot_every=args.snapshot_every,
+            supervision=supervision,
+            overload=overload,
+            faults=faults,
         )
     except ReproError as exc:
         parser.error(str(exc))

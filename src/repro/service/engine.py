@@ -36,11 +36,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.atm.cac import PEAK_SIGMA
 from repro.atm.qos import QoSRequirement
-from repro.exceptions import ParameterError
+from repro.exceptions import ParameterError, ReproError
 from repro.models.base import TrafficModel
 from repro.obs import metrics as _metrics
 from repro.obs import spans as _spans
+from repro.service.overload import OverloadPolicy, OverloadState
 from repro.service.tables import (
     EFFECTIVE_BANDWIDTH_METHOD,
     SERVICE_METHODS,
@@ -54,6 +56,8 @@ __all__ = ["AdmissionDecision", "AdmissionEngine", "LinkState"]
 #: Blocked/admitted reasons reported on every decision.
 REASON_ADMITTED = "admitted"
 REASON_CAPACITY = "capacity"
+#: The request was load-shed before any capacity question was asked.
+REASON_SHED = "shed"
 
 
 @dataclass(frozen=True)
@@ -73,6 +77,9 @@ class AdmissionDecision:
     admissible: int
     occupancy: int
     effective_bandwidth: Optional[float] = None
+    #: True when the breaker served this decision from the fallback
+    #: policy instead of the configured primary.
+    fallback: bool = False
 
 
 @dataclass(frozen=True)
@@ -115,6 +122,13 @@ class AdmissionEngine:
         The decision-table cache to consult; a fresh private cache by
         default.  Sharing one cache across engines shares the computed
         tables (and their hit/miss accounting).
+    overload:
+        Optional :class:`~repro.service.overload.OverloadPolicy`.
+        When set (and ``admit`` is given the arrival time) requests
+        past the bounded decision queue are shed, and primary-lookup
+        failures trip a circuit breaker that serves the conservative
+        fallback policy instead of taking the shard down.  Without it
+        the engine keeps its legacy fail-fast semantics.
     """
 
     def __init__(
@@ -122,6 +136,7 @@ class AdmissionEngine:
         policy: str = "bahadur-rao",
         *,
         tables: Optional[DecisionTableCache] = None,
+        overload: Optional[OverloadPolicy] = None,
     ):
         if policy not in SERVICE_METHODS:
             raise ParameterError(
@@ -130,6 +145,9 @@ class AdmissionEngine:
             )
         self.policy = policy
         self.tables = tables if tables is not None else DecisionTableCache()
+        self.overload = (
+            OverloadState(overload) if overload is not None else None
+        )
         self._links: Dict[str, LinkState] = {}
 
     # -- topology ------------------------------------------------------------
@@ -173,8 +191,20 @@ class AdmissionEngine:
         link_id: str,
         model: TrafficModel,
         connection_id: str,
+        *,
+        now: Optional[float] = None,
+        force_fallback: bool = False,
     ) -> AdmissionDecision:
-        """Decide one connection request against the link's free capacity."""
+        """Decide one connection request against the link's free capacity.
+
+        ``now`` is the request's arrival time on the workload clock;
+        with an overload policy configured it drives the bounded
+        decision queue (omitted, nothing is ever shed).
+        ``force_fallback`` serves the decision from the fallback
+        policy unconditionally — journal recovery uses it to re-apply
+        a decision that was originally made while the breaker was
+        open, without re-raising the fault that opened it.
+        """
         enabled = _spans._ENABLED
         started = time.perf_counter_ns() if enabled else 0
         link = self.link(link_id)
@@ -183,12 +213,83 @@ class AdmissionEngine:
                 f"connection {connection_id!r} already admitted on "
                 f"link {link_id!r}"
             )
-        decision = self.tables.lookup(
-            model, link.capacity, link.qos, self.policy
-        )
+        overload = self.overload
+        if (
+            overload is not None
+            and now is not None
+            and not overload.queue.offer(float(now))
+        ):
+            # Shed before any table work: overload protection must not
+            # cost a lookup per rejected request.
+            if enabled:
+                _metrics.add("service.shed")
+                _metrics.observe_sketch(
+                    f"service.occupancy.{link_id}", link.occupancy
+                )
+            return AdmissionDecision(
+                admitted=False,
+                link_id=link_id,
+                connection_id=connection_id,
+                policy=self.policy,
+                reason=REASON_SHED,
+                admissible=-1,
+                occupancy=link.occupancy,
+                effective_bandwidth=None,
+            )
+
+        decision = None
+        fallback = bool(force_fallback)
+        if not fallback:
+            if overload is not None:
+                if overload.breaker.allow_primary():
+                    try:
+                        decision = self.tables.lookup(
+                            model, link.capacity, link.qos, self.policy
+                        )
+                    except ReproError:
+                        opened = overload.breaker.record_failure()
+                        fallback = True
+                        if enabled:
+                            _metrics.add("service.table_lookup_failures")
+                            if opened:
+                                _metrics.add("service.breaker_opened")
+                    else:
+                        if overload.breaker.record_success() and enabled:
+                            _metrics.add("service.breaker_recovered")
+                else:
+                    fallback = True
+            else:
+                # Legacy fail-fast path: no breaker, lookup errors
+                # propagate to the caller.
+                decision = self.tables.lookup(
+                    model, link.capacity, link.qos, self.policy
+                )
+        if fallback:
+            fallback_method = (
+                overload.policy.fallback_method
+                if overload is not None
+                else "peak-rate"
+            )
+            decision = self.tables.lookup(
+                model, link.capacity, link.qos, fallback_method
+            )
+            if overload is not None:
+                overload.fallback_total += 1
+            if enabled:
+                _metrics.add("service.fallback_decisions")
+
         fingerprint = model_fingerprint(model)
         bandwidth = decision.effective_bandwidth
-        if self.policy == EFFECTIVE_BANDWIDTH_METHOD:
+        if fallback:
+            # The fallback boundary is a peak-allocation count: total
+            # occupancy below it is safe for *any* admitted mix, so no
+            # homogeneity guard applies here.
+            admitted = link.occupancy < decision.admissible
+            if admitted and self.policy == EFFECTIVE_BANDWIDTH_METHOD:
+                # Keep effective-bandwidth bookkeeping conservative:
+                # charge the peak allocation, symmetric on release.
+                bandwidth = float(model.mean) + float(model.std) * PEAK_SIGMA
+        elif self.policy == EFFECTIVE_BANDWIDTH_METHOD:
             admitted = (
                 link.admitted_bandwidth + bandwidth <= link.capacity
             )
@@ -241,6 +342,7 @@ class AdmissionEngine:
             admissible=decision.admissible,
             occupancy=link.occupancy,
             effective_bandwidth=bandwidth,
+            fallback=fallback,
         )
 
     def release(self, link_id: str, connection_id: str) -> None:
@@ -263,6 +365,58 @@ class AdmissionEngine:
         link.admitted_mean_load -= connection.mean
         if _spans._ENABLED:
             _metrics.add("service.released")
+
+    # -- exact state transport (journal snapshots) ---------------------------
+
+    def export_link_state(self, link_id: str) -> dict:
+        """The link's admitted mix as exact, JSON-serializable data.
+
+        Floats travel as ``float.hex()`` and the running accumulators
+        are exported *as stored* — never recomputed by summation on
+        restore, because float addition order matters and recovery
+        must be byte-identical to a run that never crashed.
+        """
+        link = self.link(link_id)
+        return {
+            "connections": [
+                [
+                    connection_id,
+                    connection.fingerprint,
+                    connection.mean.hex(),
+                    (
+                        None
+                        if connection.effective_bandwidth is None
+                        else connection.effective_bandwidth.hex()
+                    ),
+                ]
+                for connection_id, connection in link.connections.items()
+            ],
+            "admitted_bandwidth": link.admitted_bandwidth.hex(),
+            "admitted_mean_load": link.admitted_mean_load.hex(),
+        }
+
+    def restore_link_state(self, link_id: str, state: dict) -> None:
+        """Restore :meth:`export_link_state` output exactly."""
+        link = self.link(link_id)
+        link.connections.clear()
+        link.class_counts.clear()
+        for connection_id, fingerprint, mean_hex, bandwidth_hex in state[
+            "connections"
+        ]:
+            link.connections[connection_id] = _Connection(
+                fingerprint=fingerprint,
+                mean=float.fromhex(mean_hex),
+                effective_bandwidth=(
+                    None
+                    if bandwidth_hex is None
+                    else float.fromhex(bandwidth_hex)
+                ),
+            )
+            link.class_counts[fingerprint] = (
+                link.class_counts.get(fingerprint, 0) + 1
+            )
+        link.admitted_bandwidth = float.fromhex(state["admitted_bandwidth"])
+        link.admitted_mean_load = float.fromhex(state["admitted_mean_load"])
 
     # -- introspection -------------------------------------------------------
 

@@ -23,22 +23,42 @@ Scale comes from two places:
   identical generator states and pooled in link-index order, so the
   summary — including every float — does not depend on ``jobs``.
 
+Fault tolerance extends that contract to crashes.  With
+``journal_dir=`` each link shard journals every decision
+(:mod:`repro.service.journal`) and snapshots its full state
+periodically; with ``supervision=`` a crashed or hung shard is
+restarted (:mod:`repro.service.supervision`) and the fresh attempt
+recovers from the journal — restoring accumulators, the departure
+heap, table counters, and overload state *exactly*, then re-applying
+the post-snapshot events — so a recovered replay's summary is
+**byte-identical** to one that never crashed.  ``overload=`` bounds
+the admission path past saturation (deterministic shedding + breaker
+fallback, :mod:`repro.service.overload`), and ``faults=`` accepts a
+:class:`~repro.resilience.faults.ServiceFaultPlan` so every recovery
+path is deterministically testable.
+
 Every replayed decision is also checked against the offline boundary
 in place: a request admitted at occupancy >= N or blocked below N
 would increment ``boundary_violations``, which a healthy replay
-reports as zero.
+reports as zero (shed and fallback decisions are excluded — they are
+decided against the overload policy, not the primary boundary).
 """
 
 from __future__ import annotations
 
+import hashlib
 import heapq
+import json
+import pickle
+import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.atm.qos import QoSRequirement
-from repro.exceptions import ParameterError
+from repro.exceptions import JournalError, ParameterError
 from repro.obs import metrics as _metrics
 from repro.obs import spans as _spans
 from repro.obs.spans import span
@@ -48,16 +68,31 @@ from repro.parallel.worker import (
     execute_payload,
     merge_result_telemetry,
 )
-from repro.service.engine import AdmissionEngine
+from repro.resilience.faults import (
+    NO_CUES,
+    FaultyDecisionTables,
+    InjectedCrash,
+    ServiceFaultPlan,
+)
+from repro.service.engine import REASON_SHED, AdmissionEngine
+from repro.service.journal import (
+    LinkJournal,
+    find_recovery,
+    journal_path,
+)
+from repro.service.overload import OverloadPolicy
+from repro.service.supervision import ShardSupervisor, SupervisionPolicy
 from repro.service.tables import (
     EFFECTIVE_BANDWIDTH_METHOD,
     DecisionTableCache,
+    model_fingerprint,
 )
 from repro.service.workload import (
     ConnectionClass,
     WorkloadSpec,
     generate_workload,
 )
+from repro.utils.replication_context import current_attempt
 from repro.utils.rng import RngLike, spawn_generators
 from repro.utils.validation import check_integer, check_positive
 
@@ -77,6 +112,10 @@ class LinkStats:
     n_requests: int
     admitted: int
     blocked: int
+    #: Requests dropped by the overload policy before any table work.
+    shed: int
+    #: Decisions served by the breaker's conservative fallback policy.
+    fallbacks: int
     peak_occupancy: int
     #: Offline admissible N for the first class (the boundary the
     #: online decisions were checked against).
@@ -93,6 +132,10 @@ class LinkStats:
     def blocking_probability(self) -> float:
         return self.blocked / self.n_requests if self.n_requests else 0.0
 
+    @property
+    def shed_ratio(self) -> float:
+        return self.shed / self.n_requests if self.n_requests else 0.0
+
     def utilization(self, capacity: float) -> float:
         """Time-averaged carried load as a fraction of ``capacity``."""
         denominator = capacity * self.elapsed_seconds
@@ -104,6 +147,8 @@ class LinkStats:
         "n_requests",
         "admitted",
         "blocked",
+        "shed",
+        "fallbacks",
         "peak_occupancy",
         "admissible",
         "boundary_violations",
@@ -133,6 +178,8 @@ class LinkStats:
             n_requests=int(data["n_requests"]),
             admitted=int(data["admitted"]),
             blocked=int(data["blocked"]),
+            shed=int(data["shed"]),
+            fallbacks=int(data["fallbacks"]),
             peak_occupancy=int(data["peak_occupancy"]),
             admissible=int(data["admissible"]),
             boundary_violations=int(data["boundary_violations"]),
@@ -153,6 +200,8 @@ class ReplaySummary:
     n_requests: int
     admitted: int
     blocked: int
+    shed: int
+    fallbacks: int
     blocking_probability: float
     #: Mean over links of the time-averaged utilization.
     utilization: float
@@ -162,6 +211,117 @@ class ReplaySummary:
     boundary_violations: int
     offered_erlangs: float
     links: Tuple[LinkStats, ...]
+
+    @property
+    def shed_ratio(self) -> float:
+        return self.shed / self.n_requests if self.n_requests else 0.0
+
+
+def _journal_fingerprint(
+    spec: WorkloadSpec,
+    classes: Sequence[ConnectionClass],
+    *,
+    capacity: float,
+    qos: QoSRequirement,
+    policy: str,
+    link_index: int,
+) -> str:
+    """A stable identity for one shard's replay configuration.
+
+    Guards recovery against replaying a journal written for a
+    different workload, class mix, capacity, QoS, policy, or link.
+    (The RNG seed is embedded in the generator and not independently
+    hashable; the workload spec carries everything else that shapes
+    the event stream.)
+    """
+    payload = json.dumps(
+        {
+            "n_requests": spec.n_requests,
+            "arrival_rate": float(spec.arrival_rate).hex(),
+            "mean_holding_time": float(spec.mean_holding_time).hex(),
+            "holding": spec.holding,
+            "tail_gamma": float(spec.tail_gamma).hex(),
+            "classes": [
+                [c.name, model_fingerprint(c.model), float(c.weight).hex()]
+                for c in classes
+            ],
+            "capacity": float(capacity).hex(),
+            "max_delay_seconds": float(qos.max_delay_seconds).hex(),
+            "max_clr": float(qos.max_clr).hex(),
+            "policy": policy,
+            "link_index": int(link_index),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class _LinkReplay:
+    """One link's mutable replay state, shared by live and re-applied
+    event processing so both run byte-identical code."""
+
+    def __init__(self):
+        self.departures: List[Tuple[float, str]] = []
+        self.admitted = 0
+        self.blocked = 0
+        self.shed = 0
+        self.fallbacks = 0
+        self.peak_occupancy = 0
+        self.boundary_violations = 0
+        self.carried_load_seconds = 0.0
+        self.last_event_time = 0.0
+
+    def capture(self, seq: int, engine, link_id: str, tables) -> dict:
+        """The full shard state after event ``seq``, exactly.
+
+        Floats as hex round-trips; the departure list in its live heap
+        order (heap order is deterministic, so restoring the raw list
+        reproduces identical pop sequences); accumulators as stored —
+        a recovered attempt must never re-sum them.
+        """
+        return {
+            "seq": int(seq),
+            "admitted": self.admitted,
+            "blocked": self.blocked,
+            "shed": self.shed,
+            "fallbacks": self.fallbacks,
+            "peak_occupancy": self.peak_occupancy,
+            "boundary_violations": self.boundary_violations,
+            "carried_load_seconds": self.carried_load_seconds.hex(),
+            "last_event_time": self.last_event_time.hex(),
+            "departures": [
+                [t.hex(), connection_id]
+                for t, connection_id in self.departures
+            ],
+            "link": engine.export_link_state(link_id),
+            "tables": tables.snapshot_state(),
+            "overload": (
+                engine.overload.state_dict()
+                if engine.overload is not None
+                else None
+            ),
+        }
+
+    def restore(self, state: dict, engine, link_id: str, tables) -> None:
+        """Restore :meth:`capture` output exactly."""
+        self.admitted = int(state["admitted"])
+        self.blocked = int(state["blocked"])
+        self.shed = int(state["shed"])
+        self.fallbacks = int(state["fallbacks"])
+        self.peak_occupancy = int(state["peak_occupancy"])
+        self.boundary_violations = int(state["boundary_violations"])
+        self.carried_load_seconds = float.fromhex(
+            state["carried_load_seconds"]
+        )
+        self.last_event_time = float.fromhex(state["last_event_time"])
+        self.departures = [
+            (float.fromhex(t), connection_id)
+            for t, connection_id in state["departures"]
+        ]
+        engine.restore_link_state(link_id, state["link"])
+        tables.restore_state(state["tables"])
+        if state.get("overload") is not None and engine.overload is not None:
+            engine.overload.restore_state(state["overload"])
 
 
 def replay_link(
@@ -174,6 +334,10 @@ def replay_link(
     rng: RngLike,
     link_index: int = 0,
     table_path=None,
+    journal_prefix=None,
+    snapshot_every: int = 2000,
+    overload: Optional[OverloadPolicy] = None,
+    faults: Optional[ServiceFaultPlan] = None,
 ) -> LinkStats:
     """Replay one link's workload through a fresh engine.
 
@@ -182,88 +346,210 @@ def replay_link(
     every state change.  The engine and its decision-table cache are
     private to the link, so a link's statistics do not depend on what
     other links (or processes) did — the bit-identity contract.
+
+    With ``journal_prefix`` every decision is journaled
+    (``<prefix>.a<attempt>.jsonl``) and the full state snapshotted
+    every ``snapshot_every`` events.  A restarted attempt (attempt
+    number read from the ambient replication context) recovers from
+    the newest prior attempt's journal: snapshot restored exactly,
+    post-snapshot events re-applied, then the live loop resumes —
+    producing statistics byte-identical to an uninterrupted run.
     """
+    snapshot_every = check_integer(snapshot_every, "snapshot_every", minimum=1)
+    context = current_attempt()
+    attempt = context[1] if context is not None else 0
+    cues = (
+        faults.shard_cues(link_index, attempt)
+        if faults is not None
+        else NO_CUES
+    )
+
     tables = (
         DecisionTableCache(path=table_path, persist=False)
         if table_path is not None
         else DecisionTableCache()
     )
-    engine = AdmissionEngine(policy=policy, tables=tables)
+    faulty_tables = None
+    if cues.table_faults:
+        faulty_tables = FaultyDecisionTables(tables, cues.table_faults, policy)
+        tables = faulty_tables
+    engine = AdmissionEngine(policy=policy, tables=tables, overload=overload)
     link_id = f"link-{link_index}"
     link = engine.add_link(link_id, capacity, qos)
     workload = generate_workload(spec, classes, rng)
 
-    # The boundary the replay is checked against: admissible N of the
-    # first class (deterministically the first table miss).
-    boundary = tables.lookup(classes[0].model, capacity, qos, policy)
+    recovery = None
+    fingerprint = None
+    if journal_prefix is not None:
+        fingerprint = _journal_fingerprint(
+            spec,
+            classes,
+            capacity=capacity,
+            qos=qos,
+            policy=policy,
+            link_index=link_index,
+        )
+        recovery = find_recovery(journal_prefix, attempt, fingerprint)
+
+    replay = _LinkReplay()
+    boundary = None
+    if recovery is not None and recovery.snapshot_state is not None:
+        replay.restore(recovery.snapshot_state, engine, link_id, tables)
+        # The restored table counters already include the boundary
+        # lookup the dead attempt performed; peek instead of lookup so
+        # hit/miss totals stay byte-identical to a fault-free run.
+        boundary = tables.peek(classes[0].model, capacity, qos, policy)
+    if boundary is None:
+        # The boundary the replay is checked against: admissible N of
+        # the first class (deterministically the first table miss).
+        boundary = tables.lookup(classes[0].model, capacity, qos, policy)
     count_policy = policy != EFFECTIVE_BANDWIDTH_METHOD
 
     arrivals = workload.arrival_times
     holdings = workload.holding_times
     labels = workload.class_indices
     models = [c.model for c in classes]
+    overload_active = overload is not None
 
-    departures: List[Tuple[float, str]] = []
-    admitted = blocked = 0
-    peak_occupancy = 0
-    boundary_violations = 0
-    carried_load_seconds = 0.0
-    last_event_time = 0.0
+    journal = None
+    if journal_prefix is not None:
+        journal = LinkJournal(
+            journal_path(journal_prefix, attempt),
+            fingerprint,
+            attempt=attempt,
+        )
+        if recovery is not None and recovery.snapshot_state is not None:
+            # Seed this epoch's journal with the inherited snapshot so
+            # a *second* crash recovers from this file alone.
+            journal.snapshot(recovery.snapshot_seq, recovery.snapshot_state)
 
     admit = engine.admit
     release = engine.release
     heappush = heapq.heappush
     heappop = heapq.heappop
+    departures = replay.departures
 
-    with span(
-        "service.replay.link",
-        link=link_index,
-        requests=workload.n_requests,
-        policy=policy,
-    ):
-        for i in range(workload.n_requests):
-            now = float(arrivals[i])
-            while departures and departures[0][0] <= now:
-                departed_at, connection_id = heappop(departures)
-                carried_load_seconds += link.admitted_mean_load * (
-                    departed_at - last_event_time
-                )
-                last_event_time = departed_at
-                release(link_id, connection_id)
-            carried_load_seconds += link.admitted_mean_load * (
-                now - last_event_time
+    def step(i: int, forced) -> None:
+        """Process request ``i`` — live, or re-applied from a journal."""
+        now = float(arrivals[i])
+        while departures and departures[0][0] <= now:
+            departed_at, connection_id = heappop(departures)
+            replay.carried_load_seconds += link.admitted_mean_load * (
+                departed_at - replay.last_event_time
             )
-            last_event_time = now
+            replay.last_event_time = departed_at
+            release(link_id, connection_id)
+        replay.carried_load_seconds += link.admitted_mean_load * (
+            now - replay.last_event_time
+        )
+        replay.last_event_time = now
 
-            occupancy_before = link.occupancy
-            decision = admit(link_id, models[labels[i]], f"c{i}")
-            if decision.admitted:
-                admitted += 1
-                if decision.occupancy > peak_occupancy:
-                    peak_occupancy = decision.occupancy
-                heappush(departures, (now + float(holdings[i]), f"c{i}"))
-            else:
-                blocked += 1
-            if count_policy and decision.admitted != (
-                occupancy_before < decision.admissible
-            ):
-                boundary_violations += 1
+        if faulty_tables is not None:
+            faulty_tables.current_request = i
+        occupancy_before = link.occupancy
+        decision = admit(
+            link_id,
+            models[labels[i]],
+            f"c{i}",
+            now=now if overload_active else None,
+            force_fallback=forced.fallback if forced is not None else False,
+        )
+        if decision.reason == REASON_SHED:
+            kind = "s"
+        elif decision.admitted:
+            kind = "a"
+        else:
+            kind = "b"
+        if forced is not None and kind != forced.kind:
+            raise JournalError(
+                f"link {link_index}: recomputed decision {kind!r} for "
+                f"event {i} disagrees with journaled {forced.kind!r}; "
+                "the journal does not describe this workload"
+            )
+        if kind == "s":
+            replay.shed += 1
+        elif kind == "a":
+            replay.admitted += 1
+            if decision.occupancy > replay.peak_occupancy:
+                replay.peak_occupancy = decision.occupancy
+            heappush(departures, (now + float(holdings[i]), f"c{i}"))
+        else:
+            replay.blocked += 1
+        if decision.fallback:
+            replay.fallbacks += 1
+        if (
+            count_policy
+            and kind != "s"
+            and not decision.fallback
+            and decision.admitted != (occupancy_before < decision.admissible)
+        ):
+            replay.boundary_violations += 1
+        if journal is not None:
+            if cues.torn_event == i:
+                journal.torn_event(i, kind, fallback=decision.fallback)
+                raise InjectedCrash(
+                    f"injected torn journal write at event {i} on "
+                    f"link {link_index} attempt {attempt}"
+                )
+            journal.event(i, kind, fallback=decision.fallback)
+            if (i + 1) % snapshot_every == 0:
+                journal.snapshot(
+                    i, replay.capture(i, engine, link_id, tables)
+                )
+
+    start = 0
+    try:
+        with span(
+            "service.replay.link",
+            link=link_index,
+            attempt=attempt,
+            requests=workload.n_requests,
+            policy=policy,
+        ):
+            if recovery is not None:
+                # Re-apply the dead attempt's post-snapshot events.
+                # They run the same code as live requests (real table
+                # lookups against exactly-restored caches), with the
+                # journaled outcome asserted and fallback provenance
+                # forced, so counters and floats advance identically.
+                for event in recovery.events:
+                    step(event.seq, event)
+                start = recovery.next_seq
+                if _spans._ENABLED and recovery.events:
+                    _metrics.add(
+                        "service.journal.events_reapplied",
+                        len(recovery.events),
+                    )
+            for i in range(start, workload.n_requests):
+                if cues.hang is not None and cues.hang[0] == i:
+                    time.sleep(cues.hang[1])
+                if cues.crash_request == i:
+                    raise InjectedCrash(
+                        f"injected shard crash before request {i} on "
+                        f"link {link_index} attempt {attempt}"
+                    )
+                step(i, None)
+    finally:
+        if journal is not None:
+            journal.close()
 
     if _spans._ENABLED:
         _metrics.add("service.requests_replayed", workload.n_requests)
         # add(0) still registers the instrument, so serial and
         # parallel snapshots list the same counters.
-        _metrics.add("service.boundary_violations", boundary_violations)
+        _metrics.add("service.boundary_violations", replay.boundary_violations)
 
     return LinkStats(
         link_index=link_index,
         n_requests=workload.n_requests,
-        admitted=admitted,
-        blocked=blocked,
-        peak_occupancy=peak_occupancy,
+        admitted=replay.admitted,
+        blocked=replay.blocked,
+        shed=replay.shed,
+        fallbacks=replay.fallbacks,
+        peak_occupancy=replay.peak_occupancy,
         admissible=boundary.admissible,
-        boundary_violations=boundary_violations,
-        carried_load_seconds=carried_load_seconds,
+        boundary_violations=replay.boundary_violations,
+        carried_load_seconds=replay.carried_load_seconds,
         elapsed_seconds=workload.horizon_seconds,
         cache_hits=tables.hits,
         cache_misses=tables.misses,
@@ -280,8 +566,17 @@ class _LinkReplayTask:
     qos: QoSRequirement
     policy: str
     table_path: Optional[str] = None
+    journal_dir: Optional[str] = None
+    snapshot_every: int = 2000
+    overload: Optional[OverloadPolicy] = None
+    faults: Optional[ServiceFaultPlan] = None
 
     def __call__(self, index: int, generator: np.random.Generator):
+        journal_prefix = (
+            None
+            if self.journal_dir is None
+            else str(Path(self.journal_dir) / f"link-{index}")
+        )
         stats = replay_link(
             self.spec,
             self.classes,
@@ -291,6 +586,10 @@ class _LinkReplayTask:
             rng=generator,
             link_index=index,
             table_path=self.table_path,
+            journal_prefix=journal_prefix,
+            snapshot_every=self.snapshot_every,
+            overload=self.overload,
+            faults=self.faults,
         )
         return stats.as_array(), float(stats.n_requests)
 
@@ -305,6 +604,8 @@ def _pool_links(
     n_requests = sum(s.n_requests for s in links)
     admitted = sum(s.admitted for s in links)
     blocked = sum(s.blocked for s in links)
+    shed = sum(s.shed for s in links)
+    fallbacks = sum(s.fallbacks for s in links)
     utilization = 0.0
     for stats in links:
         utilization += stats.utilization(capacity)
@@ -319,6 +620,8 @@ def _pool_links(
         n_requests=n_requests,
         admitted=admitted,
         blocked=blocked,
+        shed=shed,
+        fallbacks=fallbacks,
         blocking_probability=blocked / n_requests if n_requests else 0.0,
         utilization=utilization,
         cache_hits=cache_hits,
@@ -342,6 +645,11 @@ def replay_workload(
     backend: Optional[Backend] = None,
     jobs: Optional[int] = None,
     table_path=None,
+    journal_dir=None,
+    snapshot_every: int = 2000,
+    supervision: Optional[SupervisionPolicy] = None,
+    overload: Optional[OverloadPolicy] = None,
+    faults: Optional[ServiceFaultPlan] = None,
 ) -> ReplaySummary:
     """Replay ``spec`` on every link and pool the measured statistics.
 
@@ -351,10 +659,21 @@ def replay_workload(
     worker processes; the summary is bit-identical to a serial run on
     the same seed.  ``table_path`` points every link at a shared
     persisted decision table (loaded read-only).
+
+    Without ``supervision`` a failed shard fails the whole replay
+    (legacy fail-fast).  With it, crashed and hung shards are
+    restarted up to the policy's budget, each restart recovering from
+    the shard's journal when ``journal_dir`` is set — the summary
+    remains byte-identical to a fault-free run.
     """
     n_links = check_integer(n_links, "n_links", minimum=1)
     check_positive(capacity, "capacity")
     qos = qos if qos is not None else QoSRequirement()
+    if faults is not None and supervision is None:
+        raise ParameterError(
+            "a ServiceFaultPlan requires supervision= (an unsupervised "
+            "replay would simply die at the first injected fault)"
+        )
     exec_backend = resolve_backend(backend, jobs)
     task = _LinkReplayTask(
         spec=spec,
@@ -363,21 +682,13 @@ def replay_workload(
         qos=qos,
         policy=policy,
         table_path=None if table_path is None else str(table_path),
+        journal_dir=None if journal_dir is None else str(journal_dir),
+        snapshot_every=snapshot_every,
+        overload=overload,
+        faults=faults,
     )
     telemetry = _spans.is_enabled()
     generators = spawn_generators(rng, n_links)
-    payloads = [
-        WorkerPayload(
-            index=i,
-            attempt=0,
-            task=task,
-            generator=generators[i],
-            label=f"workload-link-{i}",
-            telemetry=telemetry,
-            health_check=True,
-        )
-        for i in range(n_links)
-    ]
     results: List = [None] * n_links
     with span(
         "service.replay",
@@ -386,13 +697,67 @@ def replay_workload(
         policy=policy,
         jobs=1 if exec_backend is None else exec_backend.jobs,
     ):
-        if exec_backend is None:
+        if supervision is not None:
+
+            def payload_factory(index: int, attempt: int) -> WorkerPayload:
+                # Each attempt replays from a pristine copy of the
+                # link's stream: inline execution advances a generator
+                # in place, and a restarted attempt must regenerate
+                # the identical workload.
+                generator = pickle.loads(pickle.dumps(generators[index]))
+                return WorkerPayload(
+                    index=index,
+                    attempt=attempt,
+                    task=task,
+                    generator=generator,
+                    label=f"workload-link-{index}",
+                    telemetry=telemetry,
+                    health_check=True,
+                )
+
+            supervisor = ShardSupervisor(
+                payload_factory,
+                n_links,
+                backend=exec_backend,
+                policy=supervision,
+            )
+            results = supervisor.run()
+            if exec_backend is not None:
+                # Telemetry merges in link-index order, not completion
+                # order (canonical-JSON bit-identity).
+                for result in results:
+                    merge_result_telemetry(result)
+        elif exec_backend is None:
+            payloads = [
+                WorkerPayload(
+                    index=i,
+                    attempt=0,
+                    task=task,
+                    generator=generators[i],
+                    label=f"workload-link-{i}",
+                    telemetry=telemetry,
+                    health_check=True,
+                )
+                for i in range(n_links)
+            ]
             for payload in payloads:
                 result = execute_payload(payload)
                 if result.failed:
                     raise result.error
                 results[result.index] = result
         else:
+            payloads = [
+                WorkerPayload(
+                    index=i,
+                    attempt=0,
+                    task=task,
+                    generator=generators[i],
+                    label=f"workload-link-{i}",
+                    telemetry=telemetry,
+                    health_check=True,
+                )
+                for i in range(n_links)
+            ]
             with exec_backend.session() as session:
                 for payload in payloads:
                     session.submit(payload)

@@ -29,6 +29,8 @@ def link_stats_to_dict(stats: LinkStats, capacity: float) -> dict:
         "n_requests": stats.n_requests,
         "admitted": stats.admitted,
         "blocked": stats.blocked,
+        "shed": stats.shed,
+        "fallbacks": stats.fallbacks,
         "blocking_probability": stats.blocking_probability,
         "peak_occupancy": stats.peak_occupancy,
         "admissible": stats.admissible,
@@ -49,6 +51,9 @@ def summary_to_dict(summary: ReplaySummary) -> dict:
         "n_requests": summary.n_requests,
         "admitted": summary.admitted,
         "blocked": summary.blocked,
+        "shed": summary.shed,
+        "shed_ratio": summary.shed_ratio,
+        "fallbacks": summary.fallbacks,
         "blocking_probability": summary.blocking_probability,
         "utilization": summary.utilization,
         "cache_hits": summary.cache_hits,
@@ -103,4 +108,10 @@ def format_summary(summary: ReplaySummary) -> str:
         f"{summary.cache_hit_rate:.2%}, boundary violations "
         f"{summary.boundary_violations}"
     )
+    if summary.shed or summary.fallbacks:
+        lines.append(
+            f"overload: {summary.shed} shed "
+            f"(ratio {summary.shed_ratio:.4f}), "
+            f"{summary.fallbacks} fallback decision(s)"
+        )
     return "\n".join(lines)

@@ -1,0 +1,309 @@
+"""Shard supervision: restart crashed or hung link-shard workers.
+
+The replay driver (:mod:`repro.service.replay`) historically failed
+fast — one crashed link shard killed the whole run.  The supervisor
+wraps the same backend session protocol with a restart loop:
+
+* **crashes** — a shard whose payload raises (any exception: a
+  supervisor restarts indiscriminately, unlike the resilience
+  engine's retryable/fatal triage, because a restarted shard recovers
+  its exact state from the journal and re-verifies every journaled
+  decision) is resubmitted with an incremented attempt number, up to
+  ``max_restarts`` extra attempts per shard;
+* **hangs** — on process-pool backends the supervisor polls with a
+  ``heartbeat_seconds`` wait instead of blocking forever; a shard
+  running past ``shard_timeout_seconds`` is declared hung, its
+  eventual (stale) result is discarded on arrival, and a fresh
+  attempt is submitted.  The attempt number is an *epoch fence*: the
+  stale worker keeps appending only to its own per-attempt journal
+  file, which the fresh attempt reads read-only — the two never write
+  the same file.
+
+Restart attempts re-enter the payload factory, so each attempt starts
+from pristine inputs (the replay driver hands every attempt an
+unadvanced copy of the link's RNG stream) and reads its attempt
+number from the ambient replication context — the same mechanism
+:mod:`repro.resilience.faults` uses to address injected faults at
+``(shard, attempt)`` granularity.
+
+Determinism: restarts change *when* results arrive, never *what* they
+contain.  Results are returned in shard-index order and, because a
+recovered attempt replays the journal byte-exactly, a supervised run
+with crashes produces the same summary bytes as a fault-free run.
+Hung-shard recovery is the one place wall-clock time enters; the
+stale result is discarded without merging its telemetry, so even hang
+chaos leaves the summary bytes unchanged (observability counters
+record that recovery happened).
+
+Caveat: a hung worker occupies its pool slot until it returns —
+``ProcessPoolExecutor`` cannot preempt a running task — so injected
+hangs must be finite sleeps, and ``shard_timeout_seconds`` should be
+comfortably below them only in tests.  On the inline (serial) path
+there is no concurrency to poll; hangs are not preemptible and only
+crash recovery applies.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.exceptions import ParameterError, SimulationError
+from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
+from repro.obs.spans import span
+from repro.parallel.backends import Backend
+from repro.parallel.worker import (
+    WorkerPayload,
+    WorkerResult,
+    execute_payload,
+)
+from repro.utils.validation import check_integer, check_positive
+
+__all__ = [
+    "ShardReport",
+    "ShardSupervisor",
+    "SupervisionPolicy",
+]
+
+#: Builds the payload for one (shard, attempt); called afresh on every
+#: restart so each attempt starts from pristine inputs.
+PayloadFactory = Callable[[int, int], WorkerPayload]
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How hard to fight for each shard before giving up.
+
+    Parameters
+    ----------
+    max_restarts:
+        Extra attempts per shard beyond the first (0 = fail fast,
+        exactly the unsupervised behavior plus bookkeeping).
+    shard_timeout_seconds:
+        Wall-clock budget per attempt before a shard is declared hung
+        (process-pool backends only; None disables hang detection).
+    heartbeat_seconds:
+        Poll interval while waiting on pool results; bounds how stale
+        the supervisor's view of a hung shard can get.
+    backoff_seconds / backoff_factor:
+        Sleep ``backoff_seconds * backoff_factor**attempt`` before
+        resubmitting a failed shard.  The default 0.0 restarts
+        immediately — right for deterministic journal recovery, where
+        the failure is not transient congestion.
+    """
+
+    max_restarts: int = 2
+    shard_timeout_seconds: Optional[float] = None
+    heartbeat_seconds: float = 0.5
+    backoff_seconds: float = 0.0
+    backoff_factor: float = 2.0
+    #: Injectable clocks for tests; not part of the policy's identity.
+    clock: Callable[[], float] = field(default=time.monotonic, repr=False)
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self):
+        check_integer(self.max_restarts, "max_restarts", minimum=0)
+        if self.shard_timeout_seconds is not None:
+            check_positive(self.shard_timeout_seconds, "shard_timeout_seconds")
+        check_positive(self.heartbeat_seconds, "heartbeat_seconds")
+        if self.backoff_seconds < 0:
+            raise ParameterError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ParameterError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def backoff_for(self, attempt: int) -> float:
+        """Sleep before resubmitting ``attempt`` (0-based failed one)."""
+        return self.backoff_seconds * self.backoff_factor**attempt
+
+
+@dataclass
+class ShardReport:
+    """What supervision did for one shard (diagnostics, not results)."""
+
+    link_index: int
+    attempts: int = 1
+    restarts: int = 0
+    hangs: int = 0
+    outcome: str = "ok"
+
+
+class ShardSupervisor:
+    """Run ``n_shards`` payloads to completion, restarting failures.
+
+    Parameters
+    ----------
+    payload_factory:
+        ``(index, attempt) -> WorkerPayload``; invoked once per
+        attempt, including restarts.
+    n_shards:
+        Shard count; results are returned in index order.
+    backend:
+        A :class:`~repro.parallel.backends.Backend` or None for
+        inline execution (the serial path: sequential per-shard retry
+        loops, no hang detection).
+    policy:
+        The :class:`SupervisionPolicy` restart/timeout budget.
+    """
+
+    def __init__(
+        self,
+        payload_factory: PayloadFactory,
+        n_shards: int,
+        *,
+        backend: Optional[Backend] = None,
+        policy: Optional[SupervisionPolicy] = None,
+    ):
+        self.payload_factory = payload_factory
+        self.n_shards = check_integer(n_shards, "n_shards", minimum=1)
+        self.backend = backend
+        self.policy = policy if policy is not None else SupervisionPolicy()
+        self.reports: List[ShardReport] = []
+
+    def run(self) -> List[WorkerResult]:
+        """All shards' successful results, in shard-index order.
+
+        Raises the final attempt's error once a shard exhausts its
+        restart budget (fail-fast semantics preserved — partial
+        results are never returned).
+        """
+        self.reports = [ShardReport(i) for i in range(self.n_shards)]
+        with span(
+            "service.supervisor",
+            shards=self.n_shards,
+            backend="inline" if self.backend is None else self.backend.name,
+            max_restarts=self.policy.max_restarts,
+        ):
+            if self.backend is None:
+                return self._run_inline()
+            return self._run_pool()
+
+    # -- shared failure bookkeeping ------------------------------------------
+
+    def _register_failure(
+        self, index: int, attempt: int, error: BaseException, *, hang: bool
+    ) -> int:
+        """Count a failed attempt; next attempt number, or raise."""
+        report = self.reports[index]
+        if hang:
+            report.hangs += 1
+            if _spans._ENABLED:
+                _metrics.add("service.shard_hangs")
+        if attempt >= self.policy.max_restarts:
+            report.outcome = "exhausted"
+            raise error
+        report.restarts += 1
+        report.attempts += 1
+        if _spans._ENABLED:
+            _metrics.add("service.shard_restarts")
+        backoff = self.policy.backoff_for(attempt)
+        if backoff > 0:
+            self.policy.sleep(backoff)
+        return attempt + 1
+
+    # -- inline path ---------------------------------------------------------
+
+    def _run_inline(self) -> List[WorkerResult]:
+        results: List[WorkerResult] = []
+        for index in range(self.n_shards):
+            attempt = 0
+            while True:
+                result = execute_payload(
+                    self.payload_factory(index, attempt)
+                )
+                if not result.failed:
+                    results.append(result)
+                    break
+                attempt = self._register_failure(
+                    index, attempt, result.error, hang=False
+                )
+        return results
+
+    # -- pool path -----------------------------------------------------------
+
+    def _run_pool(self) -> List[WorkerResult]:
+        policy = self.policy
+        results: List[Optional[WorkerResult]] = [None] * self.n_shards
+        outstanding = self.n_shards
+        with self.backend.session() as session:
+            active: dict = {}  # (index, attempt) -> submit clock
+            stale: set = set()  # fenced-off (index, attempt) epochs
+
+            def submit(index: int, attempt: int) -> None:
+                session.submit(self.payload_factory(index, attempt))
+                active[(index, attempt)] = policy.clock()
+
+            def resubmit_or_raise(
+                index: int, attempt: int, error: BaseException, *, hang: bool
+            ) -> None:
+                submit(
+                    index,
+                    self._register_failure(index, attempt, error, hang=hang),
+                )
+
+            for index in range(self.n_shards):
+                submit(index, 0)
+
+            while outstanding:
+                wait = policy.heartbeat_seconds
+                if policy.shard_timeout_seconds is not None and active:
+                    now = policy.clock()
+                    remaining = min(
+                        policy.shard_timeout_seconds - (now - started)
+                        for started in active.values()
+                    )
+                    wait = max(0.001, min(wait, remaining))
+                result = (
+                    session.next_completed(timeout=wait)
+                    if session.pending
+                    else None
+                )
+                if result is not None:
+                    key = (result.index, result.attempt)
+                    if key in stale:
+                        # A hung shard finally returned after its
+                        # replacement was dispatched: drop the result
+                        # (and its telemetry) on the floor.
+                        stale.discard(key)
+                        if _spans._ENABLED:
+                            _metrics.add("service.shard_stale_results")
+                        continue
+                    active.pop(key, None)
+                    if result.failed:
+                        resubmit_or_raise(
+                            result.index,
+                            result.attempt,
+                            result.error,
+                            hang=False,
+                        )
+                        continue
+                    results[result.index] = result
+                    self.reports[result.index].outcome = "ok"
+                    outstanding -= 1
+                    continue
+                # Nothing completed within the wait: scan for hangs.
+                if policy.shard_timeout_seconds is None:
+                    continue
+                now = policy.clock()
+                for key in sorted(active):
+                    if now - active[key] < policy.shard_timeout_seconds:
+                        continue
+                    index, attempt = key
+                    del active[key]
+                    stale.add(key)
+                    resubmit_or_raise(
+                        index,
+                        attempt,
+                        SimulationError(
+                            f"shard {index} attempt {attempt} exceeded "
+                            f"{policy.shard_timeout_seconds}s wall-clock "
+                            "budget (declared hung)"
+                        ),
+                        hang=True,
+                    )
+        return results  # type: ignore[return-value]

@@ -41,10 +41,11 @@ import numpy as np
 from repro.atm.cac import admissible_connections
 from repro.atm.qos import QoSRequirement
 from repro.core.effective_bandwidth import effective_bandwidth_at_cts
-from repro.exceptions import ParameterError
+from repro.exceptions import JournalError, ParameterError
 from repro.models.base import TrafficModel
 from repro.obs import metrics as _metrics
 from repro.obs import spans as _spans
+from repro.service.journal import atomic_write_text, decode_line, encode_line
 from repro.utils.validation import check_integer
 
 __all__ = [
@@ -230,13 +231,19 @@ class DecisionTableCache:
         grow the service without limit.
     path:
         Optional JSONL file.  Existing entries are loaded on
-        construction (corrupt lines are rejected loudly); newly
-        computed entries are appended when ``persist`` is true, so the
-        table warms across runs.
+        construction; newly computed entries are written back when
+        ``persist`` is true, so the table warms across runs.  Writes
+        are crash-safe (write-temp + fsync + rename) and every line
+        carries a CRC32, so a mid-write crash can never leave a file
+        that fails to load: damaged or torn lines are *dropped* —
+        counted on :attr:`recovered_lines` and the
+        ``service.table_lines_dropped`` counter — and the dropped
+        decisions are simply recomputed on their next lookup.  Plain
+        (pre-CRC) lines from older files still load.
     persist:
         Whether computed entries are written back to ``path``.  Replay
         workers load shared tables read-only (``persist=False``) so a
-        fleet never races on appends.
+        fleet never races on writes.
     """
 
     def __init__(
@@ -252,37 +259,65 @@ class DecisionTableCache:
         self.path = None if path is None else Path(path)
         self.persist = bool(persist)
         self._entries: "OrderedDict[str, Decision]" = OrderedDict()
+        #: Every decision destined for the file: loaded + computed.
+        #: Not subject to LRU eviction (the file is the durable store;
+        #: the LRU bound protects memory on the hot path only).
+        self._persisted: "OrderedDict[str, Decision]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.loaded = 0
+        #: Damaged lines dropped (not fatal) during the last load.
+        self.recovered_lines = 0
         if self.path is not None and self.path.exists():
             self._load()
 
     # -- persistence ---------------------------------------------------------
 
+    @staticmethod
+    def _parse_line(line: str) -> Decision:
+        """One persisted decision: CRC-wrapped, or a legacy plain dict."""
+        try:
+            return Decision.from_dict(decode_line(line))
+        except JournalError:
+            return Decision.from_dict(json.loads(line))
+
     def _load(self) -> None:
         text = self.path.read_text(encoding="utf-8")
-        for lineno, line in enumerate(text.splitlines(), start=1):
+        for line in text.splitlines():
             if not line.strip():
                 continue
             try:
-                decision = Decision.from_dict(json.loads(line))
-            except (KeyError, TypeError, ValueError) as exc:
-                raise ParameterError(
-                    f"corrupt decision-table line {lineno} in {self.path}: "
-                    f"{exc}"
-                ) from exc
-            # Last write wins, matching append-mode persistence.
+                decision = self._parse_line(line)
+            except (KeyError, TypeError, ValueError):
+                # A torn or bit-flipped line must not take the service
+                # down: drop it loudly and recompute on next lookup.
+                self.recovered_lines += 1
+                if _spans._ENABLED:
+                    _metrics.add("service.table_lines_dropped")
+                continue
+            # Last write wins, matching historical append persistence.
             self._entries[decision.key] = decision
             self._entries.move_to_end(decision.key)
+            self._persisted[decision.key] = decision
             self.loaded += 1
         self._evict()
 
-    def _append(self, decision: Decision) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(decision.to_dict(), sort_keys=True) + "\n")
+    def _persist(self, decision: Decision) -> None:
+        """Durably add ``decision`` via whole-file atomic replace.
+
+        Rewriting the file sounds expensive but isn't: tables hold one
+        entry per distinct (model, capacity, QoS, policy) — a handful —
+        and only cache *misses* reach here.  In exchange a crash at any
+        instant leaves a complete, loadable file.
+        """
+        with self._lock:
+            self._persisted[decision.key] = decision
+            text = "".join(
+                encode_line(entry.to_dict()) + "\n"
+                for entry in self._persisted.values()
+            )
+        atomic_write_text(self.path, text)
 
     # -- the hot path --------------------------------------------------------
 
@@ -321,8 +356,25 @@ class DecisionTableCache:
         if _spans._ENABLED:
             _metrics.add("service.table_misses")
         if self.persist and self.path is not None:
-            self._append(decision)
+            self._persist(decision)
         return decision
+
+    def peek(
+        self,
+        model: TrafficModel,
+        link_capacity: float,
+        qos: QoSRequirement,
+        method: str,
+    ) -> Optional[Decision]:
+        """A cached decision without touching hit/miss accounting.
+
+        Journal recovery re-reads boundaries that the crashed attempt
+        already looked up; counting those reads again would break the
+        byte-identity of the recovered hit/miss totals.
+        """
+        key = decision_key(model, link_capacity, qos, method)
+        with self._lock:
+            return self._entries.get(key)
 
     def _evict(self) -> None:
         while len(self._entries) > self.max_entries:
@@ -351,6 +403,31 @@ class DecisionTableCache:
             "entries": len(self._entries),
             "loaded": self.loaded,
         }
+
+    # -- exact state transport (journal snapshots) ---------------------------
+
+    def snapshot_state(self) -> dict:
+        """Counters and entries, exactly, for a journal snapshot."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "decisions": [d.to_dict() for d in self._entries.values()],
+            }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore :meth:`snapshot_state` output (LRU order included).
+
+        Restores in-memory state only — persistence is untouched, so a
+        read-only worker recovering from a journal never writes.
+        """
+        with self._lock:
+            self.hits = int(state["hits"])
+            self.misses = int(state["misses"])
+            self._entries = OrderedDict(
+                (d["key"], Decision.from_dict(d))
+                for d in state["decisions"]
+            )
 
     def __repr__(self) -> str:
         return (

@@ -100,6 +100,28 @@ class TestValidation:
         reloaded = CheckpointFile(path, FP)
         assert reloaded.completed_indices() == [0]
 
+    def test_empty_file_treated_as_fresh(self, tmp_path):
+        # A crash between open and the header write leaves a size-0
+        # file; that is indistinguishable from "never started".
+        path = tmp_path / "ck.jsonl"
+        path.write_text("")
+        ck = CheckpointFile(path, FP)
+        assert ck.completed_indices() == []
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["type"] == "header"
+
+    def test_duplicate_index_refused(self, tmp_path):
+        # One ordered writer can never repeat an index; a duplicate
+        # means two runs shared the file and the data is untrustworthy.
+        path = tmp_path / "ck.jsonl"
+        ck = CheckpointFile(path, FP)
+        ck.append(ReplicationRecord(index=0, lost=1.0, arrived=2.0))
+        with open(path, "a") as fh:
+            fh.write('{"type": "replication", "index": 0, '
+                     '"lost": 0.0, "arrived": 1.0, "attempts": 1}\n')
+        with pytest.raises(CheckpointError, match="duplicate"):
+            CheckpointFile(path, FP)
+
     def test_corrupt_middle_line_refused(self, tmp_path):
         path = tmp_path / "ck.jsonl"
         ck = CheckpointFile(path, FP)
