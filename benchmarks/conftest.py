@@ -42,20 +42,24 @@ def scale():
 
 
 def _append_timing(
-    name: str, scale, benchmark, rounds: int, jobs: int = 1
+    name: str, scale, benchmark, rounds: int, jobs: int = 1, extras=None
 ) -> None:
     """One JSON line per benchmarked experiment run.
 
     ``jobs`` records the execution-backend worker count the run used
     (1 = serial), so serial/parallel timings of the same experiment
-    are comparable rows in the same file.
+    are comparable rows in the same file.  ``scale`` may be a Scale
+    object or a bare label string — changing a benchmark's workload
+    must change its label, or ``obs compare`` would diff rows that no
+    longer measure the same thing.  ``extras`` lands free-form fields
+    (``requests_per_s`` etc.) on the row.
     """
     stats = getattr(getattr(benchmark, "stats", None), "stats", None)
     if stats is None:
         return
     record = {
         "experiment": name,
-        "scale": getattr(scale, "name", None),
+        "scale": getattr(scale, "name", scale),
         "rounds": rounds,
         "jobs": jobs,
         "mean_s": stats.mean,
@@ -64,6 +68,8 @@ def _append_timing(
         "stddev_s": stats.stddev if rounds > 1 else None,
     }
     record.update(percentiles_from_rounds(stats.sorted_data))
+    if extras:
+        record.update(extras)
     append_timing_row(TIMINGS_PATH, record)
 
 

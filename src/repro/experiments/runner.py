@@ -20,7 +20,10 @@ writes one ``<experiment>.jsonl`` trace per experiment into DIR (see
 ``--jobs N`` (or ``REPRO_JOBS=N``) fans the replicated simulations of
 each experiment out across ``N`` worker processes — results are
 bit-identical to serial runs on the same seed, only faster (see
-``docs/PERFORMANCE.md``).  The default is 1 (serial).
+``docs/PERFORMANCE.md``).  The default is 1 (serial).  ``--pool``
+picks the worker discipline (persistent ``warm`` workers by default,
+``spawn`` for per-run isolation; also ``REPRO_POOL``) and ``--batch``
+overrides how many replications each worker task carries.
 
 Long batches are supervised by :mod:`repro.resilience` when any of
 ``--deadline`` / ``--max-retries`` / ``--checkpoint-dir`` is given:
@@ -57,7 +60,8 @@ from typing import List, Optional, Tuple
 from repro import obs
 from repro.experiments.config import SCALES, get_scale
 from repro.experiments.registry import EXPERIMENTS, run_experiment
-from repro.parallel.backends import Backend, ProcessPoolBackend
+from repro.parallel.backends import Backend, resolve_backend
+from repro.queueing.replication import set_default_batch
 from repro.resilience.policy import ResiliencePolicy
 
 
@@ -78,8 +82,12 @@ def _resolve_jobs(
     return jobs
 
 
-def _build_backend(jobs: int) -> Optional[Backend]:
-    return None if jobs <= 1 else ProcessPoolBackend(jobs)
+def _build_backend(jobs: int, pool: Optional[str]) -> Optional[Backend]:
+    """None for serial; otherwise the shared warm pool (default) or a
+    fresh spawn-per-run pool when ``--pool spawn`` asks for one."""
+    if jobs <= 1:
+        return None
+    return resolve_backend(jobs=jobs, pool=pool)
 
 
 def _build_policy(args: argparse.Namespace) -> Optional[ResiliencePolicy]:
@@ -201,6 +209,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default: $REPRO_JOBS or 1); results are bit-identical to "
         "serial runs (see docs/PERFORMANCE.md)",
     )
+    parser.add_argument(
+        "--pool",
+        choices=("warm", "spawn"),
+        default=None,
+        help="worker-pool discipline for --jobs > 1: 'warm' (default; "
+        "persistent workers reused across simulations, also "
+        "$REPRO_POOL) or 'spawn' (fresh processes per run, maximum "
+        "isolation)",
+    )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        metavar="R",
+        default=None,
+        help="replications per worker task on fail-fast parallel runs "
+        "(default: auto-sized from --jobs; 1 = one task per "
+        "replication; ignored under resilience supervision)",
+    )
     args = parser.parse_args(argv)
 
     names = list(args.experiments)
@@ -222,9 +248,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--max-retries must be >= 0, got {args.max_retries}")
     if args.deadline is not None and args.deadline < 0:
         parser.error(f"--deadline must be >= 0, got {args.deadline}")
+    if args.batch is not None and args.batch < 1:
+        parser.error(f"--batch must be >= 1, got {args.batch}")
 
+    pool = args.pool or os.environ.get("REPRO_POOL", "").strip() or None
+    if pool not in (None, "warm", "spawn"):
+        parser.error(f"REPRO_POOL must be 'warm' or 'spawn', got {pool!r}")
     policy = _build_policy(args)
-    backend = _build_backend(_resolve_jobs(parser, args.jobs))
+    backend = _build_backend(_resolve_jobs(parser, args.jobs), pool)
+    set_default_batch(args.batch)
 
     # REPRO_TRACE=1 behaves exactly like --trace; --metrics-out collects
     # without printing the summary unless --trace is also given.

@@ -33,9 +33,11 @@ the same pattern :mod:`repro.resilience.policy` uses.
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import dataclasses
 import multiprocessing
+import threading
 from collections import deque
 from contextlib import contextmanager
 from typing import Iterator, Optional
@@ -43,10 +45,13 @@ from typing import Iterator, Optional
 from repro.exceptions import ParameterError
 from repro.obs import tracectx as _tracectx
 from repro.parallel.worker import (
+    WorkerBatchPayload,
     WorkerPayload,
     WorkerResult,
+    execute_batch_payload,
     execute_payload,
     pool_entry,
+    pool_entry_batch,
 )
 from repro.utils.validation import check_integer
 
@@ -55,10 +60,13 @@ __all__ = [
     "BackendSession",
     "ProcessPoolBackend",
     "SerialBackend",
+    "WarmPoolBackend",
     "get_default_backend",
     "resolve_backend",
     "set_default_backend",
+    "shutdown_warm_pools",
     "use_backend",
+    "warm_pool",
 ]
 
 
@@ -122,7 +130,10 @@ class _SerialSession(BackendSession):
         # finished), so it is accepted and ignored.
         if not self._queue:
             raise RuntimeError("no payloads pending in this session")
-        return execute_payload(self._queue.popleft())
+        payload = self._queue.popleft()
+        if isinstance(payload, WorkerBatchPayload):
+            return execute_batch_payload(payload)
+        return execute_payload(payload)
 
     @property
     def pending(self) -> int:
@@ -161,7 +172,12 @@ class _PoolSession(BackendSession):
             context = _tracectx.inject()
             if context is not None:
                 payload = dataclasses.replace(payload, trace=context)
-        future = self._executor.submit(pool_entry, payload)
+        entry = (
+            pool_entry_batch
+            if isinstance(payload, WorkerBatchPayload)
+            else pool_entry
+        )
+        future = self._executor.submit(entry, payload)
         self._futures[future] = (payload.index, payload.attempt)
 
     def next_completed(
@@ -237,6 +253,207 @@ class ProcessPoolBackend(Backend):
         )
 
 
+def _warm_import() -> None:
+    """Executor initializer: pay the worker import tax once, up front.
+
+    Under ``spawn`` every worker re-imports the library; doing it in
+    the initializer (instead of lazily inside the first payload) moves
+    that cost out of the first session's critical path.
+    """
+    import repro.queueing.replication  # noqa: F401
+    import repro.service.replay  # noqa: F401
+
+
+def _noop() -> None:
+    """A do-nothing task; submitting one per slot forces worker start."""
+    return None
+
+
+class _WarmPoolSession(_PoolSession):
+    """A pool session that leaves the executor alive on teardown."""
+
+    def abandon(self) -> None:
+        """Drop this session's claim on its futures.
+
+        Unstarted futures are cancelled; running ones are left to
+        finish and have their results discarded (the next session's
+        bookkeeping never sees them).  The executor itself — and its
+        warm workers — survives for the next session.
+        """
+        for future in list(self._futures):
+            future.cancel()
+        self._futures.clear()
+
+
+class WarmPoolBackend(ProcessPoolBackend):
+    """A process pool whose workers persist across sessions.
+
+    The spawn tax — process start plus a fresh library import per
+    worker, payable on *every* ``session()`` of the plain
+    :class:`ProcessPoolBackend` — is paid once here, then amortized
+    across every ``replicated_clr`` call and service-replay shard that
+    reuses the pool (fork-server-style).  Execution semantics are
+    unchanged: the same payloads, the same collection order, the same
+    bit-identical results; only process lifetime differs.
+
+    Parameters
+    ----------
+    jobs, start_method:
+        As for :class:`ProcessPoolBackend`.
+    idle_timeout_seconds:
+        Reap the workers after this long with no session activity
+        (``None`` disables reaping).  The pool transparently restarts
+        on next use; reaping only trades latency for memory.
+    """
+
+    name = "warm-pool"
+
+    def __init__(
+        self,
+        jobs: int,
+        *,
+        start_method: str = "spawn",
+        idle_timeout_seconds: Optional[float] = 120.0,
+    ):
+        super().__init__(jobs, start_method=start_method)
+        self.idle_timeout_seconds = idle_timeout_seconds
+        self._executor: Optional[concurrent.futures.Executor] = None
+        self._reaper: Optional[threading.Timer] = None
+        self._lock = threading.Lock()
+        atexit.register(self.shutdown)
+
+    def _ensure_executor(self) -> concurrent.futures.Executor:
+        with self._lock:
+            if self._reaper is not None:
+                self._reaper.cancel()
+                self._reaper = None
+            broken = self._executor is not None and getattr(
+                self._executor, "_broken", False
+            )
+            if broken:
+                # A worker died hard (OOM kill, segfault); discard the
+                # wreck and respawn rather than failing every future
+                # session with BrokenProcessPool.
+                self._executor.shutdown(wait=False, cancel_futures=True)
+                self._executor = None
+            if self._executor is None:
+                self._executor = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    mp_context=multiprocessing.get_context(
+                        self.start_method
+                    ),
+                    initializer=_warm_import,
+                )
+            return self._executor
+
+    def warm(self) -> "WarmPoolBackend":
+        """Start every worker and wait for its imports to finish.
+
+        Optional — the pool warms lazily on first session — but
+        benchmarks and latency-sensitive callers use it to move the
+        one-time spawn cost out of the measured region.
+        """
+        executor = self._ensure_executor()
+        concurrent.futures.wait(
+            [executor.submit(_noop) for _ in range(self.jobs)]
+        )
+        return self
+
+    @contextmanager
+    def session(self) -> Iterator[_WarmPoolSession]:
+        pool_session = _WarmPoolSession(self._ensure_executor())
+        try:
+            yield pool_session
+        finally:
+            pool_session.abandon()
+            self._schedule_reap()
+
+    def _schedule_reap(self) -> None:
+        if self.idle_timeout_seconds is None:
+            return
+        with self._lock:
+            if self._reaper is not None:
+                self._reaper.cancel()
+            timer = threading.Timer(
+                self.idle_timeout_seconds, self.shutdown
+            )
+            timer.daemon = True
+            timer.start()
+            self._reaper = timer
+
+    def shutdown(self) -> None:
+        """Tear the persistent workers down (idle reap, interpreter exit).
+
+        Safe to call repeatedly; the pool restarts lazily if used
+        again afterwards.
+        """
+        with self._lock:
+            if self._reaper is not None:
+                self._reaper.cancel()
+                self._reaper = None
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def recycle(self) -> None:
+        """Forcibly replace the workers (supervisor fenced a hang).
+
+        A spawn-per-session pool kills hung workers at session
+        teardown for free; a warm pool must do it explicitly or the
+        hung process occupies a slot forever.  Outstanding futures
+        fail with ``BrokenProcessPool``, which supervisors already
+        treat as a restartable shard failure.
+        """
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            processes = list(
+                (getattr(executor, "_processes", None) or {}).values()
+            )
+            executor.shutdown(wait=False, cancel_futures=True)
+            for process in processes:
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+
+    def __repr__(self) -> str:
+        return (
+            f"WarmPoolBackend(jobs={self.jobs}, "
+            f"start_method={self.start_method!r})"
+        )
+
+
+#: Process-wide shared warm pools, keyed by (jobs, start_method).
+#: Sharing is the point: every replicated call and replay shard that
+#: asks for the same shape reuses the same warm workers.
+_warm_pools: dict = {}
+
+
+def warm_pool(
+    jobs: int, *, start_method: str = "spawn"
+) -> WarmPoolBackend:
+    """The shared :class:`WarmPoolBackend` for ``jobs`` workers.
+
+    Created on first request and cached process-wide; subsequent
+    callers (and CLI invocations within one process) reuse the same
+    warm workers instead of paying the spawn tax again.
+    """
+    key = (check_integer(jobs, "jobs", minimum=1), start_method)
+    pool = _warm_pools.get(key)
+    if pool is None:
+        pool = _warm_pools[key] = WarmPoolBackend(
+            key[0], start_method=start_method
+        )
+    return pool
+
+
+def shutdown_warm_pools() -> None:
+    """Reap every shared warm pool's workers (tests, graceful exit)."""
+    for pool in list(_warm_pools.values()):
+        pool.shutdown()
+
+
 _default_backend: Optional[Backend] = None
 
 
@@ -263,23 +480,39 @@ def use_backend(backend: Optional[Backend]) -> Iterator[None]:
 
 
 def resolve_backend(
-    backend: Optional[Backend] = None, jobs: Optional[int] = None
+    backend: Optional[Backend] = None,
+    jobs: Optional[int] = None,
+    pool: Optional[str] = None,
 ) -> Optional[Backend]:
     """The backend a replicated call should use, or None for inline.
 
     Precedence: an explicit ``backend`` wins; else ``jobs`` builds one
-    (1 -> inline legacy loop, N > 1 -> spawn process pool); else the
+    (1 -> inline legacy loop, N > 1 -> a process pool); else the
     process-wide default installed via :func:`use_backend` applies.
     Passing both ``backend`` and ``jobs`` is ambiguous and rejected.
+
+    ``pool`` picks the worker-lifetime discipline when ``jobs`` builds
+    the backend: ``"warm"`` (the default) reuses the shared persistent
+    pool from :func:`warm_pool`; ``"spawn"`` restores the legacy
+    fresh-processes-per-session behaviour (useful when payloads might
+    wedge a worker and isolation matters more than latency).
     """
     if backend is not None and jobs is not None:
         raise ParameterError(
             "pass either backend= or jobs=, not both "
             f"(got backend={backend!r}, jobs={jobs!r})"
         )
+    if pool not in (None, "warm", "spawn"):
+        raise ParameterError(
+            f"unknown pool {pool!r}; choose 'warm' or 'spawn'"
+        )
     if backend is not None:
         return backend
     if jobs is not None:
         jobs = check_integer(jobs, "jobs", minimum=1)
-        return None if jobs == 1 else ProcessPoolBackend(jobs)
+        if jobs == 1:
+            return None
+        if pool == "spawn":
+            return ProcessPoolBackend(jobs)
+        return warm_pool(jobs)
     return get_default_backend()

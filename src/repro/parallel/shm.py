@@ -1,0 +1,261 @@
+"""Shared-memory transport for large read-only payload components.
+
+Worker payloads that carry megabytes — frame arrays, decision-table
+snapshots — pay a pickle + pipe-copy tax per task under the process
+backends.  This module publishes such data *once* through
+``multiprocessing.shared_memory`` and ships a tiny picklable
+descriptor instead; every worker on the machine maps the same pages.
+
+Lifecycle contract (the part that goes wrong in the wild):
+
+* The **owner** (publisher) is responsible for the segment's name in
+  the filesystem.  Every published segment lands in a process-wide
+  registry unlinked by ``atexit``; on a hard crash (SIGKILL, OOM) the
+  ``resource_tracker`` — a separate helper process that outlives the
+  whole process tree — unlinks whatever the registry never got to, so
+  segments cannot outlive the run.
+* **Attachers** (workers) only close their mapping.  Worker processes
+  inherit the owner's resource-tracker process, whose name cache is a
+  set: the attach-time ``register`` Python < 3.13 performs is an
+  idempotent no-op there, and it must *not* be compensated with an
+  ``unregister`` — that would delete the owner's registration out of
+  the shared set (and provoke tracker ``KeyError`` noise when the
+  owner unlinks).  A worker exiting never triggers tracker cleanup;
+  the tracker only sweeps once every process holding its pipe is
+  gone.
+
+Segments are named ``repro_shm_<owner pid>_<random>`` so tests (and
+operators) can audit ``/dev/shm`` for leaks.  See
+``docs/PERFORMANCE.md`` for platform caveats (macOS name-length
+limits, no ``/dev/shm`` on Windows).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import threading
+from multiprocessing import shared_memory
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SharedArray",
+    "SharedBlob",
+    "attach_array",
+    "attach_blob",
+    "owned_segments",
+    "publish_array",
+    "publish_blob",
+    "release_attachments",
+    "unlink_owned",
+]
+
+#: Prefix every segment name carries; tests scan /dev/shm for it.
+SEGMENT_PREFIX = "repro_shm_"
+
+_lock = threading.Lock()
+_owned: dict = {}  # name -> handle (this process published it)
+_attached: dict = {}  # name -> SharedMemory (this process mapped it)
+
+
+def _new_segment(nbytes: int) -> shared_memory.SharedMemory:
+    while True:
+        name = f"{SEGMENT_PREFIX}{os.getpid()}_{secrets.token_hex(4)}"
+        try:
+            return shared_memory.SharedMemory(
+                name=name, create=True, size=max(int(nbytes), 1)
+            )
+        except FileExistsError:  # pragma: no cover — 32-bit collision
+            continue
+
+
+class _SharedSegment:
+    """Owner-side handle; subclasses fix the payload interpretation."""
+
+    kind = "segment"
+
+    def __init__(self, segment: shared_memory.SharedMemory):
+        self._segment: Optional[shared_memory.SharedMemory] = segment
+        self.name = segment.name
+
+    @property
+    def descriptor(self) -> dict:
+        raise NotImplementedError
+
+    def unlink(self) -> None:
+        """Close and remove the segment (idempotent)."""
+        with _lock:
+            _owned.pop(self.name, None)
+        segment, self._segment = self._segment, None
+        if segment is None:
+            return
+        try:
+            segment.close()
+        finally:
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover — already gone
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink()
+
+
+class SharedArray(_SharedSegment):
+    """An ndarray published once, mappable read-only by any process."""
+
+    kind = "array"
+
+    def __init__(self, segment, shape: Tuple[int, ...], dtype: str):
+        super().__init__(segment)
+        self.shape = tuple(int(n) for n in shape)
+        self.dtype = dtype
+
+    @property
+    def descriptor(self) -> dict:
+        """Picklable address of the data — ship this, not the array."""
+        return {
+            "kind": "array",
+            "name": self.name,
+            "shape": self.shape,
+            "dtype": self.dtype,
+        }
+
+    def asarray(self) -> np.ndarray:
+        """The owner's own read-only view of the published data."""
+        if self._segment is None:
+            raise ValueError(f"shared array {self.name} already unlinked")
+        view = np.ndarray(
+            self.shape, dtype=np.dtype(self.dtype), buffer=self._segment.buf
+        )
+        view.flags.writeable = False
+        return view
+
+
+class SharedBlob(_SharedSegment):
+    """An opaque byte string published once (pickled snapshots etc.)."""
+
+    kind = "blob"
+
+    def __init__(self, segment, size: int):
+        super().__init__(segment)
+        self.size = int(size)
+
+    @property
+    def descriptor(self) -> dict:
+        return {"kind": "blob", "name": self.name, "size": self.size}
+
+
+def publish_array(array: np.ndarray) -> SharedArray:
+    """Copy ``array`` into a fresh shared segment owned by this process."""
+    source = np.ascontiguousarray(array)
+    segment = _new_segment(source.nbytes)
+    if source.nbytes:
+        staged = np.ndarray(
+            source.shape, dtype=source.dtype, buffer=segment.buf
+        )
+        staged[...] = source
+    handle = SharedArray(segment, source.shape, source.dtype.str)
+    with _lock:
+        _owned[handle.name] = handle
+    return handle
+
+
+def publish_blob(data: bytes) -> SharedBlob:
+    """Copy ``data`` into a fresh shared segment owned by this process."""
+    segment = _new_segment(len(data))
+    segment.buf[: len(data)] = data
+    handle = SharedBlob(segment, len(data))
+    with _lock:
+        _owned[handle.name] = handle
+    return handle
+
+
+def _owner_segment(name: str) -> Optional[shared_memory.SharedMemory]:
+    with _lock:
+        handle = _owned.get(name)
+    return None if handle is None else handle._segment
+
+
+def attach_array(descriptor: dict) -> np.ndarray:
+    """Map a published array read-only; cached per segment.
+
+    In the owning process this reuses the owner's mapping (attaching a
+    second tracked mapping would corrupt the tracker bookkeeping); in
+    a worker the mapping is cached until :func:`release_attachments`
+    or process exit.
+    """
+    name = descriptor["name"]
+    segment = _owner_segment(name)
+    if segment is None:
+        with _lock:
+            segment = _attached.get(name)
+            if segment is None:
+                segment = shared_memory.SharedMemory(name=name)
+                _attached[name] = segment
+    view = np.ndarray(
+        tuple(descriptor["shape"]),
+        dtype=np.dtype(descriptor["dtype"]),
+        buffer=segment.buf,
+    )
+    view.flags.writeable = False
+    return view
+
+
+def attach_blob(descriptor: dict) -> bytes:
+    """Copy a published blob out of shared memory.
+
+    Blobs are deserialized once by their consumer (e.g. a decision
+    table snapshot), so the mapping is closed immediately rather than
+    cached — only the byte copy survives.
+    """
+    name = descriptor["name"]
+    size = int(descriptor["size"])
+    segment = _owner_segment(name)
+    if segment is not None:
+        return bytes(segment.buf[:size])
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        return bytes(segment.buf[:size])
+    finally:
+        segment.close()
+
+
+def owned_segments() -> Tuple[str, ...]:
+    """Names this process has published and not yet unlinked."""
+    with _lock:
+        return tuple(_owned)
+
+
+def release_attachments() -> None:
+    """Close every cached worker-side mapping (frees the numpy views)."""
+    with _lock:
+        segments, _attached_snapshot = list(_attached.values()), None
+        _attached.clear()
+    for segment in segments:
+        try:
+            segment.close()
+        except Exception:  # pragma: no cover — buffer still referenced
+            pass
+
+
+def unlink_owned() -> None:
+    """Unlink every segment this process still owns (atexit, tests)."""
+    with _lock:
+        handles = list(_owned.values())
+    for handle in handles:
+        handle.unlink()
+
+
+def _atexit_cleanup() -> None:
+    release_attachments()
+    unlink_owned()
+
+
+atexit.register(_atexit_cleanup)

@@ -39,16 +39,27 @@ from repro.utils.replication_context import replication_attempt
 from repro.utils.validation import check_simulation_health
 
 __all__ = [
+    "WorkerBatchPayload",
+    "WorkerBatchResult",
     "WorkerPayload",
     "WorkerResult",
+    "execute_batch_payload",
     "execute_payload",
     "merge_result_telemetry",
     "pool_entry",
+    "pool_entry_batch",
 ]
 
 #: A replication body: ``(index, generator) -> (lost, arrived)``.
 PayloadTask = Callable[
     [int, np.random.Generator], Tuple[Union[float, np.ndarray], float]
+]
+
+#: A batched body: ``(indices, generators) -> [(lost, arrived), ...]``,
+#: one pair per replication, in replication order.
+BatchTask = Callable[
+    [Tuple[int, ...], Tuple[np.random.Generator, ...]],
+    Tuple[Tuple[Union[float, np.ndarray], float], ...],
 ]
 
 
@@ -90,6 +101,65 @@ class WorkerResult:
     generator: Optional[np.random.Generator] = None
     span_records: Tuple = ()
     metric_dicts: Tuple[dict, ...] = field(default_factory=tuple)
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+
+@dataclass(frozen=True)
+class WorkerBatchPayload:
+    """A contiguous block of replication attempts shipped as one task.
+
+    Batching is how task count scales with cores instead of with the
+    replication count: one pickle + one IPC round trip covers
+    ``len(generators)`` replications, and the task can evaluate them
+    through a single 2-D kernel pass (see
+    :func:`repro.queueing.workload.simulate_finite_buffer_batch`).
+    Replication ``base_index + i`` runs on ``generators[i]`` — its own
+    per-replication stream, exactly the one a serial loop would have
+    used — so seeding and results stay bit-identical to unbatched
+    execution.
+    """
+
+    base_index: int
+    attempt: int
+    task: BatchTask
+    generators: Tuple[np.random.Generator, ...]
+    label: str = ""
+    telemetry: bool = False
+    health_check: bool = True
+    trace: Optional[dict] = None
+
+    @property
+    def index(self) -> int:
+        """Ordering key for sessions (lowest replication in the block)."""
+        return self.base_index
+
+
+@dataclass(frozen=True)
+class WorkerBatchResult:
+    """One finished block: per-replication results, or a block failure.
+
+    Blocks run fail-fast internally — any exception (or failed health
+    check) fails the whole block, because the batched kernel offers no
+    per-replication retry granularity.  Callers needing retries use
+    unbatched payloads (the resilience engine always does).
+    """
+
+    base_index: int
+    attempt: int
+    results: Tuple[WorkerResult, ...] = ()
+    error: Optional[BaseException] = None
+    error_kind: str = ""
+    error_message: str = ""
+    retryable: bool = False
+    span_records: Tuple = ()
+    metric_dicts: Tuple[dict, ...] = field(default_factory=tuple)
+
+    @property
+    def index(self) -> int:
+        return self.base_index
 
     @property
     def failed(self) -> bool:
@@ -156,6 +226,108 @@ def execute_payload(payload: WorkerPayload) -> WorkerResult:
         lost=lost_value,
         arrived=arrived,
         generator=generator,
+    )
+
+
+def execute_batch_payload(payload: WorkerBatchPayload) -> WorkerBatchResult:
+    """Run one block of replications in the current process.
+
+    The task is invoked once with the block's indices and generators
+    and must return one ``(lost, arrived)`` pair per replication, in
+    order.  Health checks run per replication under its own
+    ``replication_attempt`` context so error messages carry the true
+    replication index.
+    """
+    indices = tuple(
+        range(
+            payload.base_index,
+            payload.base_index + len(payload.generators),
+        )
+    )
+    try:
+        with span(
+            "replication_batch",
+            base_index=payload.base_index,
+            size=len(indices),
+            attempt=payload.attempt,
+            label=payload.label,
+        ):
+            rows = payload.task(indices, payload.generators)
+        rows = tuple(rows)
+        if len(rows) != len(indices):
+            raise SimulationError(
+                f"batch task returned {len(rows)} result(s) for "
+                f"{len(indices)} replication(s)"
+            )
+        results = []
+        for index, (lost, arrived) in zip(indices, rows):
+            arrived = float(arrived)
+            if payload.health_check:
+                with replication_attempt(index, payload.attempt):
+                    check_simulation_health(
+                        lost, arrived, context=f"replication {index}"
+                    )
+                    if arrived <= 0:
+                        raise SimulationError(
+                            f"replication {index} offered no cells; "
+                            "its CLR contribution is undefined",
+                            bad_replications=(index,),
+                        )
+            results.append(
+                WorkerResult(
+                    index=index,
+                    attempt=payload.attempt,
+                    lost=(
+                        float(lost)
+                        if np.ndim(lost) == 0
+                        else np.asarray(lost, dtype=float)
+                    ),
+                    arrived=arrived,
+                )
+            )
+    except Exception as exc:
+        return WorkerBatchResult(
+            base_index=payload.base_index,
+            attempt=payload.attempt,
+            error=_transportable(exc),
+            error_kind=type(exc).__name__,
+            error_message=str(exc),
+            retryable=isinstance(exc, RETRYABLE_EXCEPTIONS),
+        )
+    return WorkerBatchResult(
+        base_index=payload.base_index,
+        attempt=payload.attempt,
+        results=tuple(results),
+    )
+
+
+def pool_entry_batch(payload: WorkerBatchPayload) -> WorkerBatchResult:
+    """Process-pool entry point for batched payloads.
+
+    Same telemetry bracketing as :func:`pool_entry`; the captured
+    spans/metrics ride on the batch result for the parent to merge.
+    """
+    if payload.telemetry:
+        _spans.enable()
+        _spans.reset_spans()
+        _metrics.reset_metrics()
+        with _tracectx.activate(_tracectx.extract(payload.trace)):
+            result = execute_batch_payload(payload)
+    else:
+        _spans.disable()
+        result = execute_batch_payload(payload)
+    if not payload.telemetry:
+        return result
+    return WorkerBatchResult(
+        base_index=result.base_index,
+        attempt=result.attempt,
+        results=result.results,
+        error=result.error,
+        error_kind=result.error_kind,
+        error_message=result.error_message,
+        retryable=result.retryable,
+        span_records=_spans.records(),
+        metric_dicts=tuple(_metrics.snapshot()),
     )
 
 

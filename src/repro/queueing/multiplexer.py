@@ -18,9 +18,11 @@ from repro.exceptions import ParameterError
 from repro.models.base import TrafficModel
 from repro.obs.spans import span
 from repro.queueing.workload import (
+    FiniteBufferBatchResult,
     FiniteBufferResult,
     InfiniteBufferResult,
     simulate_finite_buffer,
+    simulate_finite_buffer_batch,
     simulate_infinite_buffer,
 )
 from repro.utils.rng import RngLike
@@ -112,6 +114,43 @@ class ATMMultiplexer:
                 result.arrived_cells,
                 context="simulate_clr",
             )
+            return result
+
+    def simulate_clr_batch(
+        self, n_frames: int, generators
+    ) -> FiniteBufferBatchResult:
+        """Many finite-buffer replications in one 2-D kernel pass.
+
+        ``generators`` supplies one RNG stream per replication; row
+        ``i`` samples from ``generators[i]`` and is bit-identical to
+        ``simulate_clr(n_frames, generators[i])`` — same sampling,
+        same kernel, same row-wise summation — so batched workers pool
+        to exactly the serial result.
+        """
+        n_frames = check_integer(n_frames, "n_frames", minimum=1)
+        generators = list(generators)
+        with span(
+            "mux.simulate_clr_batch",
+            n_frames=n_frames,
+            n_replications=len(generators),
+        ):
+            arrivals = np.stack(
+                [
+                    self.model.sample_aggregate(
+                        n_frames, self.n_sources, generator
+                    )
+                    for generator in generators
+                ]
+            )
+            result = simulate_finite_buffer_batch(
+                arrivals, self.capacity, self.buffer_cells
+            )
+            for i in range(arrivals.shape[0]):
+                check_simulation_health(
+                    result.lost_cells[i],
+                    result.arrived_cells[i],
+                    context="simulate_clr",
+                )
             return result
 
     def simulate_workload(

@@ -30,18 +30,21 @@ file are bit-identical to a serial run on the same seed.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.exceptions import SimulationError
+from repro.exceptions import ParameterError, SimulationError
 from repro.obs import metrics as _metrics
 from repro.obs import progress as _progress
 from repro.obs import spans as _spans
 from repro.obs.spans import span
 from repro.parallel.backends import Backend, resolve_backend
 from repro.parallel.worker import (
+    WorkerBatchPayload,
+    WorkerBatchResult,
     WorkerPayload,
     merge_result_telemetry,
 )
@@ -51,7 +54,10 @@ from repro.queueing.statistics import (
     pooled_clr,
     replicated_estimate,
 )
-from repro.queueing.workload import simulate_finite_buffer
+from repro.queueing.workload import (
+    simulate_finite_buffer,
+    simulate_finite_buffer_batch,
+)
 from repro.resilience.engine import (
     EngineResult,
     FailureRecord,
@@ -146,12 +152,123 @@ class _CurveTask:
         return per_buffer, float(arrivals.sum())
 
 
+@dataclass(frozen=True)
+class _CLRBatchTask:
+    """Batched body of :func:`replicated_clr`: one kernel pass per block.
+
+    Row ``i`` samples from ``generators[i]`` and reduces with the same
+    row-wise summation as :class:`_CLRTask`, so unpacking a batch
+    result yields the exact per-replication floats of the unbatched
+    payloads — batching changes task granularity, not arithmetic.
+    """
+
+    multiplexer: ATMMultiplexer
+    n_frames: int
+
+    def __call__(self, indices, generators):
+        result = self.multiplexer.simulate_clr_batch(
+            self.n_frames, generators
+        )
+        totals = result.total_lost
+        return tuple(
+            (float(totals[i]), float(result.arrived_cells[i]))
+            for i in range(len(generators))
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class _CurveBatchTask:
+    """Batched body of :func:`replicated_clr_curve` replications.
+
+    Samples one arrival path per replication (common random numbers
+    across buffer sizes, exactly as :class:`_CurveTask`), then runs
+    the 2-D finite-buffer kernel once per buffer size over the whole
+    block.
+    """
+
+    multiplexer: ATMMultiplexer
+    buffers: np.ndarray
+    n_frames: int
+
+    def __call__(self, indices, generators):
+        arrivals = np.stack(
+            [
+                self.multiplexer.model.sample_aggregate(
+                    self.n_frames, self.multiplexer.n_sources, generator
+                )
+                for generator in generators
+            ]
+        )
+        per_buffer = np.empty((arrivals.shape[0], self.buffers.shape[0]))
+        for i, b in enumerate(self.buffers):
+            per_buffer[:, i] = simulate_finite_buffer_batch(
+                arrivals, self.multiplexer.capacity, float(b)
+            ).total_lost
+        return tuple(
+            (per_buffer[i].copy(), float(arrivals[i].sum()))
+            for i in range(arrivals.shape[0])
+        )
+
+
+#: Target number of batch tasks per worker when auto-sizing: two
+#: tasks per process keeps the pool load-balanced (a straggler only
+#: delays half a worker's share) without reintroducing per-task
+#: dispatch overhead.
+_TASKS_PER_WORKER = 2
+
+#: Process-wide default for the ``batch=`` parameter (the runner's
+#: ``--batch`` flag installs it so figure modules need no threading).
+_DEFAULT_BATCH: Optional[int] = None
+
+
+def set_default_batch(batch: Optional[int]) -> None:
+    """Install a process-wide default for ``batch=`` (None restores
+    auto-sizing).  Only fail-fast parallel runs consult it; the
+    resilient path always stays per-replication."""
+    global _DEFAULT_BATCH
+    _DEFAULT_BATCH = (
+        None if batch is None else check_integer(batch, "batch", minimum=1)
+    )
+
+
+def get_default_batch() -> Optional[int]:
+    return _DEFAULT_BATCH
+
+
+def _resolve_batch(
+    batch: Optional[int], n_replications: int, backend: Optional[Backend]
+) -> int:
+    """Replications per worker task for a fail-fast run.
+
+    ``None`` falls back to the process default, then auto-sizes:
+    ``ceil(R / (jobs * _TASKS_PER_WORKER))`` on a process backend,
+    except under live telemetry, where batching is disabled so
+    per-replication spans keep their serial shape.  An explicit
+    ``batch`` is honoured as given (``1`` forces the legacy
+    per-replication payloads); explicit batching trades per-replication
+    spans for one ``replication_batch`` span per block.
+    """
+    if batch is None:
+        batch = _DEFAULT_BATCH
+    if batch is not None:
+        return check_integer(batch, "batch", minimum=1)
+    if backend is None or _spans.is_enabled():
+        return 1
+    jobs = int(getattr(backend, "jobs", 1) or 1)
+    if jobs <= 1:
+        return 1
+    return max(1, math.ceil(n_replications / (jobs * _TASKS_PER_WORKER)))
+
+
 def _run_failfast(
     task,
     n_replications: int,
     rng: RngLike,
     backend: Backend,
     label: str,
+    *,
+    batch_task=None,
+    batch_size: int = 1,
 ):
     """Run a fail-fast batch on ``backend``; results by index.
 
@@ -161,34 +278,59 @@ def _run_failfast(
     to the inline loop.  The first failure re-raises its original
     exception, matching fail-fast semantics (other in-flight
     replications are cancelled by the session teardown).
+
+    With ``batch_size > 1`` contiguous replication blocks ship as
+    single :class:`WorkerBatchPayload` tasks running ``batch_task``;
+    each block unpacks into the same index-addressed per-replication
+    results, so pooling is unchanged.
     """
     telemetry = _spans.is_enabled()
     results = [None] * n_replications
     reporter = _progress.reporter(n_replications, label=label)
     try:
         with backend.session() as session:
-            for i, rep_rng in enumerate(
-                spawn_generators(rng, n_replications)
-            ):
-                session.submit(
-                    WorkerPayload(
-                        index=i,
-                        attempt=0,
-                        task=task,
-                        generator=rep_rng,
-                        label=label,
-                        telemetry=telemetry,
-                        health_check=False,
+            generators = list(spawn_generators(rng, n_replications))
+            if batch_size > 1 and batch_task is not None:
+                for base in range(0, n_replications, batch_size):
+                    block = generators[base : base + batch_size]
+                    session.submit(
+                        WorkerBatchPayload(
+                            base_index=base,
+                            attempt=0,
+                            task=batch_task,
+                            generators=tuple(block),
+                            label=label,
+                            telemetry=telemetry,
+                            health_check=False,
+                        )
                     )
-                )
+            else:
+                for i, rep_rng in enumerate(generators):
+                    session.submit(
+                        WorkerPayload(
+                            index=i,
+                            attempt=0,
+                            task=task,
+                            generator=rep_rng,
+                            label=label,
+                            telemetry=telemetry,
+                            health_check=False,
+                        )
+                    )
             while session.pending:
                 result = session.next_completed()
                 merge_result_telemetry(result)
                 if result.failed:
                     raise result.error
-                results[result.index] = result
-                _metrics.add("replications_completed")
-                reporter.advance()
+                block = (
+                    result.results
+                    if isinstance(result, WorkerBatchResult)
+                    else (result,)
+                )
+                for item in block:
+                    results[item.index] = item
+                    _metrics.add("replications_completed")
+                    reporter.advance()
     finally:
         reporter.finish()
     return results
@@ -198,6 +340,23 @@ def _resolve_policy(
     resilience: Optional[ResiliencePolicy],
 ) -> Optional[ResiliencePolicy]:
     return resilience if resilience is not None else get_default_policy()
+
+
+def _reject_resilient_batch(batch: Optional[int]) -> None:
+    """Resilient runs retry and checkpoint per replication.
+
+    Batched tasks would make a single worker fault discard (and a
+    retry recompute) every replication in the block, and checkpoint
+    records would no longer map one-to-one onto replications — so the
+    resilient path simply refuses to batch rather than silently
+    changing those semantics.
+    """
+    if batch is not None and check_integer(batch, "batch", minimum=1) > 1:
+        raise ParameterError(
+            "batch > 1 is fail-fast only: the resilience engine "
+            "retries and checkpoints individual replications "
+            "(pass batch=None or batch=1, or drop the policy)"
+        )
 
 
 def _fingerprint(
@@ -231,6 +390,7 @@ def replicated_clr(
     resilience: Optional[ResiliencePolicy] = None,
     backend: Optional[Backend] = None,
     jobs: Optional[int] = None,
+    batch: Optional[int] = None,
 ) -> CLRReplicationSummary:
     """Estimate the CLR from independent replications.
 
@@ -240,6 +400,13 @@ def replicated_clr(
     checkpoints, and degrades gracefully past its deadline.  With
     ``jobs=N`` (or an explicit ``backend=``) replications run across
     worker processes; the pooled result is bit-identical to serial.
+
+    ``batch`` sets how many replications each worker task carries on a
+    fail-fast parallel run (``None`` auto-sizes from the backend's job
+    count, ``1`` forces one task per replication).  The resilient path
+    keeps per-replication tasks — retry and checkpoint granularity is
+    the replication — so an explicit ``batch > 1`` with a policy is a
+    :class:`~repro.exceptions.ParameterError`.
     """
     n_frames = check_integer(n_frames, "n_frames", minimum=1)
     n_replications = check_integer(
@@ -248,6 +415,7 @@ def replicated_clr(
     policy = _resolve_policy(resilience)
     exec_backend = resolve_backend(backend, jobs)
     if policy is not None:
+        _reject_resilient_batch(batch)
         return _replicated_clr_resilient(
             multiplexer, n_frames, n_replications, rng, confidence,
             policy, exec_backend,
@@ -259,6 +427,10 @@ def replicated_clr(
             rng,
             exec_backend,
             "replicated_clr",
+            batch_task=_CLRBatchTask(multiplexer, n_frames),
+            batch_size=_resolve_batch(
+                batch, n_replications, exec_backend
+            ),
         )
         lost = np.array([r.lost for r in results], dtype=float)
         arrived = np.array([r.arrived for r in results], dtype=float)
@@ -392,6 +564,7 @@ def replicated_clr_curve(
     resilience: Optional[ResiliencePolicy] = None,
     backend: Optional[Backend] = None,
     jobs: Optional[int] = None,
+    batch: Optional[int] = None,
 ) -> CLRCurve:
     """CLR at several buffer sizes, pooled over replications.
 
@@ -401,6 +574,7 @@ def replicated_clr_curve(
     between adjacent buffer sizes).  ``jobs=N`` / ``backend=``
     distribute replications across worker processes with bit-identical
     pooled curves (losses accumulate in replication-index order).
+    ``batch`` behaves as in :func:`replicated_clr`.
     """
     n_frames = check_integer(n_frames, "n_frames", minimum=1)
     n_replications = check_integer(
@@ -410,6 +584,7 @@ def replicated_clr_curve(
     policy = _resolve_policy(resilience)
     exec_backend = resolve_backend(backend, jobs)
     if policy is not None:
+        _reject_resilient_batch(batch)
         return _replicated_clr_curve_resilient(
             multiplexer, buffers, n_frames, n_replications, rng,
             label, policy, exec_backend,
@@ -421,6 +596,10 @@ def replicated_clr_curve(
             rng,
             exec_backend,
             label or "clr_curve",
+            batch_task=_CurveBatchTask(multiplexer, buffers, n_frames),
+            batch_size=_resolve_batch(
+                batch, n_replications, exec_backend
+            ),
         )
         lost = np.zeros(buffers.shape[0])
         arrived_total = 0.0

@@ -396,8 +396,17 @@ def _supervise_parallel(
             _metrics.add("replications_completed")
             flush.advance()
             reporter.advance()
-        if fatal_error is not None:
-            raise fatal_error
+    if stale:
+        # A fenced-off hung attempt never returned its (discarded)
+        # result; on a persistent warm pool the hung process would
+        # keep occupying a slot across future sessions, so replace the
+        # pool's workers.  Spawn pools die with the session anyway.
+        recycle = getattr(backend, "recycle", None)
+        if recycle is not None:
+            recycle()
+            _metrics.add("replications_pool_recycled")
+    if fatal_error is not None:
+        raise fatal_error
     return n_retried, deadline_hit
 
 

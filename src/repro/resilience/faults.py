@@ -311,7 +311,7 @@ class FaultyDecisionTables:
         self._primary_method = primary_method
         self.current_request: Optional[int] = None
 
-    def lookup(self, model, link_capacity, qos, method):
+    def lookup(self, model, link_capacity, qos, method, *, key=None):
         if (
             method == self._primary_method
             and self.current_request in self._faulty_requests
@@ -320,7 +320,9 @@ class FaultyDecisionTables:
                 f"injected decision-table fault on request "
                 f"{self.current_request}"
             )
-        return self._tables.lookup(model, link_capacity, qos, method)
+        return self._tables.lookup(
+            model, link_capacity, qos, method, key=key
+        )
 
     def __getattr__(self, name: str):
         # Same unpickling guard as FaultInjectedModel: underscore

@@ -47,6 +47,7 @@ from repro.service.tables import (
     EFFECTIVE_BANDWIDTH_METHOD,
     SERVICE_METHODS,
     DecisionTableCache,
+    decision_key,
     model_fingerprint,
 )
 from repro.utils.validation import check_positive
@@ -149,6 +150,15 @@ class AdmissionEngine:
             OverloadState(overload) if overload is not None else None
         )
         self._links: Dict[str, LinkState] = {}
+        # Admission hot-path caches.  Serializing a decision key (model
+        # fingerprint + QoS/capacity float hexes) per request dominates
+        # the admit cost once the table itself is warm, and the key for
+        # a (model, link, method) never changes while the link exists —
+        # so it is built once per link, not once per request.  Models
+        # are kept strongly referenced so the ``id()`` keys stay valid.
+        self._decision_keys: Dict[tuple, str] = {}
+        self._fingerprints: Dict[int, str] = {}
+        self._key_refs: Dict[int, TrafficModel] = {}
 
     # -- topology ------------------------------------------------------------
 
@@ -183,6 +193,27 @@ class AdmissionEngine:
     def links(self) -> Dict[str, LinkState]:
         """Read-only view of registered links (do not mutate)."""
         return dict(self._links)
+
+    # -- hot-path caches -----------------------------------------------------
+
+    def _decision_key(
+        self, model: TrafficModel, link: LinkState, method: str
+    ) -> str:
+        cache_key = (id(model), link.link_id, method)
+        key = self._decision_keys.get(cache_key)
+        if key is None:
+            key = decision_key(model, link.capacity, link.qos, method)
+            self._decision_keys[cache_key] = key
+            self._key_refs[id(model)] = model
+        return key
+
+    def _fingerprint_for(self, model: TrafficModel) -> str:
+        fingerprint = self._fingerprints.get(id(model))
+        if fingerprint is None:
+            fingerprint = model_fingerprint(model)
+            self._fingerprints[id(model)] = fingerprint
+            self._key_refs[id(model)] = model
+        return fingerprint
 
     # -- the service surface -------------------------------------------------
 
@@ -244,7 +275,11 @@ class AdmissionEngine:
                 if overload.breaker.allow_primary():
                     try:
                         decision = self.tables.lookup(
-                            model, link.capacity, link.qos, self.policy
+                            model,
+                            link.capacity,
+                            link.qos,
+                            self.policy,
+                            key=self._decision_key(model, link, self.policy),
                         )
                     except ReproError:
                         opened = overload.breaker.record_failure()
@@ -262,7 +297,11 @@ class AdmissionEngine:
                 # Legacy fail-fast path: no breaker, lookup errors
                 # propagate to the caller.
                 decision = self.tables.lookup(
-                    model, link.capacity, link.qos, self.policy
+                    model,
+                    link.capacity,
+                    link.qos,
+                    self.policy,
+                    key=self._decision_key(model, link, self.policy),
                 )
         if fallback:
             fallback_method = (
@@ -271,14 +310,18 @@ class AdmissionEngine:
                 else "peak-rate"
             )
             decision = self.tables.lookup(
-                model, link.capacity, link.qos, fallback_method
+                model,
+                link.capacity,
+                link.qos,
+                fallback_method,
+                key=self._decision_key(model, link, fallback_method),
             )
             if overload is not None:
                 overload.fallback_total += 1
             if enabled:
                 _metrics.add("service.fallback_decisions")
 
-        fingerprint = model_fingerprint(model)
+        fingerprint = self._fingerprint_for(model)
         bandwidth = decision.effective_bandwidth
         if fallback:
             # The fallback boundary is a peak-allocation count: total

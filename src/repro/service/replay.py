@@ -62,7 +62,12 @@ from repro.exceptions import JournalError, ParameterError
 from repro.obs import metrics as _metrics
 from repro.obs import spans as _spans
 from repro.obs.spans import span
-from repro.parallel.backends import Backend, resolve_backend
+from repro.parallel.backends import (
+    Backend,
+    ProcessPoolBackend,
+    resolve_backend,
+)
+from repro.parallel.shm import attach_blob, publish_blob
 from repro.parallel.worker import (
     WorkerPayload,
     execute_payload,
@@ -334,12 +339,20 @@ def replay_link(
     rng: RngLike,
     link_index: int = 0,
     table_path=None,
+    table_image: Optional[dict] = None,
     journal_prefix=None,
     snapshot_every: int = 2000,
     overload: Optional[OverloadPolicy] = None,
     faults: Optional[ServiceFaultPlan] = None,
 ) -> LinkStats:
     """Replay one link's workload through a fresh engine.
+
+    ``table_image`` is a :mod:`repro.parallel.shm` blob descriptor of
+    the persisted table file's bytes; when set, the link loads its
+    decision table from shared memory instead of re-reading
+    ``table_path`` from disk — the multi-process driver publishes the
+    file once and every shard maps the same pages.  The resulting
+    cache state (entries, counters) is identical to a file load.
 
     Event-driven: arrivals in time order, departures drained from a
     heap before each arrival, the carried-load integral updated at
@@ -364,11 +377,13 @@ def replay_link(
         else NO_CUES
     )
 
-    tables = (
-        DecisionTableCache(path=table_path, persist=False)
-        if table_path is not None
-        else DecisionTableCache()
-    )
+    if table_image is not None:
+        tables = DecisionTableCache(persist=False)
+        tables.load_text(attach_blob(table_image).decode("utf-8"))
+    elif table_path is not None:
+        tables = DecisionTableCache(path=table_path, persist=False)
+    else:
+        tables = DecisionTableCache()
     faulty_tables = None
     if cues.table_faults:
         faulty_tables = FaultyDecisionTables(tables, cues.table_faults, policy)
@@ -566,6 +581,7 @@ class _LinkReplayTask:
     qos: QoSRequirement
     policy: str
     table_path: Optional[str] = None
+    table_image: Optional[dict] = None
     journal_dir: Optional[str] = None
     snapshot_every: int = 2000
     overload: Optional[OverloadPolicy] = None
@@ -586,6 +602,7 @@ class _LinkReplayTask:
             rng=generator,
             link_index=index,
             table_path=self.table_path,
+            table_image=self.table_image,
             journal_prefix=journal_prefix,
             snapshot_every=self.snapshot_every,
             overload=self.overload,
@@ -644,6 +661,7 @@ def replay_workload(
     rng: RngLike = None,
     backend: Optional[Backend] = None,
     jobs: Optional[int] = None,
+    pool: Optional[str] = None,
     table_path=None,
     journal_dir=None,
     snapshot_every: int = 2000,
@@ -657,8 +675,12 @@ def replay_workload(
     specification on its own ``SeedSequence``-spawned stream.  With
     ``jobs=N`` (or an explicit ``backend=``) links fan out across
     worker processes; the summary is bit-identical to a serial run on
-    the same seed.  ``table_path`` points every link at a shared
-    persisted decision table (loaded read-only).
+    the same seed.  ``pool`` picks the worker discipline for
+    ``jobs=N``: the shared persistent warm pool by default, or
+    ``"spawn"`` for fresh processes per replay.  ``table_path`` points
+    every link at a shared persisted decision table (loaded read-only;
+    on a process backend the file ships to workers once through shared
+    memory).
 
     Without ``supervision`` a failed shard fails the whole replay
     (legacy fail-fast).  With it, crashed and hung shards are
@@ -674,7 +696,21 @@ def replay_workload(
             "a ServiceFaultPlan requires supervision= (an unsupervised "
             "replay would simply die at the first injected fault)"
         )
-    exec_backend = resolve_backend(backend, jobs)
+    exec_backend = resolve_backend(backend, jobs, pool)
+    # On a process backend, ship the persisted decision table to the
+    # shards as one shared-memory image instead of n_links disk reads
+    # (and n_links pickled paths racing the filesystem cache): the
+    # parent publishes the file bytes once, every worker maps the same
+    # pages, and the segment is unlinked when the replay returns.
+    table_handle = None
+    table_image = None
+    if table_path is not None and isinstance(
+        exec_backend, ProcessPoolBackend
+    ):
+        table_file = Path(table_path)
+        if table_file.exists():
+            table_handle = publish_blob(table_file.read_bytes())
+            table_image = table_handle.descriptor
     task = _LinkReplayTask(
         spec=spec,
         classes=tuple(classes),
@@ -682,6 +718,7 @@ def replay_workload(
         qos=qos,
         policy=policy,
         table_path=None if table_path is None else str(table_path),
+        table_image=table_image,
         journal_dir=None if journal_dir is None else str(journal_dir),
         snapshot_every=snapshot_every,
         overload=overload,
@@ -690,87 +727,95 @@ def replay_workload(
     telemetry = _spans.is_enabled()
     generators = spawn_generators(rng, n_links)
     results: List = [None] * n_links
-    with span(
-        "service.replay",
-        links=n_links,
-        requests=spec.n_requests * n_links,
-        policy=policy,
-        jobs=1 if exec_backend is None else exec_backend.jobs,
-    ):
-        if supervision is not None:
+    try:
+        with span(
+            "service.replay",
+            links=n_links,
+            requests=spec.n_requests * n_links,
+            policy=policy,
+            jobs=1 if exec_backend is None else exec_backend.jobs,
+        ):
+            if supervision is not None:
 
-            def payload_factory(index: int, attempt: int) -> WorkerPayload:
-                # Each attempt replays from a pristine copy of the
-                # link's stream: inline execution advances a generator
-                # in place, and a restarted attempt must regenerate
-                # the identical workload.
-                generator = pickle.loads(pickle.dumps(generators[index]))
-                return WorkerPayload(
-                    index=index,
-                    attempt=attempt,
-                    task=task,
-                    generator=generator,
-                    label=f"workload-link-{index}",
-                    telemetry=telemetry,
-                    health_check=True,
-                )
+                def payload_factory(
+                    index: int, attempt: int
+                ) -> WorkerPayload:
+                    # Each attempt replays from a pristine copy of the
+                    # link's stream: inline execution advances a
+                    # generator in place, and a restarted attempt must
+                    # regenerate the identical workload.
+                    generator = pickle.loads(
+                        pickle.dumps(generators[index])
+                    )
+                    return WorkerPayload(
+                        index=index,
+                        attempt=attempt,
+                        task=task,
+                        generator=generator,
+                        label=f"workload-link-{index}",
+                        telemetry=telemetry,
+                        health_check=True,
+                    )
 
-            supervisor = ShardSupervisor(
-                payload_factory,
-                n_links,
-                backend=exec_backend,
-                policy=supervision,
-            )
-            results = supervisor.run()
-            if exec_backend is not None:
-                # Telemetry merges in link-index order, not completion
-                # order (canonical-JSON bit-identity).
-                for result in results:
-                    merge_result_telemetry(result)
-        elif exec_backend is None:
-            payloads = [
-                WorkerPayload(
-                    index=i,
-                    attempt=0,
-                    task=task,
-                    generator=generators[i],
-                    label=f"workload-link-{i}",
-                    telemetry=telemetry,
-                    health_check=True,
+                supervisor = ShardSupervisor(
+                    payload_factory,
+                    n_links,
+                    backend=exec_backend,
+                    policy=supervision,
                 )
-                for i in range(n_links)
-            ]
-            for payload in payloads:
-                result = execute_payload(payload)
-                if result.failed:
-                    raise result.error
-                results[result.index] = result
-        else:
-            payloads = [
-                WorkerPayload(
-                    index=i,
-                    attempt=0,
-                    task=task,
-                    generator=generators[i],
-                    label=f"workload-link-{i}",
-                    telemetry=telemetry,
-                    health_check=True,
-                )
-                for i in range(n_links)
-            ]
-            with exec_backend.session() as session:
+                results = supervisor.run()
+                if exec_backend is not None:
+                    # Telemetry merges in link-index order, not
+                    # completion order (canonical-JSON bit-identity).
+                    for result in results:
+                        merge_result_telemetry(result)
+            elif exec_backend is None:
+                payloads = [
+                    WorkerPayload(
+                        index=i,
+                        attempt=0,
+                        task=task,
+                        generator=generators[i],
+                        label=f"workload-link-{i}",
+                        telemetry=telemetry,
+                        health_check=True,
+                    )
+                    for i in range(n_links)
+                ]
                 for payload in payloads:
-                    session.submit(payload)
-                while session.pending:
-                    result = session.next_completed()
+                    result = execute_payload(payload)
                     if result.failed:
                         raise result.error
                     results[result.index] = result
-            # Telemetry merges in link-index order, not completion
-            # order: sketch/counter snapshots (and their canonical
-            # JSON) must not depend on which worker finished first.
-            for result in results:
-                merge_result_telemetry(result)
+            else:
+                payloads = [
+                    WorkerPayload(
+                        index=i,
+                        attempt=0,
+                        task=task,
+                        generator=generators[i],
+                        label=f"workload-link-{i}",
+                        telemetry=telemetry,
+                        health_check=True,
+                    )
+                    for i in range(n_links)
+                ]
+                with exec_backend.session() as session:
+                    for payload in payloads:
+                        session.submit(payload)
+                    while session.pending:
+                        result = session.next_completed()
+                        if result.failed:
+                            raise result.error
+                        results[result.index] = result
+                # Telemetry merges in link-index order, not completion
+                # order: sketch/counter snapshots (and their canonical
+                # JSON) must not depend on which worker finished first.
+                for result in results:
+                    merge_result_telemetry(result)
+    finally:
+        if table_handle is not None:
+            table_handle.unlink()
     links = [
         LinkStats.from_array(i, results[i].lost) for i in range(n_links)
     ]

@@ -230,9 +230,32 @@ class ShardSupervisor:
         policy = self.policy
         results: List[Optional[WorkerResult]] = [None] * self.n_shards
         outstanding = self.n_shards
+        active: dict = {}  # (index, attempt) -> submit clock
+        stale: set = set()  # fenced-off (index, attempt) epochs
+        try:
+            return self._drain_pool(results, outstanding, active, stale)
+        finally:
+            if stale:
+                # A fenced-off hung worker never returned.  A spawn
+                # pool dies with its session, but a persistent (warm)
+                # pool would keep the hung process occupying one of
+                # its slots across every future session — replace its
+                # workers instead.
+                recycle = getattr(self.backend, "recycle", None)
+                if recycle is not None:
+                    recycle()
+                    if _spans._ENABLED:
+                        _metrics.add("service.pool_recycled")
+
+    def _drain_pool(
+        self,
+        results: List[Optional[WorkerResult]],
+        outstanding: int,
+        active: dict,
+        stale: set,
+    ) -> List[WorkerResult]:
+        policy = self.policy
         with self.backend.session() as session:
-            active: dict = {}  # (index, attempt) -> submit clock
-            stale: set = set()  # fenced-off (index, attempt) epochs
 
             def submit(index: int, attempt: int) -> None:
                 session.submit(self.payload_factory(index, attempt))

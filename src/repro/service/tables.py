@@ -283,7 +283,16 @@ class DecisionTableCache:
             return Decision.from_dict(json.loads(line))
 
     def _load(self) -> None:
-        text = self.path.read_text(encoding="utf-8")
+        self.load_text(self.path.read_text(encoding="utf-8"))
+
+    def load_text(self, text: str) -> None:
+        """Load persisted entries from ``text`` (a JSONL table image).
+
+        Exactly the parsing a ``path=`` construction performs — last
+        write wins, damaged lines dropped and counted — so a replay
+        worker handed a shared-memory image of the table file ends up
+        in the same state as one that read the file itself.
+        """
         for line in text.splitlines():
             if not line.strip():
                 continue
@@ -327,18 +336,25 @@ class DecisionTableCache:
         link_capacity: float,
         qos: QoSRequirement,
         method: str,
+        *,
+        key: Optional[str] = None,
     ) -> Decision:
         """The admission decision for this operating point, cached.
 
         The first lookup of a distinct (model, capacity, QoS, method)
         pays the offline inversion; every later one is a dict probe.
+        Callers that serve many requests against a fixed operating
+        point (the admission engine) pass the precomputed ``key`` to
+        skip re-serializing the fingerprint and QoS floats per
+        request; hit/miss accounting is identical either way.
         """
         if method not in SERVICE_METHODS:
             raise ParameterError(
                 f"unknown admission policy {method!r}; choose from "
                 f"{', '.join(SERVICE_METHODS)}"
             )
-        key = decision_key(model, link_capacity, qos, method)
+        if key is None:
+            key = decision_key(model, link_capacity, qos, method)
         with self._lock:
             decision = self._entries.get(key)
             if decision is not None:
@@ -365,6 +381,8 @@ class DecisionTableCache:
         link_capacity: float,
         qos: QoSRequirement,
         method: str,
+        *,
+        key: Optional[str] = None,
     ) -> Optional[Decision]:
         """A cached decision without touching hit/miss accounting.
 
@@ -372,7 +390,8 @@ class DecisionTableCache:
         already looked up; counting those reads again would break the
         byte-identity of the recovered hit/miss totals.
         """
-        key = decision_key(model, link_capacity, qos, method)
+        if key is None:
+            key = decision_key(model, link_capacity, qos, method)
         with self._lock:
             return self._entries.get(key)
 

@@ -1,5 +1,7 @@
 """Tests for the execution-backend layer."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -7,17 +9,24 @@ from repro.exceptions import ParameterError
 from repro.parallel import (
     ProcessPoolBackend,
     SerialBackend,
+    WarmPoolBackend,
     WorkerPayload,
     get_default_backend,
     resolve_backend,
     set_default_backend,
     use_backend,
+    warm_pool,
 )
 
 
 def _double(index, generator):
     """Module-level so it pickles into spawn workers."""
     return float(index * 2), 100.0
+
+
+def _worker_pid(index, generator):
+    """Report which process ran the payload (warm-pool persistence)."""
+    return float(os.getpid()), 1.0
 
 
 def _payload(index):
@@ -85,7 +94,103 @@ class TestProcessPoolBackend:
                 session.next_completed()
 
 
+class TestWarmPoolBackend:
+    def _run_one(self, backend):
+        with backend.session() as session:
+            session.submit(
+                WorkerPayload(
+                    index=0,
+                    attempt=0,
+                    task=_worker_pid,
+                    generator=np.random.default_rng(0),
+                    health_check=False,
+                )
+            )
+            return int(session.next_completed().lost)
+
+    def test_workers_persist_across_sessions(self):
+        backend = WarmPoolBackend(1, idle_timeout_seconds=None)
+        try:
+            first = self._run_one(backend)
+            second = self._run_one(backend)
+            # Same process served both sessions: the spawn tax was
+            # paid exactly once.
+            assert first == second
+            assert first != os.getpid()
+        finally:
+            backend.shutdown()
+
+    def test_recycle_replaces_workers(self):
+        backend = WarmPoolBackend(1, idle_timeout_seconds=None)
+        try:
+            before = self._run_one(backend)
+            backend.recycle()
+            after = self._run_one(backend)
+            assert before != after
+        finally:
+            backend.shutdown()
+
+    def test_shutdown_then_reuse_restarts(self):
+        backend = WarmPoolBackend(1, idle_timeout_seconds=None)
+        try:
+            self._run_one(backend)
+            backend.shutdown()
+            backend.shutdown()  # idempotent
+            assert self._run_one(backend) != os.getpid()
+        finally:
+            backend.shutdown()
+
+    def test_warm_returns_self(self):
+        backend = WarmPoolBackend(1, idle_timeout_seconds=None)
+        try:
+            assert backend.warm() is backend
+        finally:
+            backend.shutdown()
+
+    def test_completes_all_payloads(self):
+        backend = WarmPoolBackend(2, idle_timeout_seconds=None)
+        try:
+            with backend.session() as session:
+                for i in range(5):
+                    session.submit(
+                        WorkerPayload(
+                            index=i,
+                            attempt=0,
+                            task=_double,
+                            generator=np.random.default_rng(i),
+                            health_check=False,
+                        )
+                    )
+                results = []
+                while session.pending:
+                    results.append(session.next_completed())
+        finally:
+            backend.shutdown()
+        assert sorted(r.index for r in results) == [0, 1, 2, 3, 4]
+        assert all(
+            r.lost == 2.0 * r.index and not r.failed for r in results
+        )
+
+    def test_shared_registry_caches_by_shape(self):
+        assert warm_pool(2) is warm_pool(2)
+        assert warm_pool(2) is not warm_pool(3)
+
+
 class TestResolveBackend:
+    def test_jobs_defaults_to_shared_warm_pool(self):
+        backend = resolve_backend(jobs=2)
+        assert isinstance(backend, WarmPoolBackend)
+        assert backend is warm_pool(2)
+
+    def test_pool_spawn_builds_fresh_pool(self):
+        backend = resolve_backend(jobs=2, pool="spawn")
+        assert type(backend) is ProcessPoolBackend
+        assert backend is not resolve_backend(jobs=2, pool="spawn")
+
+    def test_unknown_pool_rejected(self):
+        with pytest.raises(ParameterError, match="pool"):
+            resolve_backend(jobs=2, pool="tepid")
+
     def test_default_is_inline(self):
         assert resolve_backend() is None
 

@@ -67,6 +67,91 @@ class TestFailFastIdentity:
         _summaries_equal(serial, parallel)
 
 
+class TestBatchedIdentity:
+    """Batched tasks (many replications per worker payload) are a
+    transport optimization; every batch size must land on the same
+    bits as serial and as per-replication parallel."""
+
+    @pytest.mark.parametrize("batch", [2, 3, 5])
+    def test_clr_batch_sizes_match_serial(self, mux, batch):
+        serial = replicated_clr(mux, N_FRAMES, 5, rng=123)
+        batched = replicated_clr(
+            mux, N_FRAMES, 5, rng=123, jobs=2, batch=batch
+        )
+        _summaries_equal(serial, batched)
+
+    def test_explicit_batch_one_matches_serial(self, mux):
+        serial = replicated_clr(mux, N_FRAMES, 5, rng=123)
+        unbatched = replicated_clr(
+            mux, N_FRAMES, 5, rng=123, jobs=2, batch=1
+        )
+        _summaries_equal(serial, unbatched)
+
+    def test_serial_backend_batch_matches_inline(self, mux):
+        # Batching through the serial backend exercises the batch
+        # dispatch path without processes at all.
+        from repro.parallel import SerialBackend
+
+        serial = replicated_clr(mux, N_FRAMES, 5, rng=123)
+        batched = replicated_clr(
+            mux, N_FRAMES, 5, rng=123,
+            backend=SerialBackend(), batch=2,
+        )
+        _summaries_equal(serial, batched)
+
+    def test_curve_batch_matches_serial(self, mux):
+        serial = replicated_clr_curve(mux, BUFFERS, N_FRAMES, 4, rng=7)
+        batched = replicated_clr_curve(
+            mux, BUFFERS, N_FRAMES, 4, rng=7, jobs=2, batch=2
+        )
+        assert np.array_equal(serial.clr, batched.clr)
+        assert serial.total_arrived == batched.total_arrived
+
+    def test_generator_mode_batch_matches_serial(self, mux):
+        serial = replicated_clr(
+            mux, N_FRAMES, 4, rng=np.random.default_rng(9)
+        )
+        batched = replicated_clr(
+            mux, N_FRAMES, 4,
+            rng=np.random.default_rng(9), jobs=2, batch=2,
+        )
+        _summaries_equal(serial, batched)
+
+    def test_resilient_batch_rejected(self, mux):
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError, match="fail-fast only"):
+            replicated_clr(
+                mux, N_FRAMES, 4, rng=1,
+                resilience=ResiliencePolicy(max_retries=1),
+                jobs=2, batch=2,
+            )
+
+    def test_default_batch_installed_and_cleared(self, mux):
+        from repro.queueing.replication import (
+            get_default_batch,
+            set_default_batch,
+        )
+
+        serial = replicated_clr(mux, N_FRAMES, 5, rng=123)
+        set_default_batch(3)
+        try:
+            assert get_default_batch() == 3
+            batched = replicated_clr(mux, N_FRAMES, 5, rng=123, jobs=2)
+            # The process default must not leak into the resilient
+            # path (which refuses explicit batches): supervised runs
+            # silently stay per-replication.
+            supervised = replicated_clr(
+                mux, N_FRAMES, 5, rng=123,
+                resilience=ResiliencePolicy(max_retries=1), jobs=2,
+            )
+        finally:
+            set_default_batch(None)
+        assert get_default_batch() is None
+        _summaries_equal(serial, batched)
+        assert supervised.clr == serial.clr
+
+
 class TestResilientIdentity:
     def test_checkpoints_byte_identical(self, mux, tmp_path):
         serial = replicated_clr(

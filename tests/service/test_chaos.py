@@ -9,6 +9,8 @@ exception (the breaker changes decisions, conservatively); there the
 assertions are conservation + flagged fallbacks instead.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -16,7 +18,9 @@ from repro import obs
 from repro.atm.qos import QoSRequirement
 from repro.exceptions import JournalError, ParameterError
 from repro.models import make_s
-from repro.parallel.backends import ProcessPoolBackend
+from repro.parallel import owned_segments
+from repro.parallel.backends import ProcessPoolBackend, WarmPoolBackend
+from repro.parallel.shm import SEGMENT_PREFIX
 from repro.resilience.faults import ServiceFaultPlan
 from repro.service.overload import OverloadPolicy
 from repro.service.replay import replay_link, replay_workload
@@ -279,6 +283,114 @@ class TestTableFaultChaos:
             first.admitted + first.blocked + first.shed == first.n_requests
         )
         assert first.boundary_violations == 0
+
+
+def _shm_entries():
+    """Live repro shared-memory segments visible in /dev/shm."""
+    try:
+        return sorted(
+            e
+            for e in os.listdir("/dev/shm")
+            if e.startswith(SEGMENT_PREFIX)
+        )
+    except OSError:
+        return []
+
+
+def _warmed_table(tmp_path, classes, qos):
+    """A persisted decision-table file, as the service CLI seeds it."""
+    from repro.service.tables import DecisionTableCache
+
+    path = tmp_path / "tables.jsonl"
+    tables = DecisionTableCache(path=path)
+    tables.lookup(classes[0].model, CAPACITY, qos, "bahadur-rao")
+    assert path.exists()
+    return path
+
+
+class TestSharedMemoryLifecycle:
+    """The shm table transport must never leak segments — not on a
+    clean replay, not when shards crash, not when the supervisor
+    fences a hung worker out of a warm pool."""
+
+    def test_table_image_matches_file_load_and_unlinks(
+        self, spec, classes, qos, tmp_path
+    ):
+        table = _warmed_table(tmp_path, classes, qos)
+        serial = run(spec, classes, qos, table_path=table)
+        pooled = run(
+            spec,
+            classes,
+            qos,
+            table_path=table,
+            backend=ProcessPoolBackend(2, start_method="fork"),
+        )
+        assert summary_to_json(pooled) == summary_to_json(serial)
+        assert pooled.cache_hits > 0
+        assert _shm_entries() == []
+        assert owned_segments() == ()
+
+    def test_crash_chaos_leaves_no_segments(
+        self, spec, classes, qos, tmp_path
+    ):
+        table = _warmed_table(tmp_path, classes, qos)
+        clean = run(spec, classes, qos, table_path=table)
+        chaotic = run(
+            spec,
+            classes,
+            qos,
+            table_path=table,
+            backend=ProcessPoolBackend(2, start_method="fork"),
+            journal_dir=tmp_path / "journals",
+            supervision=SupervisionPolicy(max_restarts=1),
+            faults=ServiceFaultPlan(crash_shard_at={(0, 0): 2_100}),
+        )
+        assert summary_to_json(chaotic) == summary_to_json(clean)
+        assert _shm_entries() == []
+        assert owned_segments() == ()
+
+    def test_hang_fence_recycles_warm_pool_and_cleans_up(
+        self, spec, classes, qos, tmp_path
+    ):
+        table = _warmed_table(tmp_path, classes, qos)
+        clean = run(spec, classes, qos, table_path=table)
+        backend = WarmPoolBackend(
+            2, start_method="fork", idle_timeout_seconds=None
+        )
+        obs.enable()
+        try:
+            obs.reset()
+            chaotic = run(
+                spec,
+                classes,
+                qos,
+                table_path=table,
+                backend=backend,
+                journal_dir=tmp_path / "journals",
+                supervision=SupervisionPolicy(
+                    max_restarts=1,
+                    shard_timeout_seconds=1.0,
+                    heartbeat_seconds=0.1,
+                ),
+                faults=ServiceFaultPlan(
+                    hang_shard_at={(1, 0): (1_800, 3.0)}
+                ),
+            )
+            counters = {
+                d["name"]: d["value"]
+                for d in obs.metrics.snapshot()
+                if d.get("type") == "counter"
+            }
+        finally:
+            obs.disable()
+            backend.shutdown()
+        assert summary_to_json(chaotic) == summary_to_json(clean)
+        # The fenced hang forced the warm pool to replace its workers;
+        # the hung process must not survive in a slot, and the shared
+        # table image must still be unlinked.
+        assert counters.get("service.pool_recycled") == 1
+        assert _shm_entries() == []
+        assert owned_segments() == ()
 
 
 class TestParallelChaosParity:
