@@ -1,0 +1,99 @@
+"""Throughput of the sharded frontend's open-loop rho drive.
+
+Drives the consistent-hash frontend at one rho point, serially and
+across two warm worker shards, printing aggregate decisions/second and
+p50/p99/p999 admit latency, and appending one schema-2 row per
+configuration to ``benchmarks/results/timings.jsonl`` (experiment
+``frontend_drive``).  Decision counters are byte-identical between the
+two configurations — only wall-clock differs — so the rows ride the
+same ``obs compare`` gate as the replay benchmarks.
+
+The ISSUE-9 throughput target (>= 1M aggregate decisions/s on 4
+cores, i.e. >= 250k/core) is asserted only on hosts with at least 4
+cores *and* ``REPRO_PAPER_BENCH=1`` — the admission hot path is the
+same engine loop everywhere, but small CI boxes measure scheduler
+noise, not the engine.
+"""
+
+import os
+
+import pytest
+
+from conftest import RESULTS_DIR, TIMINGS_PATH
+
+from repro.obs.timings import append_timing_row, percentiles_from_rounds
+
+from repro.atm.qos import QoSRequirement
+from repro.models import make_s
+from repro.parallel import warm_pool
+from repro.service.drive import drive
+
+N_REQUESTS = 20_000
+N_LINKS = 4
+CAPACITY = 30 * 538.0
+RHO = 0.9
+
+PER_CORE_TARGET = 250_000.0
+
+
+def _drive(jobs):
+    from repro.service.workload import ConnectionClass
+
+    classes = (ConnectionClass("dar1", make_s(1, 0.975)),)
+    qos = QoSRequirement(max_delay_seconds=0.020, max_clr=1e-6)
+    return drive(
+        classes,
+        n_links=N_LINKS,
+        capacity=CAPACITY,
+        qos=qos,
+        policy="bahadur-rao",
+        rho_grid=(RHO,),
+        requests_per_link=N_REQUESTS // N_LINKS,
+        seed=20260806,
+        jobs=None if jobs == 1 else jobs,
+    )
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_frontend_drive(benchmark, jobs):
+    if jobs > 1:
+        warm_pool(jobs).warm()
+    report = benchmark.pedantic(
+        _drive, args=(jobs,), rounds=1, iterations=1, warmup_rounds=0
+    )
+    stats = benchmark.stats.stats
+    point = report.points[0]
+    requests_per_s = report.n_requests / stats.mean
+    latency = point.admit_latency_ns
+    print(
+        f"\nfrontend drive (jobs={jobs}, rho={RHO}): "
+        f"{report.n_requests} decisions in {stats.mean:.2f}s = "
+        f"{requests_per_s:,.0f} req/s end-to-end; shard-loop rate "
+        f"{point.decisions_per_second:,.0f}/s; admit latency "
+        f"p50 {latency['p0.5']:.0f}ns p99 {latency['p0.99']:.0f}ns "
+        f"p999 {latency['p0.999']:.0f}ns"
+    )
+    assert report.boundary_violations == 0
+
+    cores = os.cpu_count() or 1
+    if cores >= 4 and os.environ.get("REPRO_PAPER_BENCH"):
+        # The aggregate-throughput floor, scaled to the cores the
+        # drive actually used (1M/s on 4 cores = 250k/core/s).
+        assert point.decisions_per_second >= PER_CORE_TARGET * jobs
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {
+        "experiment": "frontend_drive",
+        "scale": f"links{N_LINKS}@rho{RHO}",
+        "rounds": 1,
+        "jobs": jobs,
+        "mean_s": stats.mean,
+        "min_s": stats.min,
+        "max_s": stats.max,
+        "stddev_s": None,
+        "requests": report.n_requests,
+        "requests_per_s": requests_per_s,
+        "admit_p99_ns": latency["p0.99"],
+    }
+    record.update(percentiles_from_rounds(stats.sorted_data))
+    append_timing_row(TIMINGS_PATH, record)

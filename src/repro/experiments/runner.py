@@ -46,6 +46,12 @@ The ``obs`` verb hosts the observability toolbox
 ``obs slo`` judges exported metrics against declarative SLO targets,
 and ``obs compare`` is the benchmark perf-regression gate (see
 ``docs/OBSERVABILITY.md``).
+
+The ``serve`` and ``drive`` verbs host the sharded admission frontend
+(:mod:`repro.service.frontend_cli`): ``serve`` answers admit/release
+requests over newline-delimited JSON, ``drive`` sweeps an open-loop
+rho-driven workload against the same sharded data plane and prints
+the p50/p99/p999 latency-vs-rho table (see ``docs/SERVICE.md``).
 """
 
 from __future__ import annotations
@@ -123,6 +129,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.obs.cli import main as obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] in ("serve", "drive"):
+        # Sharded admission frontend: serve it over a socket, or
+        # drive it open-loop across a rho grid.
+        from repro.service.frontend_cli import main as frontend_main
+
+        return frontend_main(argv)
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Reproduce tables/figures of Ryu & Elwalid (SIGCOMM '96)",
@@ -131,8 +143,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiments",
         nargs="+",
         help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}), 'all', "
-        "or the 'workload' / 'obs' verbs (own flags; see --help after "
-        "them)",
+        "or the 'workload' / 'obs' / 'serve' / 'drive' verbs (own "
+        "flags; see --help after them)",
     )
     parser.add_argument(
         "--scale",

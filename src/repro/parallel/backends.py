@@ -38,6 +38,8 @@ import concurrent.futures
 import dataclasses
 import multiprocessing
 import threading
+import time
+import weakref
 from collections import deque
 from contextlib import contextmanager
 from typing import Iterator, Optional
@@ -164,7 +166,8 @@ class _PoolSession(BackendSession):
         self._executor = executor
         self._futures: dict = {}  # future -> (index, attempt)
 
-    def submit(self, payload: WorkerPayload) -> None:
+    def _prepare(self, payload: WorkerPayload):
+        """Trace-stamp the payload and pick its pool entry point."""
         # Capture the ambient trace context at submit time so the
         # worker's spans join the supervising span's trace; an
         # explicitly provided context is left untouched.
@@ -177,6 +180,10 @@ class _PoolSession(BackendSession):
             if isinstance(payload, WorkerBatchPayload)
             else pool_entry
         )
+        return payload, entry
+
+    def submit(self, payload: WorkerPayload) -> None:
+        payload, entry = self._prepare(payload)
         future = self._executor.submit(entry, payload)
         self._futures[future] = (payload.index, payload.attempt)
 
@@ -270,7 +277,107 @@ def _noop() -> None:
 
 
 class _WarmPoolSession(_PoolSession):
-    """A pool session that leaves the executor alive on teardown."""
+    """A pool session that leaves the executor alive on teardown.
+
+    The idle reaper introduces a race a spawn-per-session pool never
+    has: ``threading.Timer.cancel()`` cannot stop a callback that has
+    already started running, so the reaper's ``shutdown()`` can land
+    *between* this session acquiring the executor and its payloads
+    finishing — submits then raise ``RuntimeError`` ("cannot schedule
+    new futures after shutdown") and in-flight futures die with
+    ``BrokenProcessPool``/``CancelledError``.  Losing work to a
+    memory-saving timer is not a failure the caller can reason about,
+    so this session makes the reap invisible: submits transparently
+    reacquire a fresh executor, and payloads whose futures died with
+    the *reaped* executor are resubmitted on the restarted pool.
+    Failures on a live executor (a worker OOM-killed mid-task) and on
+    a :meth:`WarmPoolBackend.recycle`-fenced pool still surface —
+    those are real faults the supervisor owns.
+    """
+
+    def __init__(self, backend: "WarmPoolBackend"):
+        super().__init__(backend._ensure_executor())
+        self._backend = backend
+        #: future -> (entry, payload): enough to resubmit verbatim.
+        self._records: dict = {}
+
+    def _submit_future(self, entry, payload):
+        """Submit, reacquiring the executor if the reaper beat us."""
+        try:
+            return self._executor.submit(entry, payload)
+        except RuntimeError:
+            # Either the reaper shut this executor down in the submit
+            # window, or a worker death broke it; both restart
+            # transparently (``_ensure_executor`` discards wrecks).
+            self._executor = self._backend._ensure_executor()
+            return self._executor.submit(entry, payload)
+
+    def submit(self, payload: WorkerPayload) -> None:
+        payload, entry = self._prepare(payload)
+        future = self._submit_future(entry, payload)
+        self._futures[future] = (payload.index, payload.attempt)
+        self._records[future] = (entry, payload, self._executor)
+
+    #: Upper bound on one internal wait slice.  A future the reaper
+    #: cancelled dies in state CANCELLED *without* the notify step
+    #: ``concurrent.futures.wait`` counts as done (only the executor's
+    #: manager thread performs it, and the reaped executor's manager
+    #: exits without doing so) — so waits are bounded and ``done()``
+    #: (which does count bare CANCELLED) is polled between slices.
+    _REAP_POLL_SECONDS = 0.05
+
+    def next_completed(
+        self, timeout: Optional[float] = None
+    ) -> Optional[WorkerResult]:
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while True:
+            if not self._futures:
+                raise RuntimeError("no payloads pending in this session")
+            done = [f for f in self._futures if f.done()]
+            if not done:
+                remaining = (
+                    None
+                    if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None  # timeout expired with nothing finished
+                concurrent.futures.wait(
+                    self._futures,
+                    timeout=(
+                        self._REAP_POLL_SECONDS
+                        if remaining is None
+                        else min(self._REAP_POLL_SECONDS, remaining)
+                    ),
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                continue
+            future = min(done, key=self._futures.__getitem__)
+            del self._futures[future]
+            entry, payload, executor = self._records.pop(future)
+            try:
+                return future.result()
+            except (
+                concurrent.futures.CancelledError,
+                concurrent.futures.process.BrokenProcessPool,
+            ):
+                if not self._backend._was_reaped(executor):
+                    raise  # a real fault, not the idle reaper
+                # The payload was a bystander of the idle reap:
+                # resubmit it on the restarted pool and keep waiting.
+                self._executor = self._backend._ensure_executor()
+                replacement = self._submit_future(entry, payload)
+                self._futures[replacement] = (
+                    payload.index,
+                    payload.attempt,
+                )
+                self._records[replacement] = (
+                    entry,
+                    payload,
+                    self._executor,
+                )
 
     def abandon(self) -> None:
         """Drop this session's claim on its futures.
@@ -283,6 +390,7 @@ class _WarmPoolSession(_PoolSession):
         for future in list(self._futures):
             future.cancel()
         self._futures.clear()
+        self._records.clear()
 
 
 class WarmPoolBackend(ProcessPoolBackend):
@@ -320,7 +428,19 @@ class WarmPoolBackend(ProcessPoolBackend):
         self._executor: Optional[concurrent.futures.Executor] = None
         self._reaper: Optional[threading.Timer] = None
         self._lock = threading.Lock()
+        # Executors torn down *benignly* (idle reap / interpreter
+        # exit), as opposed to fenced by recycle() or broken by a
+        # worker death.  Sessions consult this to decide whether a
+        # dead future is a bystander to resubmit or a real fault to
+        # surface.  Weak references: a retired executor lives only as
+        # long as some session still holds futures against it.
+        self._reaped: "weakref.WeakSet" = weakref.WeakSet()
         atexit.register(self.shutdown)
+
+    def _was_reaped(self, executor) -> bool:
+        """True when ``executor`` was shut down by the idle reaper."""
+        with self._lock:
+            return executor in self._reaped
 
     def _ensure_executor(self) -> concurrent.futures.Executor:
         with self._lock:
@@ -361,7 +481,7 @@ class WarmPoolBackend(ProcessPoolBackend):
 
     @contextmanager
     def session(self) -> Iterator[_WarmPoolSession]:
-        pool_session = _WarmPoolSession(self._ensure_executor())
+        pool_session = _WarmPoolSession(self)
         try:
             yield pool_session
         finally:
@@ -392,6 +512,8 @@ class WarmPoolBackend(ProcessPoolBackend):
                 self._reaper.cancel()
                 self._reaper = None
             executor, self._executor = self._executor, None
+            if executor is not None:
+                self._reaped.add(executor)
         if executor is not None:
             executor.shutdown(wait=False, cancel_futures=True)
 

@@ -26,15 +26,37 @@ that the served boundary matches the offline one.
   with per-shard deadlines, heartbeats, and bounded retry;
 * :mod:`repro.service.overload` — bounded admission queue, circuit
   breaker, and conservative peak-rate fallback under overload;
+* :mod:`repro.service.frontend` — the sharded admission frontend:
+  consistent-hash link placement, a shared-memory decision-table
+  snapshot, an in-process API, and an asyncio line-JSON server;
+* :mod:`repro.service.drive`    — the open-loop rho-driven load
+  generator: derive lambda from rho and the admissible boundary,
+  sweep rho toward 1, report p50/p99/p999 admit latency per point;
 * :mod:`repro.service.cli`      — the ``workload`` command-line verb
-  (also reachable as ``python -m repro.experiments.runner workload``).
+  (also reachable as ``python -m repro.experiments.runner workload``);
+* :mod:`repro.service.frontend_cli` — the ``serve`` and ``drive``
+  runner verbs built on the two modules above.
 
 See ``docs/SERVICE.md`` for the architecture and determinism
 contract, and ``docs/ROBUSTNESS.md`` for the service fault model and
 recovery runbook.
 """
 
+from repro.service.drive import (
+    DrivePoint,
+    DriveReport,
+    ShardDriveStats,
+    derive_arrival_rate,
+    drive,
+)
 from repro.service.engine import AdmissionDecision, AdmissionEngine, LinkState
+from repro.service.frontend import (
+    AdmissionFrontend,
+    ConsistentHashRing,
+    FrontendServer,
+    FrontendStats,
+    build_table_snapshot,
+)
 from repro.service.journal import (
     JournalRecovery,
     LinkJournal,
@@ -86,13 +108,19 @@ from repro.service.workload import (
 __all__ = [
     "AdmissionDecision",
     "AdmissionEngine",
+    "AdmissionFrontend",
     "AdmissionQueue",
     "CAC_METHODS",
     "CircuitBreaker",
     "ConnectionClass",
+    "ConsistentHashRing",
     "Decision",
     "DecisionTableCache",
+    "DrivePoint",
+    "DriveReport",
     "EFFECTIVE_BANDWIDTH_METHOD",
+    "FrontendServer",
+    "FrontendStats",
     "HOLDING_LAWS",
     "JournalRecovery",
     "LinkJournal",
@@ -102,12 +130,16 @@ __all__ = [
     "OverloadState",
     "ReplaySummary",
     "SERVICE_METHODS",
+    "ShardDriveStats",
     "ShardReport",
     "ShardSupervisor",
     "SupervisionPolicy",
     "Workload",
     "WorkloadSpec",
+    "build_table_snapshot",
     "decision_key",
+    "derive_arrival_rate",
+    "drive",
     "find_recovery",
     "format_summary",
     "generate_workload",

@@ -1,0 +1,707 @@
+"""Open-loop rho-driven load against the sharded admission frontend.
+
+The M/G/k harness of ``emcrisostomo/latency-simulation`` (PAPERS.md)
+is the exemplar this module transplants to connection admission
+control: pick the *utilization* rho as the control variable, derive
+the open-loop arrival rate from it, sweep rho toward (and past) 1,
+and chart what the tail does.  For a link whose offline boundary
+admits ``N`` connections of mean holding time ``tau``, offered load
+``a = rho * N`` Erlangs requires arrival rate ``lambda = rho * N /
+tau`` (:func:`derive_arrival_rate`) — so ``rho = 1`` offers exactly
+the admissible boundary and ``rho > 1`` drives the service into its
+documented overload regime (``docs/ROBUSTNESS.md``).
+
+Execution is the frontend's sharded data plane, open-loop:
+
+* links are placed on shards by the same
+  :class:`~repro.service.frontend.ConsistentHashRing` the frontend
+  serves from;
+* each shard runs as one task on the :mod:`repro.parallel` backends —
+  the PR-8 warm worker pool for ``jobs > 1`` — and builds its engines
+  from the decision-table snapshot published **once** through
+  :mod:`repro.parallel.shm` (no locks, no pickled tables);
+* every link keeps its own ``SeedSequence``-spawned stream and its
+  own per-link overload state, so the admitted/blocked/shed/fallback
+  counters of a link are **byte-identical** to a
+  :func:`repro.service.replay.replay_link` run of the same spec on
+  the same seed — and independent of the shard count and ``jobs``
+  (the PR-7 backpressure contract, preserved under sharding);
+* admit latency lands in the ``service.admit_latency_ns``
+  :class:`~repro.obs.sketch.QuantileSketch` (aggregate and per link),
+  merged across shards in shard-index order, from which each sweep
+  point reports p50/p99/p999.
+
+``runner drive`` is the CLI (:mod:`repro.service.frontend_cli`); CI's
+``frontend-smoke`` job drives 100k requests across 4 links and gates
+the recorded throughput through ``obs compare``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import heapq
+
+import numpy as np
+
+from repro.atm.qos import QoSRequirement
+from repro.exceptions import ParameterError
+from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
+from repro.obs import tracectx as _tracectx
+from repro.obs.sketch import QuantileSketch
+from repro.obs.spans import span
+from repro.parallel.backends import (
+    Backend,
+    ProcessPoolBackend,
+    resolve_backend,
+)
+from repro.parallel.shm import attach_blob, publish_blob
+from repro.parallel.worker import (
+    WorkerPayload,
+    execute_payload,
+    merge_result_telemetry,
+)
+from repro.service.engine import REASON_SHED, AdmissionEngine
+from repro.service.frontend import ConsistentHashRing
+from repro.service.overload import OverloadPolicy
+from repro.service.tables import (
+    EFFECTIVE_BANDWIDTH_METHOD,
+    SERVICE_METHODS,
+    DecisionTableCache,
+)
+from repro.service.workload import (
+    ConnectionClass,
+    WorkloadSpec,
+    generate_workload,
+)
+from repro.utils.rng import spawn_generators
+from repro.utils.validation import check_integer, check_positive
+
+__all__ = [
+    "DrivePoint",
+    "DriveReport",
+    "ShardDriveStats",
+    "derive_arrival_rate",
+    "drive",
+]
+
+#: The quantiles every sweep point reports (matches ``obs sweep``).
+DRIVE_QUANTILES = (0.5, 0.99, 0.999)
+
+
+def derive_arrival_rate(
+    rho: float, admissible: int, mean_holding_time: float
+) -> float:
+    """The open-loop arrival rate offering ``rho x admissible`` Erlangs.
+
+    Classical Erlang bookkeeping: offered load ``a = lambda * tau``
+    connections, so utilization ``rho = a / N`` of a boundary that
+    admits ``N`` requires ``lambda = rho * N / tau``.  Exact by
+    construction — the property suite asserts
+    ``WorkloadSpec.offered_erlangs == rho * N`` to float precision
+    for every holding-time law.
+    """
+    check_positive(rho, "rho")
+    admissible = check_integer(admissible, "admissible", minimum=1)
+    check_positive(mean_holding_time, "mean_holding_time")
+    return rho * admissible / mean_holding_time
+
+
+@dataclass(frozen=True)
+class ShardDriveStats:
+    """Measured outcome of one shard's open-loop drive."""
+
+    shard_index: int
+    n_links: int
+    n_requests: int
+    admitted: int
+    blocked: int
+    shed: int
+    fallbacks: int
+    boundary_violations: int
+    peak_occupancy: int
+    #: Wall-clock the shard spent in its decision loop.
+    elapsed_seconds: float
+
+    @property
+    def decisions_per_second(self) -> float:
+        return (
+            self.n_requests / self.elapsed_seconds
+            if self.elapsed_seconds
+            else 0.0
+        )
+
+    # -- flat transport through WorkerResult arrays --------------------------
+
+    _FIELDS = (
+        "n_links",
+        "n_requests",
+        "admitted",
+        "blocked",
+        "shed",
+        "fallbacks",
+        "boundary_violations",
+        "peak_occupancy",
+        "elapsed_seconds",
+    )
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(
+            [float(getattr(self, name)) for name in self._FIELDS]
+        )
+
+    @classmethod
+    def from_array(
+        cls, shard_index: int, values: np.ndarray
+    ) -> "ShardDriveStats":
+        values = np.asarray(values, dtype=float)
+        if values.shape != (len(cls._FIELDS),):
+            raise ParameterError(
+                f"shard-stats vector must have shape "
+                f"({len(cls._FIELDS)},), got {values.shape}"
+            )
+        data = dict(zip(cls._FIELDS, values))
+        return cls(
+            shard_index=shard_index,
+            n_links=int(data["n_links"]),
+            n_requests=int(data["n_requests"]),
+            admitted=int(data["admitted"]),
+            blocked=int(data["blocked"]),
+            shed=int(data["shed"]),
+            fallbacks=int(data["fallbacks"]),
+            boundary_violations=int(data["boundary_violations"]),
+            peak_occupancy=int(data["peak_occupancy"]),
+            elapsed_seconds=float(data["elapsed_seconds"]),
+        )
+
+
+@dataclass(frozen=True)
+class DrivePoint:
+    """One rho grid point of the sweep."""
+
+    rho: float
+    offered_erlangs: float
+    arrival_rate: float
+    n_requests: int
+    admitted: int
+    blocked: int
+    shed: int
+    fallbacks: int
+    boundary_violations: int
+    peak_occupancy: int
+    #: Wall-clock of the whole parallel region (all shards).
+    wall_seconds: float
+    #: Aggregate admit decisions per second across shards.
+    decisions_per_second: float
+    #: p50/p99/p999 admit latency in ns (None when unmeasured).
+    admit_latency_ns: Dict[str, Optional[float]]
+    shards: Tuple[ShardDriveStats, ...]
+
+    @property
+    def blocking_probability(self) -> float:
+        return self.blocked / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def shed_ratio(self) -> float:
+        return self.shed / self.n_requests if self.n_requests else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "rho": self.rho,
+            "offered_erlangs": self.offered_erlangs,
+            "arrival_rate": self.arrival_rate,
+            "n_requests": self.n_requests,
+            "admitted": self.admitted,
+            "blocked": self.blocked,
+            "shed": self.shed,
+            "shed_ratio": self.shed_ratio,
+            "fallbacks": self.fallbacks,
+            "blocking_probability": self.blocking_probability,
+            "boundary_violations": self.boundary_violations,
+            "peak_occupancy": self.peak_occupancy,
+            "wall_seconds": self.wall_seconds,
+            "decisions_per_second": self.decisions_per_second,
+            "admit_latency_ns": dict(self.admit_latency_ns),
+        }
+
+
+@dataclass(frozen=True)
+class DriveReport:
+    """The full sweep: configuration plus one point per rho."""
+
+    policy: str
+    capacity: float
+    n_links: int
+    n_shards: int
+    requests_per_link: int
+    admissible: int
+    mean_holding_time: float
+    holding: str
+    seed: int
+    jobs: int
+    points: Tuple[DrivePoint, ...]
+
+    @property
+    def n_requests(self) -> int:
+        return sum(p.n_requests for p in self.points)
+
+    @property
+    def boundary_violations(self) -> int:
+        return sum(p.boundary_violations for p in self.points)
+
+    def to_dict(self) -> dict:
+        """The ``obs sweep``-compatible latency-vs-rho report."""
+        return {
+            "kind": "latency_vs_rho",
+            "source": "frontend_drive",
+            "policy": self.policy,
+            "capacity_cells_per_frame": self.capacity,
+            "links": self.n_links,
+            "shards": self.n_shards,
+            "requests_per_link": self.requests_per_link,
+            "admissible": self.admissible,
+            "mean_holding_time": self.mean_holding_time,
+            "holding": self.holding,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "quantile_unit": "ns",
+            "boundary_violations": self.boundary_violations,
+            "rows": [p.to_dict() for p in self.points],
+        }
+
+
+@dataclass(frozen=True, eq=False)
+class _ShardDriveTask:
+    """Picklable body of one shard's open-loop drive.
+
+    Carries the shard's links (ids with their global indices and
+    pre-spawned generators) and the address of the published table
+    snapshot; builds one engine per link — all sharing one cache
+    loaded from the snapshot — and processes the shard's merged
+    arrival stream through them.
+    """
+
+    link_ids: Tuple[str, ...]
+    link_generators: Tuple[np.random.Generator, ...]
+    classes: Tuple[ConnectionClass, ...]
+    spec: WorkloadSpec
+    capacity: float
+    qos: QoSRequirement
+    policy: str
+    table_image: Optional[dict] = None
+    table_text: Optional[str] = None
+    overload: Optional[OverloadPolicy] = None
+
+    def __call__(self, index: int, generator: np.random.Generator):
+        stats = _drive_shard(self, index)
+        return stats.as_array(), float(stats.n_requests)
+
+
+def _drive_shard(task: _ShardDriveTask, shard_index: int) -> ShardDriveStats:
+    """Run one shard's decision loop (in a worker or inline)."""
+    tables = DecisionTableCache(persist=False)
+    if task.table_image is not None:
+        tables.load_text(attach_blob(task.table_image).decode("utf-8"))
+    elif task.table_text is not None:
+        tables.load_text(task.table_text)
+    overload_active = task.overload is not None
+    count_policy = task.policy != EFFECTIVE_BANDWIDTH_METHOD
+    models = [c.model for c in task.classes]
+
+    engines: List[AdmissionEngine] = []
+    workload_arrays = []
+    for link_id, link_generator in zip(
+        task.link_ids, task.link_generators
+    ):
+        engine = AdmissionEngine(
+            policy=task.policy, tables=tables, overload=task.overload
+        )
+        engine.add_link(link_id, task.capacity, task.qos)
+        engines.append(engine)
+        workload_arrays.append(
+            generate_workload(task.spec, task.classes, link_generator)
+        )
+
+    n_links = len(task.link_ids)
+    if n_links == 0:
+        return ShardDriveStats(
+            shard_index=shard_index,
+            n_links=0,
+            n_requests=0,
+            admitted=0,
+            blocked=0,
+            shed=0,
+            fallbacks=0,
+            boundary_violations=0,
+            peak_occupancy=0,
+            elapsed_seconds=0.0,
+        )
+
+    # Merge the shard's links into one time-ordered open-loop stream.
+    # Stable ordering keeps ties deterministic (and per-link order
+    # intact, which the per-link byte-identity contract rests on).
+    arrivals = np.concatenate(
+        [w.arrival_times for w in workload_arrays]
+    )
+    link_of = np.concatenate(
+        [
+            np.full(w.n_requests, i, dtype=np.int64)
+            for i, w in enumerate(workload_arrays)
+        ]
+    )
+    req_of = np.concatenate(
+        [np.arange(w.n_requests, dtype=np.int64) for w in workload_arrays]
+    )
+    order = np.argsort(arrivals, kind="stable")
+
+    holdings = [w.holding_times for w in workload_arrays]
+    labels = [w.class_indices for w in workload_arrays]
+
+    admitted = blocked = shed = fallbacks = 0
+    boundary_violations = 0
+    peak_occupancy = 0
+    departure_heaps: List[list] = [[] for _ in range(n_links)]
+    links = [engine.link(link_id)
+             for engine, link_id in zip(engines, task.link_ids)]
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+
+    started = time.perf_counter()
+    with span(
+        "service.frontend.drive_shard",
+        shard=shard_index,
+        links=n_links,
+        requests=int(arrivals.shape[0]),
+        policy=task.policy,
+    ):
+        for flat in order:
+            link_index = int(link_of[flat])
+            j = int(req_of[flat])
+            now = float(arrivals[flat])
+            engine = engines[link_index]
+            link_id = task.link_ids[link_index]
+            link = links[link_index]
+            heap = departure_heaps[link_index]
+            while heap and heap[0][0] <= now:
+                _, connection_id = heappop(heap)
+                engine.release(link_id, connection_id)
+            occupancy_before = link.occupancy
+            decision = engine.admit(
+                link_id,
+                models[int(labels[link_index][j])],
+                f"c{j}",
+                now=now if overload_active else None,
+            )
+            if decision.reason == REASON_SHED:
+                shed += 1
+            elif decision.admitted:
+                admitted += 1
+                if decision.occupancy > peak_occupancy:
+                    peak_occupancy = decision.occupancy
+                heappush(
+                    heap,
+                    (now + float(holdings[link_index][j]), f"c{j}"),
+                )
+            else:
+                blocked += 1
+            if decision.fallback:
+                fallbacks += 1
+            if (
+                count_policy
+                and decision.reason != REASON_SHED
+                and not decision.fallback
+                and decision.admitted
+                != (occupancy_before < decision.admissible)
+            ):
+                boundary_violations += 1
+    elapsed = time.perf_counter() - started
+
+    if _spans._ENABLED:
+        _metrics.add("service.frontend.requests", int(arrivals.shape[0]))
+        _metrics.add(
+            "service.boundary_violations", boundary_violations
+        )
+
+    return ShardDriveStats(
+        shard_index=shard_index,
+        n_links=n_links,
+        n_requests=int(arrivals.shape[0]),
+        admitted=admitted,
+        blocked=blocked,
+        shed=shed,
+        fallbacks=fallbacks,
+        boundary_violations=boundary_violations,
+        peak_occupancy=peak_occupancy,
+        elapsed_seconds=elapsed,
+    )
+
+
+def _empty_shard_stats(shard_index: int) -> ShardDriveStats:
+    """Stats for a shard the ring left without links (no work ran)."""
+    return ShardDriveStats(
+        shard_index=shard_index,
+        n_links=0,
+        n_requests=0,
+        admitted=0,
+        blocked=0,
+        shed=0,
+        fallbacks=0,
+        boundary_violations=0,
+        peak_occupancy=0,
+        elapsed_seconds=0.0,
+    )
+
+
+def _sketch_quantiles(data: Optional[dict]) -> Dict[str, Optional[float]]:
+    if data is None or not data.get("count"):
+        return {f"p{q}": None for q in DRIVE_QUANTILES}
+    sketch = QuantileSketch.from_dict(data)
+    return {f"p{q}": sketch.quantile(q) for q in DRIVE_QUANTILES}
+
+
+def drive(
+    classes: Sequence[ConnectionClass],
+    *,
+    n_links: int = 1,
+    capacity: float,
+    qos: Optional[QoSRequirement] = None,
+    policy: str = "bahadur-rao",
+    rho_grid: Sequence[float] = (0.6, 0.8, 0.9, 0.95, 0.99),
+    requests_per_link: int = 10_000,
+    mean_holding_time: float = 90.0,
+    holding: str = "exponential",
+    tail_gamma: float = 1.5,
+    n_shards: Optional[int] = None,
+    seed: int = 20260806,
+    backend: Optional[Backend] = None,
+    jobs: Optional[int] = None,
+    pool: Optional[str] = None,
+    overload: Optional[OverloadPolicy] = None,
+    ring_replicas: int = 64,
+    table_path=None,
+) -> DriveReport:
+    """Sweep rho, driving the sharded frontend open-loop at each point.
+
+    For each ``rho`` the arrival rate is derived from the first
+    class's offline admissible boundary
+    (:func:`derive_arrival_rate`), ``n_links`` independent links are
+    placed on ``n_shards`` shards by consistent hashing, and each
+    shard's merged request stream runs open-loop through
+    engine-per-link admission — on worker processes (the warm pool)
+    for ``jobs > 1``, every shard loading its decision tables from
+    one shared-memory snapshot.  Per-link decision counters are
+    byte-identical to a serial :func:`~repro.service.replay
+    .replay_link` of the same spec and independent of ``n_shards`` /
+    ``jobs``; latency sketches are merged across shards in
+    shard-index order.
+
+    ``n_shards`` defaults to ``jobs`` (or 1): one shard per worker
+    keeps every core busy without oversharding the ring.
+    """
+    n_links = check_integer(n_links, "n_links", minimum=1)
+    requests_per_link = check_integer(
+        requests_per_link, "requests_per_link", minimum=1
+    )
+    check_positive(capacity, "capacity")
+    check_positive(mean_holding_time, "mean_holding_time")
+    if policy not in SERVICE_METHODS:
+        raise ParameterError(
+            f"unknown admission policy {policy!r}; choose from "
+            f"{', '.join(SERVICE_METHODS)}"
+        )
+    if not classes:
+        raise ParameterError("drive needs at least one ConnectionClass")
+    rho_grid = tuple(float(r) for r in rho_grid)
+    if not rho_grid:
+        raise ParameterError("rho_grid must name at least one point")
+    for rho in rho_grid:
+        if rho <= 0:
+            raise ParameterError(f"rho must be > 0, got {rho}")
+    qos = qos if qos is not None else QoSRequirement()
+    classes = tuple(classes)
+
+    exec_backend = resolve_backend(backend, jobs, pool)
+    effective_jobs = 1 if exec_backend is None else exec_backend.jobs
+    if n_shards is None:
+        n_shards = effective_jobs
+    n_shards = check_integer(n_shards, "n_shards", minimum=1)
+
+    # Warm every decision the sweep can need — primary and breaker
+    # fallback per class — once, then freeze the table as a snapshot.
+    fallback = (
+        overload.fallback_method if overload is not None else "peak-rate"
+    )
+    staging = DecisionTableCache(path=table_path)
+    boundary = staging.lookup(classes[0].model, capacity, qos, policy)
+    for cls in classes:
+        staging.lookup(cls.model, capacity, qos, policy)
+        if fallback != policy:
+            staging.lookup(cls.model, capacity, qos, fallback)
+    admissible = max(boundary.admissible, 1)
+    table_text = staging.dump_text()
+
+    ring = ConsistentHashRing(n_shards, replicas=ring_replicas)
+    link_ids = [f"link-{i}" for i in range(n_links)]
+    shard_links: List[List[int]] = [[] for _ in range(n_shards)]
+    for link_index, link_id in enumerate(link_ids):
+        shard_links[ring.shard_for(link_id)].append(link_index)
+
+    table_handle = None
+    table_image = None
+    if isinstance(exec_backend, ProcessPoolBackend):
+        table_handle = publish_blob(table_text.encode("utf-8"))
+        table_image = table_handle.descriptor
+
+    previously_enabled = _spans.is_enabled()
+    _spans.enable()
+    telemetry = True
+    points: List[DrivePoint] = []
+    try:
+        with _tracectx.start_trace():
+            for rho in rho_grid:
+                _spans.reset_spans()
+                _metrics.reset_metrics()
+                arrival_rate = derive_arrival_rate(
+                    rho, admissible, mean_holding_time
+                )
+                spec = WorkloadSpec(
+                    n_requests=requests_per_link,
+                    arrival_rate=arrival_rate,
+                    mean_holding_time=mean_holding_time,
+                    holding=holding,
+                    tail_gamma=tail_gamma,
+                )
+                # Per-LINK streams spawned from the root seed: link i's
+                # workload is the same no matter which shard serves it
+                # (or how many shards/jobs there are).
+                link_generators = spawn_generators(seed, n_links)
+                payloads = []
+                for shard_index in range(n_shards):
+                    members = shard_links[shard_index]
+                    if not members:
+                        # An unowned shard offers no requests; the
+                        # worker health check would (rightly) reject
+                        # an empty attempt, so don't ship one.
+                        continue
+                    task = _ShardDriveTask(
+                        link_ids=tuple(link_ids[i] for i in members),
+                        link_generators=tuple(
+                            link_generators[i] for i in members
+                        ),
+                        classes=classes,
+                        spec=spec,
+                        capacity=float(capacity),
+                        qos=qos,
+                        policy=policy,
+                        table_image=table_image,
+                        table_text=(
+                            None if table_image is not None else table_text
+                        ),
+                        overload=overload,
+                    )
+                    payloads.append(
+                        WorkerPayload(
+                            index=shard_index,
+                            attempt=0,
+                            task=task,
+                            generator=link_generators[members[0]],
+                            label=f"drive-shard-{shard_index}",
+                            telemetry=telemetry,
+                            health_check=True,
+                        )
+                    )
+                results: List = [None] * n_shards
+                wall_started = time.perf_counter()
+                with span(
+                    "service.frontend.drive",
+                    rho=rho,
+                    links=n_links,
+                    shards=n_shards,
+                    requests=requests_per_link * n_links,
+                    jobs=effective_jobs,
+                ):
+                    if exec_backend is None:
+                        for payload in payloads:
+                            result = execute_payload(payload)
+                            if result.failed:
+                                raise result.error
+                            results[result.index] = result
+                    else:
+                        with exec_backend.session() as session:
+                            for payload in payloads:
+                                session.submit(payload)
+                            while session.pending:
+                                result = session.next_completed()
+                                if result.failed:
+                                    raise result.error
+                                results[result.index] = result
+                        # Merge in shard-index order, not completion
+                        # order — sketch state must not depend on which
+                        # worker finished first.
+                        for result in results:
+                            if result is not None:
+                                merge_result_telemetry(result)
+                wall_seconds = time.perf_counter() - wall_started
+
+                shards = tuple(
+                    ShardDriveStats.from_array(i, results[i].lost)
+                    if results[i] is not None
+                    else _empty_shard_stats(i)
+                    for i in range(n_shards)
+                )
+                snapshot = {
+                    d["name"]: d
+                    for d in _metrics.snapshot()
+                    if d["type"] == "sketch"
+                }
+                n_requests = sum(s.n_requests for s in shards)
+                points.append(
+                    DrivePoint(
+                        rho=rho,
+                        offered_erlangs=rho * admissible,
+                        arrival_rate=arrival_rate,
+                        n_requests=n_requests,
+                        admitted=sum(s.admitted for s in shards),
+                        blocked=sum(s.blocked for s in shards),
+                        shed=sum(s.shed for s in shards),
+                        fallbacks=sum(s.fallbacks for s in shards),
+                        boundary_violations=sum(
+                            s.boundary_violations for s in shards
+                        ),
+                        peak_occupancy=max(
+                            (s.peak_occupancy for s in shards), default=0
+                        ),
+                        wall_seconds=wall_seconds,
+                        decisions_per_second=(
+                            n_requests / wall_seconds
+                            if wall_seconds
+                            else 0.0
+                        ),
+                        admit_latency_ns=_sketch_quantiles(
+                            snapshot.get("service.admit_latency_ns")
+                        ),
+                        shards=shards,
+                    )
+                )
+    finally:
+        if table_handle is not None:
+            table_handle.unlink()
+        if not previously_enabled:
+            _spans.disable()
+
+    return DriveReport(
+        policy=policy,
+        capacity=float(capacity),
+        n_links=n_links,
+        n_shards=n_shards,
+        requests_per_link=requests_per_link,
+        admissible=admissible,
+        mean_holding_time=float(mean_holding_time),
+        holding=holding,
+        seed=int(seed),
+        jobs=effective_jobs,
+        points=tuple(points),
+    )

@@ -215,6 +215,25 @@ class AdmissionEngine:
             self._key_refs[id(model)] = model
         return fingerprint
 
+    def invalidate_decision_caches(self) -> None:
+        """Drop every memoized decision key and model fingerprint.
+
+        The hot-path caches are keyed by ``id(model)`` and pinned by
+        strong references, which is sound only while the engine's
+        world stays put.  Journal recovery breaks that premise: it
+        swaps link state and table entries wholesale, and the model
+        objects a recovered attempt admits against are *new* Python
+        objects — if a stale cache entry survived recovery and a new
+        model landed on a recycled ``id()``, the engine would serve
+        decisions against the dead model's fingerprint.  Recovery
+        (:meth:`restore_link_state`) therefore invalidates the caches;
+        the next admit per (model, link, method) re-derives its key
+        once and re-warms.
+        """
+        self._decision_keys.clear()
+        self._fingerprints.clear()
+        self._key_refs.clear()
+
     # -- the service surface -------------------------------------------------
 
     def admit(
@@ -439,7 +458,14 @@ class AdmissionEngine:
         }
 
     def restore_link_state(self, link_id: str, state: dict) -> None:
-        """Restore :meth:`export_link_state` output exactly."""
+        """Restore :meth:`export_link_state` output exactly.
+
+        Also invalidates the decision-key/fingerprint caches: the
+        restored world may pair recycled ``id()`` values with
+        different models, and a recovered shard must never serve a
+        decision against a stale fingerprint.
+        """
+        self.invalidate_decision_caches()
         link = self.link(link_id)
         link.connections.clear()
         link.class_counts.clear()

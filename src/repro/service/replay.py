@@ -623,10 +623,13 @@ def _pool_links(
     blocked = sum(s.blocked for s in links)
     shed = sum(s.shed for s in links)
     fallbacks = sum(s.fallbacks for s in links)
+    # Guarded like the per-link ratios: a zero-length sweep point
+    # (no links, or links that served nothing) reports 0.0 by
+    # contract, never a ZeroDivisionError.
     utilization = 0.0
     for stats in links:
         utilization += stats.utilization(capacity)
-    utilization /= len(links)
+    utilization = utilization / len(links) if links else 0.0
     cache_hits = sum(s.cache_hits for s in links)
     cache_misses = sum(s.cache_misses for s in links)
     cache_total = cache_hits + cache_misses

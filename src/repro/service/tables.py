@@ -395,6 +395,22 @@ class DecisionTableCache:
         with self._lock:
             return self._entries.get(key)
 
+    def dump_text(self) -> str:
+        """The live entries as a JSONL table image (CRC-wrapped lines).
+
+        Exactly the format :meth:`load_text` parses and ``path=``
+        persistence writes, so a cache warmed in one process can be
+        published once (e.g. through :mod:`repro.parallel.shm`) and
+        reloaded by any number of read-only consumers into the same
+        entry state — the immutable-snapshot transport the sharded
+        admission frontend uses.
+        """
+        with self._lock:
+            return "".join(
+                encode_line(entry.to_dict()) + "\n"
+                for entry in self._entries.values()
+            )
+
     def _evict(self) -> None:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)

@@ -121,7 +121,14 @@ class Workload:
 
     @property
     def horizon_seconds(self) -> float:
-        """Time of the last arrival (the replay integration horizon)."""
+        """Time of the last arrival (the replay integration horizon).
+
+        An empty stream has a zero-length horizon by contract — an
+        idle link must report 0.0, not raise on the missing last
+        element.
+        """
+        if self.arrival_times.shape[0] == 0:
+            return 0.0
         return float(self.arrival_times[-1])
 
 

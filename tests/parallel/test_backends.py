@@ -231,3 +231,100 @@ class TestResolveBackend:
             assert resolve_backend(jobs=1) is None
         finally:
             set_default_backend(None)
+
+
+def _slow_double(index, generator):
+    """Sleep long enough that a mid-session recycle catches it running."""
+    import time
+
+    time.sleep(3.0)
+    return float(index * 2), 100.0
+
+
+class TestWarmPoolReapRace:
+    """Regression: an idle reap mid-session must not lose work.
+
+    ``threading.Timer.cancel()`` cannot stop a reap callback that has
+    already fired, so ``shutdown()`` (the timer's callback) can land
+    between a session's submits and its collection.  Reap-cancelled
+    futures must be transparently resubmitted on a restarted pool —
+    while ``recycle()`` fencing and real worker deaths still surface.
+    """
+
+    def test_reap_between_submit_and_collect_loses_nothing(self):
+        backend = WarmPoolBackend(1, idle_timeout_seconds=None)
+        try:
+            with backend.session() as session:
+                for i in range(3):
+                    session.submit(_payload(i))
+                # The reaper's exact code path, forced deterministically:
+                # with one just-spawning worker, at least two of the
+                # three futures are still pending and die CANCELLED.
+                backend.shutdown()
+                results = {}
+                while session.pending:
+                    result = session.next_completed()
+                    assert not result.failed
+                    results[result.index] = result.lost
+            assert results == {0: 0.0, 1: 2.0, 2: 4.0}
+        finally:
+            backend.shutdown()
+
+    def test_submit_after_reap_reacquires_the_pool(self):
+        backend = WarmPoolBackend(1, idle_timeout_seconds=None)
+        try:
+            with backend.session() as session:
+                backend.shutdown()
+                session.submit(_payload(5))
+                result = session.next_completed()
+            assert not result.failed
+            assert result.lost == 10.0
+        finally:
+            backend.shutdown()
+
+    def test_repeated_reaps_are_survivable(self):
+        backend = WarmPoolBackend(1, idle_timeout_seconds=None)
+        try:
+            with backend.session() as session:
+                session.submit(_payload(1))
+                backend.shutdown()
+                backend.shutdown()
+                first = session.next_completed()
+                backend.shutdown()
+                session.submit(_payload(2))
+                second = session.next_completed()
+            assert (first.lost, second.lost) == (2.0, 4.0)
+        finally:
+            backend.shutdown()
+
+    def test_recycle_fencing_still_surfaces(self):
+        import concurrent.futures
+
+        backend = WarmPoolBackend(1, idle_timeout_seconds=None)
+        try:
+            backend.warm()
+            with backend.session() as session:
+                session.submit(
+                    WorkerPayload(
+                        index=0,
+                        attempt=0,
+                        task=_slow_double,
+                        generator=np.random.default_rng(0),
+                        health_check=False,
+                    )
+                )
+                # A supervisor fencing a hang is a real fault, not an
+                # idle reap: the session must NOT hide it.
+                backend.recycle()
+                with pytest.raises(
+                    (
+                        concurrent.futures.CancelledError,
+                        concurrent.futures.process.BrokenProcessPool,
+                    )
+                ):
+                    while session.pending:
+                        result = session.next_completed()
+                        if result.failed:
+                            raise result.error
+        finally:
+            backend.shutdown()

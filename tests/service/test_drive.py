@@ -1,0 +1,241 @@
+"""Tests for the rho-driven open-loop frontend driver.
+
+The contract under test: each link's workload is a pure function of
+(seed, link index), so the per-rho decision counters are byte-identical
+to a serial :func:`replay_link` of the same spec and independent of
+the shard count and the worker-pool job count; and the derived
+arrival rate offers exactly ``rho x admissible`` Erlangs under every
+holding-time law.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atm.qos import QoSRequirement
+from repro.exceptions import ParameterError
+from repro.models import make_s
+from repro.parallel.backends import ProcessPoolBackend
+from repro.service.drive import (
+    DRIVE_QUANTILES,
+    derive_arrival_rate,
+    drive,
+)
+from repro.service.replay import replay_link
+from repro.service.workload import ConnectionClass, WorkloadSpec
+from repro.utils.rng import spawn_generators
+
+CAPACITY = 30 * 538.0
+SEED = 20260806
+
+
+@pytest.fixture
+def qos():
+    return QoSRequirement(max_delay_seconds=0.020, max_clr=1e-6)
+
+
+@pytest.fixture
+def classes():
+    return (ConnectionClass("dar1", make_s(1, 0.975)),)
+
+
+def _point_counters(point):
+    return (
+        point.n_requests,
+        point.admitted,
+        point.blocked,
+        point.shed,
+        point.fallbacks,
+        point.boundary_violations,
+        point.peak_occupancy,
+    )
+
+
+class TestDeriveArrivalRate:
+    def test_erlang_identity(self):
+        # rho = a / N  <=>  lambda = rho * N / tau, exactly.
+        rate = derive_arrival_rate(0.9, 30, 90.0)
+        assert rate == pytest.approx(0.9 * 30 / 90.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            derive_arrival_rate(0.0, 30, 90.0)
+        with pytest.raises(ParameterError):
+            derive_arrival_rate(0.9, 0, 90.0)
+        with pytest.raises(ParameterError):
+            derive_arrival_rate(0.9, 30, 0.0)
+
+
+class TestOfferedLoadProperties:
+    """Satellite: --rho r with boundary N offers a = r * N Erlangs."""
+
+    @given(
+        rho=st.floats(min_value=0.05, max_value=1.5),
+        admissible=st.integers(min_value=1, max_value=500),
+        tau=st.floats(min_value=0.5, max_value=3600.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_exponential_offered_load(self, rho, admissible, tau):
+        rate = derive_arrival_rate(rho, admissible, tau)
+        spec = WorkloadSpec(
+            n_requests=10,
+            arrival_rate=rate,
+            mean_holding_time=tau,
+            holding="exponential",
+        )
+        assert spec.offered_erlangs == pytest.approx(
+            rho * admissible, rel=1e-12
+        )
+
+    @given(
+        rho=st.floats(min_value=0.05, max_value=1.5),
+        admissible=st.integers(min_value=1, max_value=500),
+        tau=st.floats(min_value=0.5, max_value=3600.0),
+        gamma=st.floats(min_value=1.05, max_value=1.95),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_heavy_tailed_offered_load(self, rho, admissible, tau, gamma):
+        # Insensitivity at the spec level: the heavy-tailed law changes
+        # the realized holding times, never the offered load (which is
+        # lambda * tau by definition, mean-matched by construction).
+        rate = derive_arrival_rate(rho, admissible, tau)
+        spec = WorkloadSpec(
+            n_requests=10,
+            arrival_rate=rate,
+            mean_holding_time=tau,
+            holding="heavy-tailed",
+            tail_gamma=gamma,
+        )
+        assert spec.offered_erlangs == pytest.approx(
+            rho * admissible, rel=1e-12
+        )
+
+
+class TestDriveSerial:
+    def test_counters_match_replay_link(self, classes, qos):
+        report = drive(
+            classes,
+            n_links=2,
+            capacity=CAPACITY,
+            qos=qos,
+            rho_grid=(0.9,),
+            requests_per_link=800,
+            seed=SEED,
+        )
+        point = report.points[0]
+        spec = WorkloadSpec(
+            n_requests=800,
+            arrival_rate=point.arrival_rate,
+            mean_holding_time=report.mean_holding_time,
+        )
+        generators = spawn_generators(SEED, 2)
+        links = [
+            replay_link(
+                spec,
+                classes,
+                capacity=CAPACITY,
+                qos=qos,
+                policy="bahadur-rao",
+                rng=generators[i],
+                link_index=i,
+            )
+            for i in range(2)
+        ]
+        assert point.n_requests == sum(s.n_requests for s in links)
+        assert point.admitted == sum(s.admitted for s in links)
+        assert point.blocked == sum(s.blocked for s in links)
+        assert point.shed == sum(s.shed for s in links)
+        assert point.fallbacks == sum(s.fallbacks for s in links)
+        assert point.boundary_violations == 0
+        assert point.peak_occupancy == max(s.peak_occupancy for s in links)
+        assert report.admissible == links[0].admissible
+
+    def test_counters_independent_of_shard_count(self, classes, qos):
+        def sweep(n_shards):
+            report = drive(
+                classes,
+                n_links=4,
+                capacity=CAPACITY,
+                qos=qos,
+                rho_grid=(0.8, 0.99),
+                requests_per_link=400,
+                n_shards=n_shards,
+                seed=SEED,
+            )
+            return [_point_counters(p) for p in report.points]
+
+        assert sweep(1) == sweep(3)
+
+    def test_report_shape_and_monotone_blocking(self, classes, qos):
+        report = drive(
+            classes,
+            n_links=2,
+            capacity=CAPACITY,
+            qos=qos,
+            rho_grid=(0.6, 0.99),
+            requests_per_link=600,
+            seed=SEED,
+        )
+        assert [p.rho for p in report.points] == [0.6, 0.99]
+        for point in report.points:
+            assert point.offered_erlangs == pytest.approx(
+                point.rho * report.admissible
+            )
+            assert set(point.admit_latency_ns) == {
+                f"p{q}" for q in DRIVE_QUANTILES
+            }
+            assert all(
+                v is not None and v > 0
+                for v in point.admit_latency_ns.values()
+            )
+            assert point.decisions_per_second > 0
+        # Heavier rho cannot block less on the same boundary.
+        assert (
+            report.points[1].blocking_probability
+            >= report.points[0].blocking_probability
+        )
+        payload = report.to_dict()
+        assert payload["kind"] == "latency_vs_rho"
+        assert payload["source"] == "frontend_drive"
+        assert len(payload["rows"]) == 2
+        assert payload["boundary_violations"] == 0
+
+    def test_rejects_empty_rho_grid(self, classes, qos):
+        with pytest.raises(ParameterError):
+            drive(
+                classes,
+                capacity=CAPACITY,
+                qos=qos,
+                rho_grid=(),
+                requests_per_link=10,
+            )
+        with pytest.raises(ParameterError, match="rho"):
+            drive(
+                classes,
+                capacity=CAPACITY,
+                qos=qos,
+                rho_grid=(-0.5,),
+                requests_per_link=10,
+            )
+
+
+class TestDriveParallel:
+    def test_process_pool_matches_serial(self, classes, qos):
+        kwargs = dict(
+            n_links=3,
+            capacity=CAPACITY,
+            qos=qos,
+            rho_grid=(0.9,),
+            requests_per_link=300,
+            n_shards=2,
+            seed=SEED,
+        )
+        serial = drive(classes, **kwargs)
+        pooled = drive(classes, backend=ProcessPoolBackend(2), **kwargs)
+        assert [_point_counters(p) for p in serial.points] == [
+            _point_counters(p) for p in pooled.points
+        ]
+        # Latency is wall-clock and differs; the quantile keys do not.
+        assert set(pooled.points[0].admit_latency_ns) == {
+            f"p{q}" for q in DRIVE_QUANTILES
+        }

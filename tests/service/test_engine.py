@@ -138,3 +138,61 @@ class TestSharedTables:
         second.admit("b", dar1_fit, "c0")
         assert tables.misses == 1
         assert tables.hits >= 1
+
+
+class TestRecoveryCacheInvalidation:
+    """Regression: journal recovery must drop the id()-keyed caches.
+
+    The hot-path caches key on ``id(model)``.  After recovery swaps
+    link state wholesale, a *new* model object can land on a recycled
+    ``id()`` — a surviving cache entry would then serve decisions
+    against the dead model's fingerprint/decision key.  The tests
+    plant poisoned entries (standing in for the recycled-id hazard)
+    and assert recovery purges them.
+    """
+
+    def test_restore_link_state_purges_decision_caches(
+        self, engine, dar1_fit
+    ):
+        engine.admit("oc3", dar1_fit, "c0")
+        assert engine._decision_keys and engine._fingerprints
+        snapshot = engine.export_link_state("oc3")
+
+        rogue = make_s(3, 0.950)
+        engine._fingerprints[id(rogue)] = "stale-fingerprint"
+        engine._decision_keys[(id(rogue), "oc3", engine.policy)] = (
+            "stale-key"
+        )
+        engine.restore_link_state("oc3", snapshot)
+
+        assert not engine._decision_keys
+        assert not engine._fingerprints
+        assert not engine._key_refs
+
+    def test_post_recovery_decisions_use_true_fingerprint(
+        self, engine, qos, dar1_fit
+    ):
+        boundary = engine.tables.lookup(
+            dar1_fit, 30 * 538.0, qos, "bahadur-rao"
+        ).admissible
+        engine.admit("oc3", dar1_fit, "c0")
+        snapshot = engine.export_link_state("oc3")
+
+        # Poison the caches for the very model recovery will re-admit
+        # against — the worst-case recycled-id collision.
+        engine._fingerprints[id(dar1_fit)] = "stale-fingerprint"
+        engine.restore_link_state("oc3", snapshot)
+
+        decision = engine.admit("oc3", dar1_fit, "c1")
+        assert decision.admitted
+        assert decision.admissible == boundary
+        assert engine.occupancy("oc3") == 2
+        # The cache re-warmed from the live object, not the poison.
+        assert (
+            engine._fingerprints.get(id(dar1_fit)) != "stale-fingerprint"
+        )
+
+    def test_invalidate_is_idempotent(self, engine, dar1_fit):
+        engine.invalidate_decision_caches()
+        engine.invalidate_decision_caches()
+        assert engine.admit("oc3", dar1_fit, "c0").admitted

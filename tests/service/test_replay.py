@@ -338,3 +338,81 @@ class TestTelemetry:
         finally:
             obs.reset()
             obs.disable()
+
+
+class TestZeroRequestGuards:
+    """Regression: empty sweep points report 0.0, never divide by zero.
+
+    Every ratio in the stats chain — per-link blocking/shed, the
+    elapsed-time utilization denominator, and the pooled mean
+    utilization over an empty link list — must be defined at zero.
+    """
+
+    @staticmethod
+    def _idle_link(index=0):
+        return LinkStats(
+            link_index=index,
+            n_requests=0,
+            admitted=0,
+            blocked=0,
+            shed=0,
+            fallbacks=0,
+            peak_occupancy=0,
+            admissible=30,
+            boundary_violations=0,
+            carried_load_seconds=0.0,
+            elapsed_seconds=0.0,
+            cache_hits=0,
+            cache_misses=0,
+        )
+
+    def test_idle_link_ratios_are_zero(self):
+        stats = self._idle_link()
+        assert stats.blocking_probability == 0.0
+        assert stats.shed_ratio == 0.0
+        assert stats.utilization(CAPACITY) == 0.0
+
+    def test_zero_elapsed_utilization_is_zero(self):
+        # A link that decided everything in one clock tick: carried
+        # load but a zero-width integration window.
+        stats = LinkStats(
+            link_index=0,
+            n_requests=5,
+            admitted=5,
+            blocked=0,
+            shed=0,
+            fallbacks=0,
+            peak_occupancy=5,
+            admissible=30,
+            boundary_violations=0,
+            carried_load_seconds=0.0,
+            elapsed_seconds=0.0,
+            cache_hits=5,
+            cache_misses=0,
+        )
+        assert stats.utilization(CAPACITY) == 0.0
+
+    def test_pooling_no_links_reports_zeros(self, overloaded_spec):
+        from repro.service.replay import _pool_links
+
+        summary = _pool_links("bahadur-rao", CAPACITY, overloaded_spec, [])
+        assert summary.n_links == 0
+        assert summary.n_requests == 0
+        assert summary.blocking_probability == 0.0
+        assert summary.shed_ratio == 0.0
+        assert summary.utilization == 0.0
+        assert summary.cache_hit_rate == 0.0
+
+    def test_pooling_idle_links_reports_zeros(self, overloaded_spec):
+        from repro.service.replay import _pool_links
+
+        summary = _pool_links(
+            "bahadur-rao",
+            CAPACITY,
+            overloaded_spec,
+            [self._idle_link(0), self._idle_link(1)],
+        )
+        assert summary.n_links == 2
+        assert summary.blocking_probability == 0.0
+        assert summary.utilization == 0.0
+        assert summary_to_json(summary)

@@ -8,6 +8,7 @@ from repro.models import AR1Model, make_s
 from repro.service.workload import (
     ConnectionClass,
     HOLDING_LAWS,
+    Workload,
     WorkloadSpec,
     generate_workload,
     holding_time_distribution,
@@ -156,3 +157,16 @@ class TestHeavyTailedHolding:
 
     def test_laws_registry(self):
         assert HOLDING_LAWS == ("exponential", "heavy-tailed")
+
+
+class TestEmptyStreamContract:
+    def test_empty_horizon_is_zero(self):
+        # Regression: an idle link's empty stream must report a
+        # zero-length horizon, not raise on the missing last arrival.
+        workload = Workload(
+            arrival_times=np.empty(0),
+            holding_times=np.empty(0),
+            class_indices=np.empty(0, dtype=np.int64),
+        )
+        assert workload.n_requests == 0
+        assert workload.horizon_seconds == 0.0
