@@ -1,0 +1,95 @@
+"""Cost of the adaptive hot path: table rebuild and atomic swap.
+
+The adaptation loop's two potentially expensive pieces run off the
+admission hot path, but their latency bounds how long a link keeps
+mis-admitting after drift is detected, so both are tracked in the
+shared ``timings.jsonl`` ledger and gated by ``obs compare``:
+
+* ``adaptive_recompute`` — one ``rebuild_table_text`` of the demo's
+  declared mix under an estimated video model (the Bahadur-Rao
+  inversion dominates);
+* ``adaptive_swap`` — loading the rebuilt image into a live
+  ``DecisionTableCache`` plus invalidating the engine's decision
+  caches (what happens between two requests at swap time).
+"""
+
+import pytest
+
+from conftest import RESULTS_DIR, TIMINGS_PATH
+
+from repro.obs.timings import append_timing_row, percentiles_from_rounds
+
+from repro.adaptive.recompute import rebuild_table_text
+from repro.atm.qos import QoSRequirement
+from repro.service.cli import build_class
+from repro.service.engine import AdmissionEngine
+from repro.service.tables import DecisionTableCache
+from repro.utils.units import mbps_to_cells_per_frame
+
+CAPACITY = mbps_to_cells_per_frame(155.52)
+QOS = QoSRequirement(max_delay_seconds=0.020, max_clr=1e-6)
+DECLARED = (build_class("conference"),)
+ESTIMATED = build_class("video").model
+ROUNDS = 5
+
+
+def _record(experiment, stats, extras):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {
+        "experiment": experiment,
+        "scale": "demo",
+        "rounds": ROUNDS,
+        "jobs": 1,
+        "mean_s": stats.mean,
+        "min_s": stats.min,
+        "max_s": stats.max,
+        "stddev_s": stats.stddev,
+    }
+    record.update(extras)
+    record.update(percentiles_from_rounds(stats.sorted_data))
+    append_timing_row(TIMINGS_PATH, record)
+
+
+def test_adaptive_recompute(benchmark):
+    def rebuild():
+        return rebuild_table_text(
+            DECLARED, ESTIMATED, CAPACITY, QOS, ("bahadur-rao",)
+        )
+
+    text = benchmark.pedantic(
+        rebuild, rounds=ROUNDS, iterations=1, warmup_rounds=1
+    )
+    assert text.strip()
+    stats = benchmark.stats.stats
+    print(
+        f"\nadaptive recompute: {len(text.splitlines())} entries in "
+        f"{stats.mean * 1e3:.2f}ms"
+    )
+    _record(
+        "adaptive_recompute", stats, {"entries": len(text.splitlines())}
+    )
+
+
+def test_adaptive_swap(benchmark):
+    text = rebuild_table_text(
+        DECLARED, ESTIMATED, CAPACITY, QOS, ("bahadur-rao",)
+    )
+    tables = DecisionTableCache(persist=False)
+    engine = AdmissionEngine(policy="bahadur-rao", tables=tables)
+    engine.add_link("link-0", CAPACITY, QOS)
+
+    def swap():
+        tables.load_text(text)
+        engine.invalidate_decision_caches()
+
+    benchmark.pedantic(
+        swap, rounds=ROUNDS, iterations=1, warmup_rounds=1
+    )
+    boundary = tables.lookup(
+        DECLARED[0].model, CAPACITY, QOS, "bahadur-rao"
+    )
+    # The swapped image carries the video-sized boundary.
+    assert boundary.admissible == 27
+    stats = benchmark.stats.stats
+    print(f"\nadaptive swap: {stats.mean * 1e6:.1f}us per swap")
+    _record("adaptive_swap", stats, {"entries": len(text.splitlines())})

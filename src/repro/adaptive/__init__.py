@@ -1,0 +1,73 @@
+"""Online adaptation under nonstationary traffic.
+
+The paper's decision tables are *offline* objects: fit a model,
+invert the Bahadur-Rao asymptotic, size the boundary once.  Real VBR
+traffic drifts — scene changes, programme switches, diurnal load —
+and a boundary sized for yesterday's fingerprint silently violates
+today's CLR target.  This package closes the loop:
+
+* :mod:`repro.adaptive.estimators` — incremental windowed moments,
+  ACF, and Hurst estimators, provably equivalent to their batch
+  counterparts in :mod:`repro.analysis` on the same window;
+* :mod:`repro.adaptive.drift` — per-link drift detectors
+  (Page-Hinkley, windowed mean shift, fingerprint distance) emitting
+  typed :class:`~repro.adaptive.drift.DriftEvent`\\ s;
+* :mod:`repro.adaptive.recompute` — background decision-table
+  rebuild and atomic hot swap (replay-loop inline, or
+  :meth:`~repro.service.frontend.AdmissionFrontend.republish` for
+  the live frontend), with the CLR-trajectory measurement harness;
+* :mod:`repro.adaptive.nonstationary` — seeded regime-switching
+  workload generation (the ground truth the harness measures
+  against).
+
+``docs/ADAPTIVE.md`` documents the estimator math, the drift
+thresholds, the swap protocol, and the false-positive runbook.
+"""
+
+from repro.adaptive.drift import DriftDetector, DriftEvent, PageHinkley
+from repro.adaptive.estimators import (
+    IncrementalHurst,
+    StreamingACF,
+    StreamingMoments,
+    power_of_two_scales,
+)
+from repro.adaptive.nonstationary import (
+    NonstationaryWorkload,
+    Regime,
+    RegimePlan,
+    generate_nonstationary_workload,
+    parse_regime_plan,
+)
+from repro.adaptive.recompute import (
+    AdaptiveLinkStats,
+    AdaptiveSummary,
+    RecomputeEngine,
+    adaptive_replay,
+    adaptive_replay_link,
+    match_model,
+    observed_clr,
+    rebuild_table_text,
+)
+
+__all__ = [
+    "AdaptiveLinkStats",
+    "AdaptiveSummary",
+    "DriftDetector",
+    "DriftEvent",
+    "IncrementalHurst",
+    "NonstationaryWorkload",
+    "PageHinkley",
+    "RecomputeEngine",
+    "Regime",
+    "RegimePlan",
+    "StreamingACF",
+    "StreamingMoments",
+    "adaptive_replay",
+    "adaptive_replay_link",
+    "generate_nonstationary_workload",
+    "match_model",
+    "observed_clr",
+    "parse_regime_plan",
+    "power_of_two_scales",
+    "rebuild_table_text",
+]

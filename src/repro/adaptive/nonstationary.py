@@ -1,0 +1,336 @@
+"""Seeded nonstationary workloads: regime switches, ramps, diurnal load.
+
+The service's :mod:`repro.service.workload` draws *stationary*
+streams — one arrival rate, one class mix, forever.  Real VBR traffic
+is anything but: scene changes and programme boundaries switch the
+marginal statistics wholesale, and offered load breathes on diurnal
+cycles.  This module layers exactly those effects on top of the
+stationary generator while keeping its determinism contract: all
+randomness comes from one caller-supplied generator in a *fixed* draw
+order, so the same seed maps to exactly one nonstationary realization
+(the serial-vs-``--jobs N`` byte-identity of the adaptive replay
+depends on it).
+
+A :class:`RegimePlan` is a piecewise schedule over the *request
+index* axis: each :class:`Regime` says which true traffic class is on
+the wire from a given request onward, with an optional arrival-rate
+multiplier; a diurnal sinusoid and a linear variance ramp can be
+superimposed.  :func:`generate_nonstationary_workload` returns both
+the request stream (what the admission frontend sees) and a per-
+request *observation* stream (the measured frame statistics the drift
+detectors consume) — the declared class labels stay whatever the
+subscriber signalled, which is precisely how the mismatch the
+``adapt`` experiment demonstrates arises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.service.workload import (
+    ConnectionClass,
+    Workload,
+    WorkloadSpec,
+    holding_time_distribution,
+)
+from repro.utils.rng import RngLike, as_generator
+from repro.utils.validation import check_integer, check_positive
+
+__all__ = [
+    "NonstationaryWorkload",
+    "Regime",
+    "RegimePlan",
+    "generate_nonstationary_workload",
+    "parse_regime_plan",
+]
+
+
+@dataclass(frozen=True)
+class Regime:
+    """One piece of the schedule: ``class_name`` from ``start_request``.
+
+    ``rate_multiplier`` scales the base arrival rate while this regime
+    is active (load ramps); the true traffic statistics are those of
+    the named class regardless of what the subscriber declared.
+    """
+
+    class_name: str
+    start_request: int
+    rate_multiplier: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.class_name:
+            raise ParameterError("regime class name must be non-empty")
+        check_integer(self.start_request, "start_request", minimum=0)
+        check_positive(self.rate_multiplier, "rate_multiplier")
+
+
+@dataclass(frozen=True)
+class RegimePlan:
+    """A piecewise-constant schedule of true traffic regimes.
+
+    ``diurnal_amplitude``/``diurnal_period`` superimpose a sinusoidal
+    arrival-rate modulation (amplitude in [0, 1), period in requests);
+    ``variance_ramp`` linearly inflates the observation std by that
+    total relative amount across the stream (a slow drift no mean
+    test can see — the fingerprint detector's reason to exist).
+    """
+
+    regimes: Tuple[Regime, ...]
+    diurnal_amplitude: float = 0.0
+    diurnal_period: int = 0
+    variance_ramp: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.regimes:
+            raise ParameterError("a RegimePlan needs at least one regime")
+        ordered = tuple(
+            sorted(self.regimes, key=lambda r: r.start_request)
+        )
+        if ordered[0].start_request != 0:
+            raise ParameterError(
+                "the first regime must start at request 0, got "
+                f"{ordered[0].start_request}"
+            )
+        starts = [r.start_request for r in ordered]
+        if len(set(starts)) != len(starts):
+            raise ParameterError(f"duplicate regime starts: {starts}")
+        object.__setattr__(self, "regimes", ordered)
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ParameterError(
+                "diurnal_amplitude must be in [0, 1), got "
+                f"{self.diurnal_amplitude}"
+            )
+        if self.diurnal_amplitude > 0:
+            check_integer(self.diurnal_period, "diurnal_period", minimum=2)
+        if self.variance_ramp < 0:
+            raise ParameterError(
+                f"variance_ramp must be >= 0, got {self.variance_ramp}"
+            )
+
+    def regime_at(self, request_index: int) -> Regime:
+        """The regime governing request ``request_index``."""
+        active = self.regimes[0]
+        for regime in self.regimes:
+            if regime.start_request <= request_index:
+                active = regime
+            else:
+                break
+        return active
+
+    def regime_indices(self, n_requests: int) -> np.ndarray:
+        """Vectorized ``regime_at``: plan-index per request."""
+        starts = np.asarray(
+            [r.start_request for r in self.regimes], dtype=np.int64
+        )
+        positions = np.arange(n_requests, dtype=np.int64)
+        return (
+            np.searchsorted(starts, positions, side="right") - 1
+        ).astype(np.int64)
+
+    def switch_points(self, n_requests: int) -> Tuple[int, ...]:
+        """Request indices (< n) where the true class actually changes."""
+        points = []
+        previous = self.regimes[0].class_name
+        for regime in self.regimes[1:]:
+            if regime.start_request >= n_requests:
+                break
+            if regime.class_name != previous:
+                points.append(regime.start_request)
+            previous = regime.class_name
+        return tuple(points)
+
+    def describe(self) -> str:
+        parts = [
+            f"{r.class_name}@{r.start_request}"
+            + (f"x{r.rate_multiplier:g}" if r.rate_multiplier != 1.0 else "")
+            for r in self.regimes
+        ]
+        return ",".join(parts)
+
+
+def parse_regime_plan(
+    text: str,
+    *,
+    diurnal_amplitude: float = 0.0,
+    diurnal_period: int = 0,
+    variance_ramp: float = 0.0,
+) -> RegimePlan:
+    """Parse ``"video@0,conference@50000x1.5"`` into a RegimePlan.
+
+    Each comma-separated token is ``name@start`` with an optional
+    ``xMULT`` arrival-rate multiplier suffix.
+    """
+    regimes = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if "@" not in token:
+            raise ParameterError(
+                f"bad regime token {token!r}: expected name@start[xMULT]"
+            )
+        name, _, tail = token.partition("@")
+        multiplier = 1.0
+        if "x" in tail:
+            start_text, _, mult_text = tail.partition("x")
+            try:
+                multiplier = float(mult_text)
+            except ValueError:
+                raise ParameterError(
+                    f"bad rate multiplier in regime token {token!r}"
+                ) from None
+        else:
+            start_text = tail
+        try:
+            start = int(start_text)
+        except ValueError:
+            raise ParameterError(
+                f"bad start index in regime token {token!r}"
+            ) from None
+        regimes.append(
+            Regime(
+                class_name=name.strip(),
+                start_request=start,
+                rate_multiplier=multiplier,
+            )
+        )
+    if not regimes:
+        raise ParameterError(f"empty regime plan: {text!r}")
+    return RegimePlan(
+        regimes=tuple(regimes),
+        diurnal_amplitude=diurnal_amplitude,
+        diurnal_period=diurnal_period,
+        variance_ramp=variance_ramp,
+    )
+
+
+@dataclass(frozen=True)
+class NonstationaryWorkload:
+    """A realized nonstationary stream plus its ground truth.
+
+    ``workload`` is what the admission path consumes (arrivals,
+    holdings, *declared* class labels).  ``true_indices`` are the
+    actual traffic classes on the wire per the plan; ``observations``
+    is the per-request measured frame statistic
+    (``true_mean + effective_std * z``) the drift detectors watch.
+    """
+
+    workload: Workload
+    true_indices: np.ndarray
+    observations: np.ndarray
+    plan: RegimePlan = field(repr=False)
+
+    @property
+    def n_requests(self) -> int:
+        return self.workload.n_requests
+
+
+def _class_index(classes: Sequence[ConnectionClass], name: str) -> int:
+    for i, cls in enumerate(classes):
+        if cls.name == name:
+            return i
+    raise ParameterError(
+        f"regime class {name!r} not in the candidate mix "
+        f"{[c.name for c in classes]}"
+    )
+
+
+def generate_nonstationary_workload(
+    spec: WorkloadSpec,
+    declared: Sequence[ConnectionClass],
+    plan: RegimePlan,
+    candidates: Sequence[ConnectionClass],
+    rng: RngLike = None,
+) -> NonstationaryWorkload:
+    """Draw one nonstationary realization from ``rng``.
+
+    ``declared`` is the class mix subscribers *signal* (what the
+    decision table is keyed on); ``candidates`` is the library of true
+    traffic classes the plan's regimes select from.  The draw order is
+    fixed — base inter-arrivals, holding times, declared labels,
+    observation z-scores — so one generator state maps to exactly one
+    realization regardless of the plan (plans reshape the stream by
+    deterministic scaling, never by extra draws).
+    """
+    if not declared:
+        raise ParameterError("workload needs at least one declared class")
+    generator = as_generator(rng)
+    n = spec.n_requests
+
+    # Draw 1: base unit-rate exponential inter-arrivals, scaled per
+    # request by the active regime and diurnal multipliers.
+    base_gaps = generator.exponential(1.0 / spec.arrival_rate, size=n)
+    plan_index = plan.regime_indices(n)
+    multipliers = np.asarray(
+        [r.rate_multiplier for r in plan.regimes], dtype=float
+    )[plan_index]
+    if plan.diurnal_amplitude > 0:
+        phase = (
+            2.0 * np.pi * np.arange(n, dtype=float) / plan.diurnal_period
+        )
+        multipliers = multipliers * (
+            1.0 + plan.diurnal_amplitude * np.sin(phase)
+        )
+    # Higher rate = shorter gaps.
+    arrival_times = np.cumsum(base_gaps / multipliers)
+
+    # Draw 2: holding times, same laws as the stationary generator.
+    if spec.holding == "exponential":
+        holding_times = generator.exponential(
+            spec.mean_holding_time, size=n
+        )
+    else:
+        law = holding_time_distribution(spec)
+        holding_times = law.ppf(generator.random(size=n))
+
+    # Draw 3: declared class labels (what subscribers signal).
+    if len(declared) == 1:
+        class_indices = np.zeros(n, dtype=np.int64)
+    else:
+        weights = np.asarray([c.weight for c in declared], dtype=float)
+        boundaries = np.cumsum(weights / weights.sum())
+        uniforms = generator.random(size=n)
+        class_indices = np.minimum(
+            np.searchsorted(boundaries, uniforms, side="right"),
+            len(declared) - 1,
+        ).astype(np.int64)
+
+    # Draw 4: observation z-scores -> measured per-request statistics
+    # of the *true* traffic.
+    true_indices = np.asarray(
+        [
+            _class_index(candidates, r.class_name)
+            for r in plan.regimes
+        ],
+        dtype=np.int64,
+    )[plan_index]
+    true_means = np.asarray(
+        [c.model.mean for c in candidates], dtype=float
+    )[true_indices]
+    true_stds = np.asarray(
+        [c.model.std for c in candidates], dtype=float
+    )[true_indices]
+    if plan.variance_ramp > 0:
+        ramp = 1.0 + plan.variance_ramp * (
+            np.arange(n, dtype=float) / max(n - 1, 1)
+        )
+        true_stds = true_stds * ramp
+    z_scores = generator.standard_normal(size=n)
+    observations = true_means + true_stds * z_scores
+
+    workload = Workload(
+        arrival_times=arrival_times,
+        holding_times=holding_times,
+        class_indices=class_indices,
+    )
+    return NonstationaryWorkload(
+        workload=workload,
+        true_indices=true_indices,
+        observations=observations,
+        plan=plan,
+    )

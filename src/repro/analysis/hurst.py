@@ -10,16 +10,22 @@ Three classical estimators are provided — aggregated variance, R/S,
 and periodogram regression — each a log-log least-squares fit, each
 with its own known bias profile; agreement across them is the usual
 practical LRD diagnostic.
+
+Degenerate input (constant series, non-finite samples, or data whose
+regression points collapse) raises
+:class:`~repro.exceptions.DegenerateSeriesError` instead of leaking
+NaN/inf slopes into downstream fits.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.acf import sample_variance_time
-from repro.exceptions import SimulationError
+from repro.exceptions import DegenerateSeriesError, SimulationError
 from repro.utils.validation import check_integer
 
 
@@ -33,11 +39,33 @@ class HurstEstimate:
     method: str
 
 
-def _fit_loglog(x: np.ndarray, y: np.ndarray, method: str, to_hurst) -> HurstEstimate:
+def fit_loglog(x: np.ndarray, y: np.ndarray, method: str, to_hurst) -> HurstEstimate:
+    """Least-squares fit of ``log10 y`` on ``log10 x``, guarded.
+
+    Shared by the batch estimators below and the incremental
+    estimators of :mod:`repro.adaptive.estimators` (so batch and
+    streaming paths fit identical regressions).  Non-finite points are
+    rejected up front and a non-finite fitted slope/intercept raises
+    :class:`~repro.exceptions.DegenerateSeriesError` — a NaN Hurst
+    estimate never escapes.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if not (np.isfinite(x).all() and np.isfinite(y).all()):
+        raise DegenerateSeriesError(
+            f"{method}: non-finite regression points (degenerate input?)"
+        )
     good = (x > 0) & (y > 0)
     if good.sum() < 3:
-        raise SimulationError(f"{method}: fewer than 3 usable points")
+        raise DegenerateSeriesError(
+            f"{method}: fewer than 3 usable points (constant or "
+            "near-zero-variance series?)"
+        )
     slope, intercept = np.polyfit(np.log10(x[good]), np.log10(y[good]), 1)
+    if not (np.isfinite(slope) and np.isfinite(intercept)):
+        raise DegenerateSeriesError(
+            f"{method}: log-log fit produced a non-finite slope/intercept"
+        )
     return HurstEstimate(
         hurst=float(to_hurst(slope)),
         slope=float(slope),
@@ -46,50 +74,113 @@ def _fit_loglog(x: np.ndarray, y: np.ndarray, method: str, to_hurst) -> HurstEst
     )
 
 
+# Backwards-compatible alias (the guarded public fit).
+_fit_loglog = fit_loglog
+
+
+def _check_series(data: np.ndarray, method: str) -> None:
+    """Reject series the log-log machinery cannot survive."""
+    if not np.isfinite(data).all():
+        raise DegenerateSeriesError(
+            f"{method}: input contains non-finite samples"
+        )
+    if data.shape[0] and float(data.min()) == float(data.max()):
+        raise DegenerateSeriesError(
+            f"{method}: input series is constant; the estimator is "
+            "undefined"
+        )
+
+
+def aggregated_variance_sizes(n: int, n_scales: int) -> np.ndarray:
+    """The default block-size grid of the aggregated-variance fit."""
+    return np.unique(
+        np.round(np.geomspace(1, n // 8, n_scales)).astype(np.int64)
+    )
+
+
 def aggregated_variance_hurst(
-    x: np.ndarray, n_scales: int = 12
+    x: np.ndarray,
+    n_scales: int = 12,
+    *,
+    sizes: Optional[Sequence[int]] = None,
 ) -> HurstEstimate:
     """Aggregated-variance (variance-time) estimator.
 
     The variance of m-block *means* scales as m^{2H-2}; a log-log fit
     of sample variance versus m over geometrically spaced block sizes
-    gives ``H = 1 + slope/2``.
+    gives ``H = 1 + slope/2``.  ``sizes`` overrides the geometric
+    grid with an explicit block-size list (the incremental estimator
+    pins its power-of-two grid this way to prove exact equivalence).
     """
     data = np.asarray(x, dtype=float)
     n_scales = check_integer(n_scales, "n_scales", minimum=3)
     n = data.shape[0]
     if n < 64:
         raise SimulationError("need at least 64 samples")
-    sizes = np.unique(
-        np.round(np.geomspace(1, n // 8, n_scales)).astype(np.int64)
-    )
-    block_var = sample_variance_time(data, sizes) / sizes.astype(float) ** 2
-    return _fit_loglog(
-        sizes.astype(float),
+    _check_series(data, "aggregated-variance")
+    if sizes is None:
+        size_grid = aggregated_variance_sizes(n, n_scales)
+    else:
+        size_grid = np.unique(np.asarray(sizes, dtype=np.int64))
+    block_var = sample_variance_time(data, size_grid)
+    block_var = block_var / size_grid.astype(float) ** 2
+    return fit_loglog(
+        size_grid.astype(float),
         block_var,
         "aggregated-variance",
         lambda s: 1.0 + s / 2.0,
     )
 
 
-def rs_hurst(x: np.ndarray, n_scales: int = 12) -> HurstEstimate:
+def rs_window_ratio(window: np.ndarray) -> float:
+    """R/S of one window: range of centered cumsums over the std.
+
+    Returns ``nan`` for a constant window (no spread, unusable) — the
+    exact per-window arithmetic of :func:`rs_hurst`, factored out so
+    the incremental estimator computes bit-identical ratios.
+    """
+    window = np.asarray(window, dtype=float)
+    std = float(window.std(ddof=0))
+    if std <= 0:
+        return float("nan")
+    cumulative = np.cumsum(window - window.mean())
+    return float(cumulative.max() - cumulative.min()) / std
+
+
+def rs_sizes(n: int, n_scales: int) -> np.ndarray:
+    """The default window-size grid of the R/S fit."""
+    return np.unique(
+        np.round(np.geomspace(8, n // 4, n_scales)).astype(np.int64)
+    )
+
+
+def rs_hurst(
+    x: np.ndarray,
+    n_scales: int = 12,
+    *,
+    sizes: Optional[Sequence[int]] = None,
+) -> HurstEstimate:
     """Rescaled-range (R/S) estimator: E[R/S](m) ~ m^H.
 
     For each window size m the series is split into non-overlapping
     windows; within each, R is the range of the mean-adjusted
     cumulative sums and S the sample standard deviation.  The slope of
-    log mean(R/S) versus log m estimates H directly.
+    log mean(R/S) versus log m estimates H directly.  ``sizes``
+    overrides the geometric window-size grid (see
+    :func:`aggregated_variance_hurst`).
     """
     data = np.asarray(x, dtype=float)
     n_scales = check_integer(n_scales, "n_scales", minimum=3)
     n = data.shape[0]
     if n < 128:
         raise SimulationError("need at least 128 samples")
-    sizes = np.unique(
-        np.round(np.geomspace(8, n // 4, n_scales)).astype(np.int64)
-    )
-    ratios = np.empty(sizes.shape[0])
-    for i, m in enumerate(sizes):
+    _check_series(data, "R/S")
+    if sizes is None:
+        size_grid = rs_sizes(n, n_scales)
+    else:
+        size_grid = np.unique(np.asarray(sizes, dtype=np.int64))
+    ratios = np.empty(size_grid.shape[0])
+    for i, m in enumerate(size_grid):
         m = int(m)
         n_windows = n // m
         windows = data[: n_windows * m].reshape(n_windows, m)
@@ -99,9 +190,11 @@ def rs_hurst(x: np.ndarray, n_scales: int = 12) -> HurstEstimate:
         stds = windows.std(axis=1, ddof=0)
         usable = stds > 0
         if not usable.any():
-            raise SimulationError(f"R/S: all windows constant at m = {m}")
+            raise DegenerateSeriesError(
+                f"R/S: all windows constant at m = {m}"
+            )
         ratios[i] = float((ranges[usable] / stds[usable]).mean())
-    return _fit_loglog(sizes.astype(float), ratios, "R/S", lambda s: s)
+    return fit_loglog(size_grid.astype(float), ratios, "R/S", lambda s: s)
 
 
 def periodogram_hurst(x: np.ndarray, frequency_fraction: float = 0.1) -> HurstEstimate:
@@ -116,12 +209,13 @@ def periodogram_hurst(x: np.ndarray, frequency_fraction: float = 0.1) -> HurstEs
     n = data.shape[0]
     if n < 128:
         raise SimulationError("need at least 128 samples")
+    _check_series(data, "periodogram")
     centered = data - data.mean()
     spectrum = np.abs(np.fft.rfft(centered)) ** 2 / n
     freqs = np.fft.rfftfreq(n)
     keep = int(max(4, frequency_fraction * freqs.shape[0]))
     # Skip the zero frequency.
-    return _fit_loglog(
+    return fit_loglog(
         freqs[1 : keep + 1],
         spectrum[1 : keep + 1],
         "periodogram",

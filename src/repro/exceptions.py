@@ -61,6 +61,18 @@ class SimulationError(ReproError):
         self.bad_replications = tuple(int(i) for i in bad_replications)
 
 
+class DegenerateSeriesError(SimulationError):
+    """A series is too degenerate for the requested estimator.
+
+    Raised by the :mod:`repro.analysis` log-log estimators when the
+    input is constant (or near enough that every regression point
+    collapses), contains non-finite samples, or the fitted slope /
+    intercept comes out NaN/inf — cases that previously leaked NaN
+    Hurst estimates downstream.  Subclasses
+    :class:`SimulationError` so existing catch sites keep working.
+    """
+
+
 class NumericalHealthError(SimulationError):
     """Simulation output is numerically unhealthy (NaN/inf/negative).
 

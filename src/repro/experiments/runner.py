@@ -129,6 +129,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.obs.cli import main as obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "adapt":
+        # Nonstationary-traffic adaptation verb: drift detection and
+        # hot-swapped decision tables.
+        from repro.adaptive.cli import main as adapt_main
+
+        return adapt_main(argv[1:])
     if argv and argv[0] in ("serve", "drive"):
         # Sharded admission frontend: serve it over a socket, or
         # drive it open-loop across a rho grid.

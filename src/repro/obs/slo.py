@@ -360,4 +360,13 @@ DEFAULT_SERVICE_SLOS: Tuple[SLOTarget, ...] = (
         threshold=0.0,
         description="no torn journal tails discarded during recovery",
     ),
+    SLOTarget(
+        name="drift_detections",
+        kind="counter",
+        metric="adaptive.drift_detections",
+        threshold=0.0,
+        description="no unhandled traffic drift on stationary "
+        "workloads (nonstationary runs expect detections; see "
+        "docs/ADAPTIVE.md for the false-positive runbook)",
+    ),
 )

@@ -294,6 +294,29 @@ class _ShardDriveTask:
     table_image: Optional[dict] = None
     table_text: Optional[str] = None
     overload: Optional[OverloadPolicy] = None
+    #: Optional nonstationary schedule (``repro.adaptive``): regime
+    #: switches and diurnal ramps reshape each link's arrival stream
+    #: deterministically; ``regime_classes`` is the candidate library
+    #: the plan's class names resolve against (defaults to
+    #: ``classes``).
+    regime_plan: Optional[object] = None
+    regime_classes: Optional[Tuple[ConnectionClass, ...]] = None
+
+    def generate(self, link_generator: np.random.Generator):
+        """One link's workload — stationary, or reshaped by the plan."""
+        if self.regime_plan is None:
+            return generate_workload(self.spec, self.classes, link_generator)
+        from repro.adaptive.nonstationary import (
+            generate_nonstationary_workload,
+        )
+
+        return generate_nonstationary_workload(
+            self.spec,
+            self.classes,
+            self.regime_plan,
+            self.regime_classes or self.classes,
+            link_generator,
+        ).workload
 
     def __call__(self, index: int, generator: np.random.Generator):
         stats = _drive_shard(self, index)
@@ -321,9 +344,7 @@ def _drive_shard(task: _ShardDriveTask, shard_index: int) -> ShardDriveStats:
         )
         engine.add_link(link_id, task.capacity, task.qos)
         engines.append(engine)
-        workload_arrays.append(
-            generate_workload(task.spec, task.classes, link_generator)
-        )
+        workload_arrays.append(task.generate(link_generator))
 
     n_links = len(task.link_ids)
     if n_links == 0:
@@ -482,6 +503,8 @@ def drive(
     overload: Optional[OverloadPolicy] = None,
     ring_replicas: int = 64,
     table_path=None,
+    regime_plan=None,
+    regime_classes: Optional[Sequence[ConnectionClass]] = None,
 ) -> DriveReport:
     """Sweep rho, driving the sharded frontend open-loop at each point.
 
@@ -601,6 +624,12 @@ def drive(
                             None if table_image is not None else table_text
                         ),
                         overload=overload,
+                        regime_plan=regime_plan,
+                        regime_classes=(
+                            None
+                            if regime_classes is None
+                            else tuple(regime_classes)
+                        ),
                     )
                     payloads.append(
                         WorkerPayload(

@@ -150,6 +150,8 @@ class FrontendStats:
     shed: int
     fallbacks: int
     released: int
+    #: Monotone counter of completed table republishes (hot swaps).
+    table_generation: int = 0
 
     @property
     def requests(self) -> int:
@@ -165,6 +167,7 @@ class FrontendStats:
             "fallbacks": self.fallbacks,
             "released": self.released,
             "requests": self.requests,
+            "table_generation": self.table_generation,
         }
 
 
@@ -262,6 +265,10 @@ class AdmissionFrontend:
             table_path=table_path,
         )
         self._table_handle: Optional[SharedBlob] = None
+        self._publish = bool(publish)
+        #: Monotone table generation: bumped by every completed
+        #: :meth:`republish` (the adaptive hot-swap path).
+        self.generation = 0
         if publish:
             self._table_handle = publish_blob(
                 self.table_text.encode("utf-8")
@@ -397,7 +404,50 @@ class AdmissionFrontend:
             shed=sum(s.shed for s in self._shards),
             fallbacks=sum(s.fallbacks for s in self._shards),
             released=sum(s.released for s in self._shards),
+            table_generation=self.generation,
         )
+
+    # -- hot table swap ------------------------------------------------------
+
+    def republish(self, table_text: str) -> int:
+        """Atomically swap every shard onto a new decision-table image.
+
+        The adaptive recompute path (:mod:`repro.adaptive.recompute`)
+        builds a fresh JSONL table image off the hot path and installs
+        it here:
+
+        1. the new image is published as a *new* shared-memory segment
+           (the old one keeps serving attached readers until the swap
+           is complete);
+        2. each shard gets a freshly loaded private cache, and every
+           engine is repointed at its shard's new cache with its
+           hot-path key memos invalidated — link state (admitted
+           connections, occupancy, overload) is untouched, so no
+           in-flight connection is dropped;
+        3. only then is the old segment unlinked and the generation
+           bumped.
+
+        Requests decided before the swap used the old table, requests
+        after use the new one; there is no interleaving in which a
+        request sees half a table.  Returns the new generation.
+        """
+        new_handle: Optional[SharedBlob] = None
+        if self._publish:
+            new_handle = publish_blob(table_text.encode("utf-8"))
+        old_handle = self._table_handle
+        self.table_text = table_text
+        self._table_handle = new_handle
+        for shard in self._shards:
+            tables = DecisionTableCache(persist=False)
+            tables.load_text(self._snapshot_text())
+            shard.tables = tables
+            for engine in shard.engines.values():
+                engine.tables = tables
+                engine.invalidate_decision_caches()
+        if old_handle is not None:
+            old_handle.unlink()
+        self.generation += 1
+        return self.generation
 
     def close(self) -> None:
         """Unlink the published table snapshot (idempotent)."""

@@ -229,6 +229,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="tail exponent for --heavy-tailed, in (1, 2) (default 1.5)",
     )
     drive_parser.add_argument(
+        "--regime-plan",
+        metavar="PLAN",
+        default=None,
+        help="nonstationary regime schedule 'name@start[xMULT],...' "
+        "(see repro.adaptive.nonstationary); the per-regime rate "
+        "multiplier scales the rho-derived arrival rate",
+    )
+    drive_parser.add_argument(
         "--report-out",
         metavar="FILE",
         default=None,
@@ -381,6 +389,22 @@ def _cmd_drive(args, parser) -> int:
     )
     overload = _overload_from_args(args, parser)
     rho_grid = tuple(args.rho) if args.rho else DEFAULT_RHO_GRID
+    regime_plan = None
+    regime_classes = None
+    if args.regime_plan is not None:
+        from repro.adaptive.nonstationary import parse_regime_plan
+
+        try:
+            regime_plan = parse_regime_plan(args.regime_plan)
+        except ReproError as exc:
+            parser.error(str(exc))
+        known = {cls.name for cls in classes}
+        extra = sorted(
+            {r.class_name for r in regime_plan.regimes} - known
+        )
+        regime_classes = tuple(classes) + tuple(
+            build_class(name) for name in extra
+        )
     try:
         report = drive(
             classes,
@@ -399,6 +423,8 @@ def _cmd_drive(args, parser) -> int:
             pool=args.pool,
             overload=overload,
             table_path=args.table_cache,
+            regime_plan=regime_plan,
+            regime_classes=regime_classes,
         )
     except ReproError as exc:
         parser.error(str(exc))

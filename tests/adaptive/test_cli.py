@@ -1,0 +1,103 @@
+"""Tests for the ``adapt`` CLI verb."""
+
+import json
+
+import pytest
+
+from repro.adaptive.cli import build_parser, main
+from repro.experiments import runner
+
+ADAPT_ARGS = [
+    "--requests", "8000",
+    "--links", "1",
+    "--erlangs", "40",
+    "--holding-mean", "30",
+    "--regime-plan", "conference@0,video@3000",
+    "--seed", "20260806",
+]
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.requests == 20_000
+        assert args.links == 1
+        assert args.recompute is True
+        assert args.drift_window == 256
+        assert args.drift_threshold == 8.0
+        assert args.recompute_lag == 64
+        assert args.seed == 20260806
+        assert args.regime_plan is None
+
+    def test_no_recompute_flag(self):
+        args = build_parser().parse_args(["--no-recompute"])
+        assert args.recompute is False
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(SystemExit):
+            main(["--requests", "0"])
+        with pytest.raises(SystemExit):
+            main(["--links", "0"])
+        with pytest.raises(SystemExit):
+            main(["--jobs", "0"])
+
+    def test_rejects_malformed_plan(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--regime-plan", "conference@5"])
+        assert "regime" in capsys.readouterr().err
+
+    def test_rejects_unknown_plan_class(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--regime-plan", "conference@0,nosuch@10"])
+
+
+class TestMain:
+    def test_adaptive_demo_outputs(self, tmp_path, capsys):
+        summary_path = tmp_path / "summary.json"
+        clr_path = tmp_path / "clr.csv"
+        timings_path = tmp_path / "timings.jsonl"
+        rc = main(
+            ADAPT_ARGS
+            + [
+                "--summary-out", str(summary_path),
+                "--clr-out", str(clr_path),
+                "--timings", str(timings_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "HELD" in out
+        assert "table swaps=1" in out
+        assert "boundary 144 -> 27" in out
+
+        summary = json.loads(summary_path.read_text())
+        assert summary["kind"] == "adaptive_replay"
+        assert summary["holds_target"] is True
+        assert summary["swaps"] == 1
+        assert summary["dropped"] == 0
+        assert summary["boundary_violations"] == 0
+
+        clr_lines = clr_path.read_text().strip().splitlines()
+        assert clr_lines[0] == "bucket,requests,mean_clr"
+        assert len(clr_lines) == 21
+
+        row = json.loads(timings_path.read_text().strip())
+        assert row["experiment"] == "adaptive_replay"
+        assert row["schema"] == 2
+        assert row["table_swaps"] == 1
+        assert row["boundary_violations"] == 0
+
+    def test_static_baseline_violates(self, capsys):
+        rc = main(ADAPT_ARGS + ["--no-recompute"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "VIOLATED" in out
+        assert "table swaps=0" in out
+
+    def test_runner_dispatches_adapt_verb(self, capsys):
+        rc = runner.main(
+            ["adapt", "--requests", "600", "--erlangs", "10",
+             "--holding-mean", "30"]
+        )
+        assert rc == 0
+        assert "adaptive replay" in capsys.readouterr().out

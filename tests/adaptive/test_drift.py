@@ -1,0 +1,124 @@
+"""Tests for the per-link drift detectors."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.adaptive.drift import (
+    DETECTOR_FINGERPRINT,
+    DETECTOR_PAGE_HINKLEY,
+    DETECTOR_WINDOW_MEAN,
+    DriftDetector,
+    DriftEvent,
+    PageHinkley,
+)
+from repro.exceptions import ParameterError
+from repro.models import AR1Model
+
+CONFERENCE = AR1Model(0.6, 100.0, 400.0)
+VIDEO_LIKE = AR1Model(0.6, 500.0, 400.0)
+
+
+def _feed(detector, model, n, seed):
+    rng = np.random.default_rng(seed)
+    events = []
+    for _ in range(n):
+        event = detector.update(
+            model.mean + model.std * rng.standard_normal()
+        )
+        if event is not None:
+            events.append(event)
+    return events
+
+
+class TestPageHinkley:
+    def test_detects_sustained_shift(self):
+        ph = PageHinkley(delta=0.1, threshold=5.0)
+        fired = [ph.update(0.0) for _ in range(50)]
+        assert not any(fired)
+        fired = [ph.update(1.0) for _ in range(50)]
+        assert any(fired)
+
+    def test_two_sided(self):
+        ph = PageHinkley(delta=0.1, threshold=5.0)
+        for _ in range(20):
+            ph.update(0.0)
+        assert any(ph.update(-1.0) for _ in range(50))
+
+    def test_reset_clears_statistic(self):
+        ph = PageHinkley(delta=0.1, threshold=5.0)
+        for _ in range(30):
+            ph.update(0.0)
+        for _ in range(30):
+            ph.update(1.0)
+        assert ph.statistic > 0.0
+        ph.reset()
+        assert ph.statistic == 0.0
+        assert ph.count == 0
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ParameterError):
+            PageHinkley(delta=0.1, threshold=0.0)
+
+
+class TestDriftDetector:
+    def test_no_false_positives_on_stationary(self):
+        det = DriftDetector("link-0", CONFERENCE, window=256)
+        events = _feed(det, CONFERENCE, 5000, seed=11)
+        assert events == []
+        assert det.detections == 0
+        assert det.samples_seen == 5000
+
+    def test_detects_class_switch(self):
+        det = DriftDetector("link-0", CONFERENCE, window=128)
+        assert _feed(det, CONFERENCE, 1000, seed=12) == []
+        events = _feed(det, VIDEO_LIKE, 200, seed=13)
+        assert events
+        first = events[0]
+        assert first.link_id == "link-0"
+        assert first.detector in (
+            DETECTOR_WINDOW_MEAN,
+            DETECTOR_FINGERPRINT,
+            DETECTOR_PAGE_HINKLEY,
+        )
+        assert first.statistic > first.threshold
+        assert first.baseline_mean == CONFERENCE.mean
+        assert det.detections == len(events)
+
+    def test_warm_up_gate(self):
+        det = DriftDetector("link-0", CONFERENCE, window=256)
+        # Even a wildly shifted stream is silent until the window
+        # fills: the detector refuses to judge a half-empty window.
+        events = _feed(det, VIDEO_LIKE, 255, seed=14)
+        assert events == []
+
+    def test_rebaseline_quiets_detector(self):
+        det = DriftDetector("link-0", CONFERENCE, window=128)
+        _feed(det, CONFERENCE, 500, seed=15)
+        assert _feed(det, VIDEO_LIKE, 200, seed=16)
+        det.rebaseline(VIDEO_LIKE)
+        assert det.model is VIDEO_LIKE
+        assert det.baseline_mean == VIDEO_LIKE.mean
+        # Warm-up restarts, then the new regime looks stationary.
+        assert _feed(det, VIDEO_LIKE, 2000, seed=17) == []
+
+    def test_deterministic_event_stream(self):
+        streams = []
+        for _ in range(2):
+            det = DriftDetector("link-0", CONFERENCE, window=128)
+            _feed(det, CONFERENCE, 400, seed=18)
+            streams.append(_feed(det, VIDEO_LIKE, 300, seed=19))
+        assert streams[0] == streams[1]
+
+    def test_event_is_frozen(self):
+        det = DriftDetector("link-0", CONFERENCE, window=128)
+        _feed(det, CONFERENCE, 400, seed=20)
+        event = _feed(det, VIDEO_LIKE, 300, seed=21)[0]
+        assert isinstance(event, DriftEvent)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.statistic = 0.0
+
+    def test_rejects_zero_variance_model(self):
+        with pytest.raises(ParameterError):
+            DriftDetector("link-0", AR1Model(0.0, 100.0, 0.0))

@@ -1,0 +1,159 @@
+"""Tests for the seeded nonstationary workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive.nonstationary import (
+    Regime,
+    RegimePlan,
+    generate_nonstationary_workload,
+    parse_regime_plan,
+)
+from repro.exceptions import ParameterError
+from repro.service.cli import build_class
+from repro.service.workload import WorkloadSpec
+
+
+def _spec(n=500, rate=1.0):
+    return WorkloadSpec(
+        n_requests=n, arrival_rate=rate, mean_holding_time=30.0
+    )
+
+
+CONFERENCE = build_class("conference")
+VIDEO = build_class("video")
+
+
+class TestRegimePlan:
+    def test_parse_round_trips_describe(self):
+        plan = parse_regime_plan("conference@0,video@3000x2.5")
+        assert plan.describe() == "conference@0,video@3000x2.5"
+        assert plan.regimes == (
+            Regime("conference", 0),
+            Regime("video", 3000, 2.5),
+        )
+
+    def test_parse_sorts_by_start(self):
+        plan = parse_regime_plan("video@100,conference@0")
+        assert [r.class_name for r in plan.regimes] == [
+            "conference",
+            "video",
+        ]
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "conference@5", "conference@0,conference@0",
+         "conference", "conference@-3", "conference@0x0"],
+    )
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(ParameterError):
+            parse_regime_plan(text)
+
+    def test_regime_at_and_indices_agree(self):
+        plan = parse_regime_plan("conference@0,video@10,conference@20")
+        indices = plan.regime_indices(30)
+        for i in range(30):
+            assert plan.regimes[indices[i]] is plan.regime_at(i)
+
+    def test_switch_points_skip_no_ops(self):
+        # video@10 -> video@20x2 ramps the rate but does not switch
+        # the true class, so only index 10 is a switch point.
+        plan = parse_regime_plan("conference@0,video@10,video@20x2")
+        assert plan.switch_points(30) == (10,)
+        assert plan.switch_points(5) == ()
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ParameterError):
+            RegimePlan((Regime("conference", 0),), diurnal_amplitude=1.0)
+        with pytest.raises(ParameterError):
+            RegimePlan(
+                (Regime("conference", 0),),
+                diurnal_amplitude=0.5,
+                diurnal_period=0,
+            )
+        with pytest.raises(ParameterError):
+            RegimePlan((Regime("conference", 0),), variance_ramp=-0.1)
+
+
+class TestGenerate:
+    def test_deterministic_given_seed(self):
+        plan = parse_regime_plan("conference@0,video@200")
+        outs = [
+            generate_nonstationary_workload(
+                _spec(), (CONFERENCE,), plan, (CONFERENCE, VIDEO),
+                np.random.default_rng(42),
+            )
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(
+            outs[0].observations, outs[1].observations
+        )
+        np.testing.assert_array_equal(
+            outs[0].workload.arrival_times, outs[1].workload.arrival_times
+        )
+
+    def test_observations_track_true_class(self):
+        plan = parse_regime_plan("conference@0,video@250")
+        out = generate_nonstationary_workload(
+            _spec(), (CONFERENCE,), plan, (CONFERENCE, VIDEO),
+            np.random.default_rng(7),
+        )
+        pre = out.observations[:250]
+        post = out.observations[250:]
+        assert abs(pre.mean() - CONFERENCE.model.mean) < 5.0
+        assert abs(post.mean() - VIDEO.model.mean) < 0.2 * VIDEO.model.mean
+        np.testing.assert_array_equal(out.true_indices[:250], 0)
+        np.testing.assert_array_equal(out.true_indices[250:], 1)
+
+    def test_declared_labels_stay_declared(self):
+        # True class switches; the declared labels never do.
+        plan = parse_regime_plan("conference@0,video@100")
+        out = generate_nonstationary_workload(
+            _spec(), (CONFERENCE,), plan, (CONFERENCE, VIDEO),
+            np.random.default_rng(7),
+        )
+        np.testing.assert_array_equal(out.workload.class_indices, 0)
+
+    def test_rate_multiplier_compresses_gaps(self):
+        base = parse_regime_plan("conference@0")
+        ramped = parse_regime_plan("conference@0x4")
+        out0 = generate_nonstationary_workload(
+            _spec(), (CONFERENCE,), base, (CONFERENCE,),
+            np.random.default_rng(3),
+        )
+        out1 = generate_nonstationary_workload(
+            _spec(), (CONFERENCE,), ramped, (CONFERENCE,),
+            np.random.default_rng(3),
+        )
+        np.testing.assert_allclose(
+            out1.workload.arrival_times,
+            out0.workload.arrival_times / 4.0,
+        )
+
+    def test_variance_ramp_inflates_spread(self):
+        plan = parse_regime_plan("conference@0")
+        plain = generate_nonstationary_workload(
+            _spec(n=4000), (CONFERENCE,), plan, (CONFERENCE,),
+            np.random.default_rng(9),
+        )
+        ramped_plan = RegimePlan(plan.regimes, variance_ramp=3.0)
+        ramped = generate_nonstationary_workload(
+            _spec(n=4000), (CONFERENCE,), ramped_plan, (CONFERENCE,),
+            np.random.default_rng(9),
+        )
+        # Same z-scores, inflated stds: late-stream spread grows.
+        assert ramped.observations[-1000:].std() > (
+            2.0 * plain.observations[-1000:].std()
+        )
+        # Arrival process untouched by the variance ramp.
+        np.testing.assert_array_equal(
+            plain.workload.arrival_times, ramped.workload.arrival_times
+        )
+
+    def test_unknown_regime_class_rejected(self):
+        plan = parse_regime_plan("conference@0,mystery@10")
+        with pytest.raises(ParameterError):
+            generate_nonstationary_workload(
+                _spec(), (CONFERENCE,), plan, (CONFERENCE, VIDEO),
+                np.random.default_rng(1),
+            )

@@ -1,0 +1,176 @@
+"""Property tests: streaming estimators == batch on the same window.
+
+The :mod:`repro.adaptive.estimators` classes promise equivalence with
+the batch estimators in :mod:`repro.analysis` over the trailing
+window.  These tests encode that contract under hypothesis-driven
+window sizes, stream lengths, dtypes, and value scales:
+
+* :class:`StreamingMoments` vs ``numpy`` mean/variance — relative
+  error below 1e-12 (windowed Welford keeps full catastrophic
+  cancellation at bay for the value ranges admission observations
+  live in);
+* :class:`StreamingACF` vs :func:`repro.analysis.acf.sample_acf` on
+  the buffered window — absolute error below 1e-9 (offset-centered
+  lag products; exact in real arithmetic);
+* :class:`IncrementalHurst` vs ``aggregated_variance_hurst`` /
+  ``rs_hurst`` with the same ``sizes=`` grid — **bit-equal** at
+  aligned stream positions, which is the strongest possible form of
+  the claim.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adaptive.estimators import (
+    IncrementalHurst,
+    StreamingACF,
+    StreamingMoments,
+    power_of_two_scales,
+)
+from repro.analysis.acf import sample_acf
+from repro.analysis.hurst import aggregated_variance_hurst, rs_hurst
+from repro.exceptions import DegenerateSeriesError, ParameterError
+
+window_strategy = st.integers(min_value=8, max_value=96)
+length_factor_strategy = st.floats(min_value=0.5, max_value=4.0)
+seed_strategy = st.integers(min_value=0, max_value=2**32 - 1)
+scale_strategy = st.sampled_from([1e-3, 1.0, 100.0, 1e4])
+dtype_strategy = st.sampled_from([np.float64, np.float32, np.int64])
+
+
+def _stream(seed, n, scale, dtype):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(10.0 * scale, scale, size=n)
+    if np.issubdtype(dtype, np.integer):
+        values = np.round(values)
+    return values.astype(dtype)
+
+
+class TestStreamingMoments:
+    @given(window_strategy, length_factor_strategy, seed_strategy,
+           scale_strategy, dtype_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_batch_window(self, window, factor, seed, scale,
+                                  dtype):
+        n = max(2, int(window * factor))
+        values = _stream(seed, n, scale, dtype)
+        sm = StreamingMoments(window)
+        for v in values:
+            sm.push(v)
+        tail = np.asarray(values[-window:], dtype=float)
+        assert sm.count == tail.shape[0]
+        assert sm.mean == pytest.approx(tail.mean(), rel=1e-12)
+        assert sm.variance() == pytest.approx(
+            tail.var(ddof=0), rel=1e-12, abs=1e-18
+        )
+        if tail.shape[0] >= 2:
+            assert sm.variance(ddof=1) == pytest.approx(
+                tail.var(ddof=1), rel=1e-12, abs=1e-18
+            )
+        np.testing.assert_array_equal(
+            sm.values(), np.asarray(values[-window:], dtype=float)
+        )
+
+    def test_window_slides(self):
+        sm = StreamingMoments(4)
+        for v in (1.0, 2.0, 3.0, 4.0, 100.0):
+            sm.push(v)
+        assert sm.mean == pytest.approx(np.mean([2.0, 3.0, 4.0, 100.0]))
+        assert sm.is_full
+
+    def test_empty_and_single(self):
+        sm = StreamingMoments(8)
+        with pytest.raises(DegenerateSeriesError):
+            _ = sm.mean
+        sm.push(5.0)
+        assert sm.mean == 5.0
+        assert sm.variance() == 0.0
+
+
+class TestStreamingACF:
+    @given(window_strategy, length_factor_strategy, seed_strategy,
+           scale_strategy, dtype_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_sample_acf(self, window, factor, seed, scale,
+                                dtype):
+        max_lag = max(1, window // 4)
+        n = max(max_lag + 2, int(window * factor))
+        values = _stream(seed, n, scale, dtype)
+        tail = np.asarray(values, dtype=float)[-window:]
+        if tail.var() == 0.0:
+            return
+        acf = StreamingACF(window, max_lag)
+        for v in values:
+            acf.push(v)
+        streaming = acf.acf()
+        batch = sample_acf(tail, max_lag)
+        np.testing.assert_allclose(streaming, batch, atol=1e-9)
+
+    def test_rejects_bad_lags(self):
+        with pytest.raises(ParameterError):
+            StreamingACF(8, 8)
+        acf = StreamingACF(8, 2)
+        for v in range(8):
+            acf.push(float(v))
+        with pytest.raises(ParameterError):
+            acf.acf(3)
+
+    def test_constant_window_degenerate(self):
+        acf = StreamingACF(8, 2)
+        for _ in range(8):
+            acf.push(7.0)
+        with pytest.raises(DegenerateSeriesError):
+            acf.acf()
+
+
+class TestIncrementalHurst:
+    @given(st.sampled_from([128, 256, 512]),
+           st.integers(min_value=0, max_value=3), seed_strategy)
+    @settings(max_examples=20, deadline=None)
+    def test_bit_equal_to_batch_when_aligned(self, window, extra_blocks,
+                                             seed):
+        ih = IncrementalHurst(window)
+        largest = max(ih.variance_scales[-1], ih.rs_scales[-1])
+        n = window + extra_blocks * largest
+        values = np.random.default_rng(seed).normal(100.0, 20.0, size=n)
+        for v in values:
+            ih.push(v)
+        assert ih.aligned
+        tail = values[-window:]
+        batch_av = aggregated_variance_hurst(
+            tail, sizes=ih.variance_scales
+        )
+        batch_rs = rs_hurst(tail, sizes=ih.rs_scales)
+        # Bit-equality, not approx: identical floats or the claim in
+        # the class docstring is wrong.
+        assert ih.aggregated_variance().hurst == batch_av.hurst
+        assert ih.rs().hurst == batch_rs.hurst
+
+    def test_misaligned_positions_still_estimate(self):
+        ih = IncrementalHurst(128)
+        values = np.random.default_rng(5).normal(0.0, 1.0, size=128 + 7)
+        for v in values:
+            ih.push(v)
+        assert not ih.aligned
+        est = ih.aggregated_variance()
+        assert np.isfinite(est.hurst)
+
+    def test_rejects_non_power_of_two_and_small_windows(self):
+        with pytest.raises(ParameterError):
+            IncrementalHurst(100)
+        with pytest.raises(ParameterError):
+            IncrementalHurst(64)
+
+    def test_rejects_non_finite(self):
+        ih = IncrementalHurst(128)
+        with pytest.raises(DegenerateSeriesError):
+            ih.push(float("nan"))
+
+    def test_power_of_two_scales(self):
+        assert power_of_two_scales(128, 8) == (1, 2, 4, 8, 16)
+        with pytest.raises(ParameterError):
+            power_of_two_scales(100, 8)
+        with pytest.raises(ParameterError):
+            power_of_two_scales(8, 8)

@@ -82,3 +82,71 @@ class TestOnPaperModels:
         x = make_s(1, 0.7).sample_frames(200_000, rng=104)
         est = aggregated_variance_hurst(x)
         assert est.hurst < 0.65
+
+
+class TestDegenerateInputs:
+    """Regression tests: degenerate series raise the typed error.
+
+    Before the guards, a constant or non-finite series leaked numpy
+    RankWarnings and NaN Hurst estimates out of the log-log fits.
+    """
+
+    @pytest.mark.parametrize(
+        "estimator",
+        [aggregated_variance_hurst, rs_hurst, periodogram_hurst],
+    )
+    def test_constant_series(self, estimator):
+        from repro.exceptions import DegenerateSeriesError
+
+        with pytest.raises(DegenerateSeriesError):
+            estimator(np.full(10_000, 7.0))
+
+    @pytest.mark.parametrize(
+        "estimator",
+        [aggregated_variance_hurst, rs_hurst, periodogram_hurst],
+    )
+    @pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+    def test_non_finite_samples(self, estimator, bad):
+        from repro.exceptions import DegenerateSeriesError
+
+        x = np.random.default_rng(0).standard_normal(10_000)
+        x[1234] = bad
+        with pytest.raises(DegenerateSeriesError):
+            estimator(x)
+
+    def test_degenerate_is_a_simulation_error(self):
+        # Typed but still catchable by pre-existing handlers.
+        from repro.exceptions import DegenerateSeriesError
+
+        assert issubclass(DegenerateSeriesError, SimulationError)
+
+    def test_fit_loglog_guards_directly(self):
+        from repro.analysis.hurst import fit_loglog
+        from repro.exceptions import DegenerateSeriesError
+
+        with pytest.raises(DegenerateSeriesError):
+            fit_loglog(
+                np.array([1.0, 2.0, 4.0]),
+                np.array([1.0, np.nan, 2.0]),
+                "test",
+                lambda s: s,
+            )
+        with pytest.raises(DegenerateSeriesError):
+            # Only 2 usable (positive) points.
+            fit_loglog(
+                np.array([1.0, 2.0, 4.0]),
+                np.array([1.0, 2.0, 0.0]),
+                "test",
+                lambda s: s,
+            )
+
+    def test_no_rank_warnings_near_degenerate(self):
+        import warnings
+
+        x = np.random.default_rng(1).standard_normal(5000) * 1e-12
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            try:
+                aggregated_variance_hurst(x)
+            except SimulationError:
+                pass

@@ -239,3 +239,53 @@ class TestDriveParallel:
         assert set(pooled.points[0].admit_latency_ns) == {
             f"p{q}" for q in DRIVE_QUANTILES
         }
+
+
+class TestDriveRegimePlan:
+    """Nonstationary load threading through the open-loop driver."""
+
+    def test_none_plan_is_the_stationary_path(self, classes, qos):
+        base = drive(
+            classes, capacity=CAPACITY, qos=qos, rho_grid=(0.8,),
+            n_links=2, requests_per_link=400, seed=7,
+        )
+        explicit = drive(
+            classes, capacity=CAPACITY, qos=qos, rho_grid=(0.8,),
+            n_links=2, requests_per_link=400, seed=7,
+            regime_plan=None,
+        )
+        assert _point_counters(base.points[0]) == _point_counters(
+            explicit.points[0]
+        )
+
+    def test_rate_ramp_increases_blocking(self, classes, qos):
+        from repro.adaptive.nonstationary import parse_regime_plan
+
+        plan = parse_regime_plan("dar1@0,dar1@200x4.0")
+        base = drive(
+            classes, capacity=CAPACITY, qos=qos, rho_grid=(0.95,),
+            n_links=2, requests_per_link=400, seed=7,
+        )
+        ramped = drive(
+            classes, capacity=CAPACITY, qos=qos, rho_grid=(0.95,),
+            n_links=2, requests_per_link=400, seed=7,
+            regime_plan=plan, regime_classes=classes,
+        )
+        assert ramped.points[0].blocked > base.points[0].blocked
+        assert ramped.boundary_violations == 0
+
+    def test_plan_deterministic_across_runs(self, classes, qos):
+        from repro.adaptive.nonstationary import parse_regime_plan
+
+        plan = parse_regime_plan("dar1@0,dar1@100x2.0")
+        runs = [
+            drive(
+                classes, capacity=CAPACITY, qos=qos, rho_grid=(0.9,),
+                n_links=2, requests_per_link=300, seed=11,
+                regime_plan=plan, regime_classes=classes,
+            )
+            for _ in range(2)
+        ]
+        assert _point_counters(runs[0].points[0]) == _point_counters(
+            runs[1].points[0]
+        )

@@ -261,3 +261,68 @@ class TestFrontendServer:
                     await server.stop()
 
         self._run(scenario())
+
+
+class TestRepublish:
+    """The adaptive hot-swap path: republish rebuilt tables in place."""
+
+    def _rebuilt_text(self, classes, qos, estimated):
+        from repro.adaptive.recompute import rebuild_table_text
+
+        return rebuild_table_text(
+            classes, estimated, CAPACITY, qos, ("bahadur-rao",)
+        )
+
+    def test_swap_changes_boundary_keeps_occupancy(self, classes, qos):
+        from repro.models import AR1Model
+
+        with _frontend(classes, qos) as frontend:
+            before = frontend.boundary("dar1")
+            for i in range(5):
+                assert frontend.admit("link-0", "dar1", f"c{i}").admitted
+            assert frontend.generation == 0
+
+            # An estimated model 2x the declared mean shrinks the
+            # admissible boundary; declared keys stay the lookup keys.
+            estimated = AR1Model(0.6, 1000.0, 10000.0)
+            generation = frontend.republish(
+                self._rebuilt_text(classes, qos, estimated)
+            )
+            assert generation == 1
+            assert frontend.generation == 1
+            after = frontend.boundary("dar1")
+            assert after < before
+            # In-flight connections survive the swap untouched.
+            assert frontend.occupancy("link-0") == 5
+            frontend.release("link-0", "c0")
+            assert frontend.occupancy("link-0") == 4
+            assert frontend.stats().table_generation == 1
+
+    def test_swap_with_published_snapshot(self, classes, qos):
+        from repro.models import AR1Model
+
+        with _frontend(classes, qos, publish=True) as frontend:
+            estimated = AR1Model(0.6, 1000.0, 10000.0)
+            text = self._rebuilt_text(classes, qos, estimated)
+            frontend.republish(text)
+            # The new shm snapshot carries the rebuilt entries.
+            assert frontend.table_text == frontend._snapshot_text()
+            new_boundary = frontend.boundary("dar1")
+            with _frontend(classes, qos) as fresh:
+                assert new_boundary < fresh.boundary("dar1")
+
+    def test_admissions_respect_swapped_boundary(self, classes, qos):
+        from repro.models import AR1Model
+
+        with _frontend(classes, qos) as frontend:
+            estimated = AR1Model(0.6, 1000.0, 10000.0)
+            frontend.republish(
+                self._rebuilt_text(classes, qos, estimated)
+            )
+            boundary = frontend.boundary("dar1")
+            for i in range(boundary):
+                assert frontend.admit("link-2", "dar1", f"c{i}").admitted
+            assert not frontend.admit("link-2", "dar1", "c-over").admitted
+            stats = frontend.stats()
+            assert stats.admitted == boundary
+            assert stats.blocked == 1

@@ -124,3 +124,33 @@ class TestRunnerDelegation:
         assert runner_main(SMALL + ["--json"]) == 0
         report = json.loads(capsys.readouterr().out)
         assert report["kind"] == "latency_vs_rho"
+
+
+class TestRegimePlanFlag:
+    def test_ramped_plan_changes_blocking(self, capsys):
+        assert main(SMALL + ["--json"]) == 0
+        base = json.loads(capsys.readouterr().out)
+        assert (
+            main(
+                SMALL
+                + ["--json", "--regime-plan", "dar1@0,dar1@100x5.0"]
+            )
+            == 0
+        )
+        ramped = json.loads(capsys.readouterr().out)
+        assert (
+            ramped["rows"][0]["blocked"] > base["rows"][0]["blocked"]
+        )
+        assert ramped["boundary_violations"] == 0
+
+    def test_plan_classes_added_to_candidates(self, capsys):
+        # A plan referencing a class outside --class resolves via the
+        # presets instead of erroring.
+        assert (
+            main(SMALL + ["--regime-plan", "dar1@0,video@100"]) == 0
+        )
+
+    def test_malformed_plan_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(SMALL + ["--regime-plan", "dar1@50"])
+        assert "regime" in capsys.readouterr().err
